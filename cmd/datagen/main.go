@@ -1,0 +1,181 @@
+// Command datagen generates the synthetic corpora and prints summary
+// statistics: annotation histograms, rare-event prevalence, and feature
+// dimensions. Use it to inspect what the evaluation actually runs on.
+//
+// Usage:
+//
+//	datagen -dataset night-street -size 20000
+//	datagen -all -size 4000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+func main() {
+	var (
+		name = flag.String("dataset", "night-street", "corpus to generate")
+		size = flag.Int("size", 10000, "corpus size")
+		seed = flag.Int64("seed", 1, "generation seed")
+		all  = flag.Bool("all", false, "summarize every corpus")
+		out  = flag.String("out", "", "save the generated corpus to this file")
+		in   = flag.String("in", "", "load and summarize a corpus saved with -out instead of generating")
+	)
+	flag.Parse()
+
+	if *in != "" {
+		if err := summarizeFile(*in); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	names := []string{*name}
+	if *all {
+		names = dataset.Names()
+	}
+	for _, n := range names {
+		if err := summarize(n, *size, *seed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// summarizeFile loads a saved corpus and prints its summary.
+func summarizeFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	ds, err := dataset.Load(f)
+	if err != nil {
+		return err
+	}
+	describe(ds)
+	return nil
+}
+
+func summarize(name string, size int, seed int64, out string) error {
+	ds, err := dataset.Generate(name, size, seed)
+	if err != nil {
+		return err
+	}
+	describe(ds)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := ds.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("saved to %s\n", out)
+	}
+	return nil
+}
+
+// describe prints a corpus summary.
+func describe(ds *dataset.Dataset) {
+	fmt.Printf("== %s: %d records, %d feature dims ==\n", ds.Name, ds.Len(), ds.FeatureDim())
+	switch ds.Truth[0].(type) {
+	case dataset.VideoAnnotation:
+		summarizeVideo(ds)
+	case dataset.TextAnnotation:
+		summarizeText(ds)
+	case dataset.SpeechAnnotation:
+		summarizeSpeech(ds)
+	}
+	fmt.Println()
+}
+
+func summarizeVideo(ds *dataset.Dataset) {
+	classSet := map[string]bool{}
+	for _, ann := range ds.Truth {
+		for _, b := range ann.(dataset.VideoAnnotation).Boxes {
+			classSet[b.Class] = true
+		}
+	}
+	classes := make([]string, 0, len(classSet))
+	for class := range classSet {
+		classes = append(classes, class)
+	}
+	sort.Strings(classes)
+
+	perClass := map[string]map[int]int{}
+	for _, class := range classes {
+		hist := map[int]int{}
+		for _, ann := range ds.Truth {
+			hist[ann.(dataset.VideoAnnotation).Count(class)]++
+		}
+		perClass[class] = hist
+	}
+	for _, class := range classes {
+		hist := perClass[class]
+		maxCount := 0
+		for c := range hist {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		fmt.Printf("  %s counts:", class)
+		for c := 0; c <= maxCount; c++ {
+			if hist[c] > 0 {
+				fmt.Printf(" %d:%d", c, hist[c])
+			}
+		}
+		fmt.Println()
+	}
+}
+
+func summarizeText(ds *dataset.Dataset) {
+	ops := map[string]int{}
+	preds := map[int]int{}
+	for _, ann := range ds.Truth {
+		ta := ann.(dataset.TextAnnotation)
+		ops[ta.Operator]++
+		preds[ta.NumPredicates]++
+	}
+	keys := make([]string, 0, len(ops))
+	for op := range ops {
+		keys = append(keys, op)
+	}
+	sort.Strings(keys)
+	fmt.Print("  operators:")
+	for _, op := range keys {
+		fmt.Printf(" %s:%d", op, ops[op])
+	}
+	fmt.Print("\n  predicates:")
+	for p := 0; p <= 4; p++ {
+		fmt.Printf(" %d:%d", p, preds[p])
+	}
+	fmt.Println()
+}
+
+func summarizeSpeech(ds *dataset.Dataset) {
+	gender := map[string]int{}
+	decades := map[int]int{}
+	for _, ann := range ds.Truth {
+		sa := ann.(dataset.SpeechAnnotation)
+		gender[sa.Gender]++
+		decades[sa.AgeBucket()]++
+	}
+	fmt.Printf("  gender: male:%d female:%d\n", gender["male"], gender["female"])
+	fmt.Print("  age decades:")
+	buckets := make([]int, 0, len(decades))
+	for b := range decades {
+		buckets = append(buckets, b)
+	}
+	sort.Ints(buckets)
+	for _, b := range buckets {
+		fmt.Printf(" %d0s:%d", b, decades[b])
+	}
+	fmt.Println()
+}

@@ -1,0 +1,109 @@
+// Command tastibench regenerates the paper's tables and figures. Each
+// experiment prints the rows the corresponding figure plots.
+//
+// Usage:
+//
+//	tastibench -exp fig4              # one experiment at the default scale
+//	tastibench -exp all -scale small  # everything, fast
+//	tastibench -list                  # show experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment id (fig2..fig13, table1..table3) or 'all'")
+		scale    = flag.String("scale", "default", "experiment scale: 'default' or 'small'")
+		seed     = flag.Int64("seed", 0, "override the experiment seed (0 keeps the scale's default)")
+		frames   = flag.Int("frames", 0, "override the video corpus size (0 keeps the scale's default)")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		timings  = flag.Bool("timings", false, "print wall-clock time per experiment")
+		jsonOut  = flag.Bool("json", false, "emit JSON instead of text tables")
+		mdOut    = flag.Bool("markdown", false, "emit markdown tables instead of text tables")
+		replicas = flag.Int("replicas", 1, "run the experiment under this many seeds and report means with bootstrap CIs")
+	)
+	flag.Parse()
+
+	if *list {
+		desc := experiments.Describe()
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-8s %s\n", id, desc[id])
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "default":
+		sc = experiments.DefaultScale()
+	case "small":
+		sc = experiments.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "tastibench: unknown scale %q (want 'default' or 'small')\n", *scale)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *frames != 0 {
+		sc.VideoFrames = *frames
+	}
+
+	run := func(id string) error {
+		start := time.Now()
+		var sink io.Writer
+		if !*jsonOut && !*mdOut {
+			sink = os.Stdout
+		}
+		var rep *experiments.Report
+		var err error
+		if *replicas > 1 {
+			seeds := make([]int64, *replicas)
+			for i := range seeds {
+				seeds[i] = sc.Seed + int64(i)
+			}
+			rep, err = experiments.RunReplicated(id, sc, seeds, sink)
+		} else {
+			rep, err = experiments.Run(id, sc, sink)
+		}
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if *mdOut {
+			if err := rep.WriteMarkdown(os.Stdout); err != nil {
+				return err
+			}
+		}
+		if *timings {
+			fmt.Printf("[%s took %s]\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+		return nil
+	}
+
+	if *exp == "all" {
+		for _, id := range experiments.IDs() {
+			if err := run(id); err != nil {
+				fmt.Fprintf(os.Stderr, "tastibench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if err := run(*exp); err != nil {
+		fmt.Fprintf(os.Stderr, "tastibench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,184 @@
+// Command tastiquery builds a TASTI index over a synthetic corpus and runs
+// ad-hoc queries against it, optionally persisting the index between runs.
+//
+// Usage:
+//
+//	tastiquery -dataset night-street -size 20000 -query agg -class car
+//	tastiquery -dataset taipei -query limit -class bus -count 2 -k 10
+//	tastiquery -dataset wikisql -query select -save /tmp/wikisql.idx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/tasti"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "night-street", "corpus: night-street, taipei, amsterdam, wikisql, common-voice")
+		size   = flag.Int("size", 10000, "corpus size")
+		seed   = flag.Int64("seed", 1, "generation and algorithm seed")
+		query  = flag.String("query", "agg", "query type: agg, select, limit")
+		class  = flag.String("class", "car", "object class for video queries")
+		count  = flag.Int("count", 5, "count threshold for limit queries")
+		k      = flag.Int("k", 10, "matches requested by limit queries")
+		train  = flag.Int("train", 600, "triplet-training label budget (0 builds TASTI-PT)")
+		reps   = flag.Int("reps", 900, "cluster representatives to annotate")
+		budget = flag.Int("budget", 300, "labeler budget for selection queries")
+		save   = flag.String("save", "", "path to persist the index to")
+		load   = flag.String("load", "", "path to load a previously saved index from")
+		errTgt = flag.Float64("err", 0.05, "aggregation error target")
+		recall = flag.Float64("recall", 0.9, "selection recall target")
+		useANN = flag.Bool("ann", false, "build the distance table with the IVF approximate-NN index")
+	)
+	flag.Parse()
+
+	if err := run(*dsName, *size, *seed, *query, *class, *count, *k, *train, *reps, *budget, *save, *load, *errTgt, *recall, *useANN); err != nil {
+		fmt.Fprintf(os.Stderr, "tastiquery: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(dsName string, size int, seed int64, query, class string, count, k, train, reps, budget int, save, load string, errTgt, recall float64, useANN bool) error {
+	ds, err := tasti.GenerateDataset(dsName, size, seed)
+	if err != nil {
+		return err
+	}
+	cost := tasti.MaskRCNNCost
+	if dsName == "wikisql" || dsName == "common-voice" {
+		cost = tasti.HumanCost
+	}
+	oracle := tasti.NewOracle(ds, "target", cost)
+
+	var index *tasti.Index
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		index, err = tasti.LoadIndex(f)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded index: %d records, %d representatives\n", index.NumRecords(), len(index.Table.Reps))
+	} else {
+		cfg := indexConfig(dsName, train, reps, seed)
+		cfg.ApproxTable = useANN
+		index, err = tasti.Build(cfg, ds, oracle)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("built index: %d label calls (%d train + %d reps)\n",
+			index.Stats.TotalLabelCalls(), index.Stats.TrainLabelCalls, index.Stats.RepLabelCalls)
+	}
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := index.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("saved index to %s\n", save)
+	}
+
+	score, pred := querySpec(dsName, class, count)
+	counting := tasti.NewCountingLabeler(oracle)
+
+	switch query {
+	case "agg":
+		scores, err := index.Propagate(score)
+		if err != nil {
+			return err
+		}
+		res, err := tasti.EstimateAggregate(tasti.AggregateOptions{
+			ErrTarget: errTgt, Delta: 0.05, MinSamples: 100, Seed: seed + 1,
+		}, ds.Len(), scores, score, counting)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("aggregate = %.4f ± %.4f (%d target calls)\n", res.Estimate, res.HalfWidth, res.LabelerCalls)
+	case "select":
+		scores, err := index.Propagate(tasti.MatchScore(pred))
+		if err != nil {
+			return err
+		}
+		res, err := tasti.SelectWithRecall(tasti.SelectOptions{
+			Budget: budget, Target: recall, Delta: 0.05, Seed: seed + 2,
+		}, ds.Len(), scores, pred, counting)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("selected %d records at threshold %.3f (%d target calls)\n",
+			len(res.Returned), res.Threshold, res.OracleCalls)
+	case "limit":
+		scores, dists, err := index.PropagateNearest(score)
+		if err != nil {
+			return err
+		}
+		res, err := tasti.FindLimit(k, scores, dists, pred, counting)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("found %d matches in %d target calls: %v\n", len(res.Found), res.OracleCalls, res.Found)
+	default:
+		return fmt.Errorf("unknown query %q (want agg, select, or limit)", query)
+	}
+	return nil
+}
+
+// indexConfig picks the bucket key for the corpus and assembles the build
+// configuration.
+func indexConfig(dsName string, train, reps int, seed int64) tasti.Config {
+	var key tasti.BucketKey
+	switch dsName {
+	case "wikisql":
+		key = tasti.TextBucketKey()
+	case "common-voice":
+		key = tasti.SpeechBucketKey()
+	default:
+		key = tasti.VideoBucketKey(0.5)
+	}
+	if train <= 0 {
+		return tasti.PretrainedConfig(reps, seed)
+	}
+	return tasti.DefaultConfig(train, reps, key, seed)
+}
+
+// querySpec returns the scoring function and predicate the query flags
+// describe for the given corpus.
+func querySpec(dsName, class string, count int) (tasti.ScoreFunc, func(tasti.Annotation) bool) {
+	switch dsName {
+	case "wikisql":
+		score := func(ann tasti.Annotation) float64 {
+			return float64(ann.(tasti.TextAnnotation).NumPredicates)
+		}
+		pred := func(ann tasti.Annotation) bool {
+			return ann.(tasti.TextAnnotation).NumPredicates >= count
+		}
+		return score, pred
+	case "common-voice":
+		score := func(ann tasti.Annotation) float64 {
+			if strings.EqualFold(ann.(tasti.SpeechAnnotation).Gender, "male") {
+				return 1
+			}
+			return 0
+		}
+		pred := func(ann tasti.Annotation) bool {
+			return strings.EqualFold(ann.(tasti.SpeechAnnotation).Gender, "male")
+		}
+		return score, pred
+	default:
+		score := tasti.CountScore(class)
+		pred := func(ann tasti.Annotation) bool {
+			return ann.(tasti.VideoAnnotation).Count(class) >= count
+		}
+		return score, pred
+	}
+}

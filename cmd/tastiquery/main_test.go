@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/tasti"
+)
+
+func TestQuerySpec(t *testing.T) {
+	videoScore, videoPred := querySpec("night-street", "car", 2)
+	ann := tasti.VideoAnnotation{Boxes: []tasti.Box{{Class: "car"}, {Class: "car"}, {Class: "bus"}}}
+	if videoScore(ann) != 2 {
+		t.Errorf("video score = %v", videoScore(ann))
+	}
+	if !videoPred(ann) {
+		t.Error("two cars should match count>=2")
+	}
+
+	_, textPred := querySpec("wikisql", "", 3)
+	if textPred(tasti.TextAnnotation{NumPredicates: 2}) {
+		t.Error("2 predicates should not match count>=3")
+	}
+	if !textPred(tasti.TextAnnotation{NumPredicates: 3}) {
+		t.Error("3 predicates should match")
+	}
+
+	speechScore, speechPred := querySpec("common-voice", "", 0)
+	male := tasti.SpeechAnnotation{Gender: "male"}
+	female := tasti.SpeechAnnotation{Gender: "female"}
+	if speechScore(male) != 1 || speechScore(female) != 0 {
+		t.Error("speech score wrong")
+	}
+	if !speechPred(male) || speechPred(female) {
+		t.Error("speech predicate wrong")
+	}
+}
+
+func TestIndexConfig(t *testing.T) {
+	cfg := indexConfig("night-street", 100, 50, 1)
+	if !cfg.DoTrain || cfg.TrainingBudget != 100 || cfg.NumReps != 50 {
+		t.Errorf("video config = %+v", cfg)
+	}
+	pt := indexConfig("wikisql", 0, 50, 1)
+	if pt.DoTrain {
+		t.Error("train=0 should build TASTI-PT")
+	}
+}
+
+func TestRunSaveLoadRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "idx.gob")
+
+	// Build + save.
+	if err := run("night-street", 1200, 1, "agg", "car", 5, 5, 200, 150, 100, path, "", 0.2, 0.9, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("index not saved: %v", err)
+	}
+	// Load + query.
+	if err := run("night-street", 1200, 1, "limit", "car", 4, 3, 100, 150, 100, "", path, 0.2, 0.9, false); err != nil {
+		t.Fatal(err)
+	}
+	// Unknown query type errors.
+	if err := run("night-street", 300, 1, "nope", "car", 1, 1, 0, 50, 50, "", "", 0.2, 0.9, false); err == nil {
+		t.Error("unknown query should error")
+	}
+}

@@ -1,0 +1,51 @@
+// Command tastiserve builds a TASTI index over a synthetic corpus and serves
+// queries over HTTP with a JSON API.
+//
+// Usage:
+//
+//	tastiserve -dataset night-street -size 10000 -addr :8080
+//
+// Endpoints:
+//
+//	GET  /healthz          liveness
+//	GET  /index            index statistics
+//	POST /query/aggregate  {"class":"car","err":0.05}
+//	POST /query/select     {"class":"car","count":1,"budget":300,"recall":0.9}
+//	POST /query/limit      {"class":"car","count":5,"k":10,"crack":true}
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+	"time"
+)
+
+func main() {
+	var (
+		dsName = flag.String("dataset", "night-street", "corpus: night-street, taipei, amsterdam, wikisql, common-voice")
+		size   = flag.Int("size", 10000, "corpus size")
+		seed   = flag.Int64("seed", 1, "generation and algorithm seed")
+		train  = flag.Int("train", 600, "triplet-training label budget")
+		reps   = flag.Int("reps", 900, "cluster representatives to annotate")
+		addr   = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	log.Printf("building index over %s (%d records)...", *dsName, *size)
+	srv, err := newServer(*dsName, *size, *train, *reps, *seed)
+	if err != nil {
+		log.Fatalf("tastiserve: %v", err)
+	}
+	log.Printf("index ready in %s (%d label calls); listening on %s",
+		time.Since(start).Round(time.Millisecond), srv.index.Stats.TotalLabelCalls(), *addr)
+
+	httpServer := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.handler(),
+		ReadTimeout:  30 * time.Second,
+		WriteTimeout: 120 * time.Second,
+	}
+	log.Fatal(httpServer.ListenAndServe())
+}

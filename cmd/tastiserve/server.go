@@ -1,0 +1,265 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/tasti"
+)
+
+// server owns an index over one corpus and answers queries over HTTP. A
+// single lock serializes queries against cracking, which mutates the index.
+type server struct {
+	mu     sync.Mutex
+	ds     *tasti.Dataset
+	oracle tasti.Labeler
+	index  *tasti.Index
+	name   string
+	seed   int64
+}
+
+// newServer generates the corpus and builds the index.
+func newServer(dsName string, size, train, reps int, seed int64) (*server, error) {
+	ds, err := tasti.GenerateDataset(dsName, size, seed)
+	if err != nil {
+		return nil, err
+	}
+	cost := tasti.MaskRCNNCost
+	if dsName == "wikisql" || dsName == "common-voice" {
+		cost = tasti.HumanCost
+	}
+	oracle := tasti.NewOracle(ds, "target", cost)
+	var key tasti.BucketKey
+	switch dsName {
+	case "wikisql":
+		key = tasti.TextBucketKey()
+	case "common-voice":
+		key = tasti.SpeechBucketKey()
+	default:
+		key = tasti.VideoBucketKey(0.5)
+	}
+	index, err := tasti.Build(tasti.DefaultConfig(train, reps, key, seed), ds, oracle)
+	if err != nil {
+		return nil, err
+	}
+	return &server{ds: ds, oracle: oracle, index: index, name: dsName, seed: seed}, nil
+}
+
+// handler wires the routes.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/index", s.handleIndex)
+	mux.HandleFunc("/query/aggregate", s.handleAggregate)
+	mux.HandleFunc("/query/select", s.handleSelect)
+	mux.HandleFunc("/query/limit", s.handleLimit)
+	return mux
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// indexInfo is the /index response.
+type indexInfo struct {
+	Dataset         string `json:"dataset"`
+	Records         int    `json:"records"`
+	Representatives int    `json:"representatives"`
+	LabelCalls      int64  `json:"index_label_calls"`
+}
+
+func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	writeJSON(w, http.StatusOK, indexInfo{
+		Dataset:         s.name,
+		Records:         s.index.NumRecords(),
+		Representatives: len(s.index.Table.Reps),
+		LabelCalls:      s.index.Stats.TotalLabelCalls(),
+	})
+}
+
+// queryRequest is the shared body of the query endpoints. Class/Count
+// address video corpora; for text the predicate is "operator == Class"; for
+// speech it is "gender == Class".
+type queryRequest struct {
+	Class  string  `json:"class"`
+	Count  int     `json:"count"`
+	Err    float64 `json:"err"`
+	Budget int     `json:"budget"`
+	Recall float64 `json:"recall"`
+	K      int     `json:"k"`
+	Crack  bool    `json:"crack"`
+}
+
+func (s *server) decode(r *http.Request, req *queryRequest) error {
+	if r.Method != http.MethodPost {
+		return fmt.Errorf("use POST")
+	}
+	if err := json.NewDecoder(r.Body).Decode(req); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	// Defaults.
+	if req.Class == "" {
+		req.Class = "car"
+	}
+	if req.Count <= 0 {
+		req.Count = 1
+	}
+	if req.Err <= 0 {
+		req.Err = 0.05
+	}
+	if req.Budget <= 0 {
+		req.Budget = max(100, s.ds.Len()/40)
+	}
+	if req.Recall <= 0 || req.Recall >= 1 {
+		req.Recall = 0.9
+	}
+	if req.K <= 0 {
+		req.K = 10
+	}
+	return nil
+}
+
+// spec translates a request into a score function and predicate for the
+// server's corpus.
+func (s *server) spec(req queryRequest) (tasti.ScoreFunc, func(tasti.Annotation) bool) {
+	switch s.name {
+	case "wikisql":
+		op := strings.ToUpper(req.Class)
+		pred := func(ann tasti.Annotation) bool {
+			return ann.(tasti.TextAnnotation).Operator == op
+		}
+		return tasti.MatchScore(pred), pred
+	case "common-voice":
+		gender := strings.ToLower(req.Class)
+		pred := func(ann tasti.Annotation) bool {
+			return ann.(tasti.SpeechAnnotation).Gender == gender
+		}
+		return tasti.MatchScore(pred), pred
+	default:
+		pred := func(ann tasti.Annotation) bool {
+			return ann.(tasti.VideoAnnotation).Count(req.Class) >= req.Count
+		}
+		return tasti.CountScore(req.Class), pred
+	}
+}
+
+func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := s.decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	score, _ := s.spec(req)
+	scores, err := s.index.Propagate(score)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	counting := tasti.NewCountingLabeler(s.oracle)
+	res, err := tasti.EstimateAggregate(tasti.AggregateOptions{
+		ErrTarget: req.Err, Delta: 0.05, MinSamples: 100, Seed: s.seed + 1,
+	}, s.ds.Len(), scores, score, counting)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"estimate":    res.Estimate,
+		"half_width":  res.HalfWidth,
+		"label_calls": res.LabelerCalls,
+	})
+}
+
+func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := s.decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, pred := s.spec(req)
+	scores, err := s.index.Propagate(tasti.MatchScore(pred))
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	res, err := tasti.SelectWithRecall(tasti.SelectOptions{
+		Budget: req.Budget, Target: req.Recall, Delta: 0.05, Seed: s.seed + 2,
+	}, s.ds.Len(), scores, pred, s.oracle)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	sample := res.Returned
+	if len(sample) > 20 {
+		sample = sample[:20]
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"returned":    len(res.Returned),
+		"threshold":   res.Threshold,
+		"label_calls": res.OracleCalls,
+		"sample_ids":  sample,
+	})
+}
+
+func (s *server) handleLimit(w http.ResponseWriter, r *http.Request) {
+	var req queryRequest
+	if err := s.decode(r, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	score, pred := s.spec(req)
+	scores, dists, err := s.index.PropagateNearest(score)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	res, err := tasti.FindLimit(req.K, scores, dists, pred, s.oracle)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	cracked := 0
+	if req.Crack {
+		before := len(s.index.Table.Reps)
+		s.index.CrackAll(res.Labeled)
+		cracked = len(s.index.Table.Reps) - before
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"found":       res.Found,
+		"label_calls": res.OracleCalls,
+		"exhausted":   res.Exhausted,
+		"cracked":     cracked,
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // best-effort response write
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

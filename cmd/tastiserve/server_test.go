@@ -1,0 +1,146 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv, err := newServer("night-street", 1500, 250, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func decodeBody(t *testing.T, resp *http.Response) map[string]interface{} {
+	t.Helper()
+	defer resp.Body.Close()
+	var out map[string]interface{}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestServerEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ts := testServer(t)
+
+	// Health.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body := decodeBody(t, resp); body["status"] != "ok" {
+		t.Errorf("health = %v", body)
+	}
+
+	// Index stats.
+	resp, err = http.Get(ts.URL + "/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := decodeBody(t, resp)
+	if stats["records"].(float64) != 1500 {
+		t.Errorf("records = %v", stats["records"])
+	}
+	if stats["representatives"].(float64) != 200 {
+		t.Errorf("reps = %v", stats["representatives"])
+	}
+
+	// Aggregate.
+	resp, err = http.Post(ts.URL+"/query/aggregate", "application/json",
+		strings.NewReader(`{"class":"car","err":0.2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := decodeBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("aggregate status %d: %v", resp.StatusCode, agg)
+	}
+	if agg["estimate"].(float64) < 0 || agg["label_calls"].(float64) <= 0 {
+		t.Errorf("aggregate = %v", agg)
+	}
+
+	// Select.
+	resp, err = http.Post(ts.URL+"/query/select", "application/json",
+		strings.NewReader(`{"class":"car","count":1,"budget":100,"recall":0.9}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := decodeBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("select status %d: %v", resp.StatusCode, sel)
+	}
+	if sel["returned"].(float64) <= 0 {
+		t.Errorf("select = %v", sel)
+	}
+
+	// Limit with cracking.
+	resp, err = http.Post(ts.URL+"/query/limit", "application/json",
+		strings.NewReader(`{"class":"car","count":3,"k":5,"crack":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lim := decodeBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("limit status %d: %v", resp.StatusCode, lim)
+	}
+	if lim["label_calls"].(float64) <= 0 {
+		t.Errorf("limit = %v", lim)
+	}
+
+	// Cracking grew the index.
+	resp, err = http.Get(ts.URL + "/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats2 := decodeBody(t, resp)
+	if stats2["representatives"].(float64) < stats["representatives"].(float64) {
+		t.Error("representatives shrank after cracking")
+	}
+}
+
+func TestServerErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ts := testServer(t)
+
+	// Wrong method.
+	resp, err := http.Get(ts.URL + "/query/aggregate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("GET aggregate status = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/index", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST index status = %d", resp.StatusCode)
+	}
+
+	// Malformed body.
+	resp, err = http.Post(ts.URL+"/query/aggregate", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad body status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,73 @@
+// Textselect runs a SUPG selection query with a recall guarantee over a
+// WikiSQL-style text corpus: return at least 90% of the questions that parse
+// to a COUNT query, with 95% confidence, spending a fixed budget of crowd
+// annotations. The TASTI index was built for the corpus, not for this query
+// — the same embeddings and representatives serve any predicate over the
+// induced schema.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/tasti"
+)
+
+func main() {
+	const (
+		questions = 6000
+		seed      = 23
+	)
+	ds, err := tasti.GenerateDataset("wikisql", questions, seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Crowd workers are the target labeler for text: each SQL annotation
+	// costs about $0.07.
+	crowd := tasti.NewOracle(ds, "crowd", tasti.HumanCost)
+
+	index, err := tasti.Build(tasti.DefaultConfig(400, 500, tasti.TextBucketKey(), seed), ds, crowd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("index: %d crowd annotations (~$%.0f)\n",
+		index.Stats.TotalLabelCalls(), float64(index.Stats.TotalLabelCalls())*0.07)
+
+	// The selection predicate: questions that parse to a COUNT aggregate.
+	isCount := func(ann tasti.Annotation) bool {
+		return ann.(tasti.TextAnnotation).Operator == "COUNT"
+	}
+	scores, err := index.Propagate(tasti.MatchScore(isCount))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	counting := tasti.NewCountingLabeler(crowd)
+	res, err := tasti.SelectWithRecall(tasti.SelectOptions{
+		Budget: 200, Target: 0.9, Delta: 0.05, Seed: seed + 1,
+	}, ds.Len(), scores, isCount, counting)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Score the returned set against ground truth.
+	truePos, total := 0, 0
+	selected := make(map[int]bool, len(res.Returned))
+	for _, id := range res.Returned {
+		selected[id] = true
+	}
+	for i, ann := range ds.Truth {
+		if isCount(ann) {
+			total++
+			if selected[i] {
+				truePos++
+			}
+		}
+	}
+	recall := float64(truePos) / float64(total)
+	precision := float64(truePos) / float64(len(res.Returned))
+	fmt.Printf("returned %d of %d questions: recall %.3f (target 0.90), precision %.3f\n",
+		len(res.Returned), ds.Len(), recall, precision)
+	fmt.Printf("query cost: %d crowd annotations (~$%.0f) vs $%.0f to label everything\n",
+		res.OracleCalls, float64(res.OracleCalls)*0.07, float64(ds.Len())*0.07)
+}

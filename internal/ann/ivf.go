@@ -1,0 +1,196 @@
+// Package ann provides approximate nearest-neighbor search for the index's
+// distance computations. The paper computes exact distances from every
+// record to every cluster representative — O(N·N2·D) — which dominates index
+// construction at corpus scale; an inverted-file (IVF) index over the
+// representatives makes that step sub-linear in N2 at a small recall cost.
+package ann
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/vecmath"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes IVF construction.
+type Config struct {
+	// Cells is the number of coarse k-means cells (default ~sqrt(#vectors)).
+	Cells int
+	// Iterations is the number of Lloyd iterations (default 10).
+	Iterations int
+	// Seed makes construction deterministic.
+	Seed int64
+}
+
+// DefaultConfig sizes the cell count to the square root of the vector count.
+func DefaultConfig(numVectors int, seed int64) Config {
+	cells := int(math.Sqrt(float64(numVectors)))
+	if cells < 1 {
+		cells = 1
+	}
+	return Config{Cells: cells, Iterations: 10, Seed: seed}
+}
+
+// IVF is an inverted-file index over a fixed vector set: vectors are
+// assigned to their nearest coarse centroid, and a query scans only the
+// nprobe nearest cells.
+type IVF struct {
+	vectors   [][]float64
+	centroids [][]float64
+	lists     [][]int
+}
+
+// Build constructs the index with k-means coarse quantization (FPF
+// initialization followed by Lloyd iterations).
+func Build(cfg Config, vectors [][]float64) (*IVF, error) {
+	if len(vectors) == 0 {
+		return nil, fmt.Errorf("ann: no vectors")
+	}
+	if cfg.Cells <= 0 {
+		return nil, fmt.Errorf("ann: cells must be positive, got %d", cfg.Cells)
+	}
+	cells := cfg.Cells
+	if cells > len(vectors) {
+		cells = len(vectors)
+	}
+
+	// FPF seeds the centroids with well-spread vectors, then Lloyd refines.
+	r := xrand.New(cfg.Seed)
+	seeds := cluster.FPF(vectors, cells, r.Intn(len(vectors)))
+	centroids := make([][]float64, len(seeds))
+	for i, s := range seeds {
+		centroids[i] = vecmath.Clone(vectors[s])
+	}
+
+	assign := make([]int, len(vectors))
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		changed := false
+		for i, v := range vectors {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := vecmath.SquaredL2(v, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		// Recompute centroids; empty cells keep their previous position.
+		sums := make([][]float64, len(centroids))
+		counts := make([]int, len(centroids))
+		for i := range sums {
+			sums[i] = make([]float64, len(vectors[0]))
+		}
+		for i, v := range vectors {
+			vecmath.AXPY(sums[assign[i]], 1, v)
+			counts[assign[i]]++
+		}
+		for c := range centroids {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := range sums[c] {
+				sums[c][j] /= float64(counts[c])
+			}
+			centroids[c] = sums[c]
+		}
+	}
+
+	lists := make([][]int, len(centroids))
+	for i := range vectors {
+		lists[assign[i]] = append(lists[assign[i]], i)
+	}
+	return &IVF{vectors: vectors, centroids: centroids, lists: lists}, nil
+}
+
+// NumCells returns the number of coarse cells.
+func (ix *IVF) NumCells() int { return len(ix.centroids) }
+
+// Search returns the approximate k nearest vectors to q, scanning the
+// nprobe nearest cells. Results are ascending by Euclidean distance; Value
+// holds the distance and Index the vector's position in the build set.
+func (ix *IVF) Search(q []float64, k, nprobe int) []vecmath.IndexedValue {
+	if k <= 0 {
+		return nil
+	}
+	if nprobe <= 0 {
+		nprobe = 1
+	}
+	if nprobe > len(ix.centroids) {
+		nprobe = len(ix.centroids)
+	}
+	centDists := make([]float64, len(ix.centroids))
+	for c, cent := range ix.centroids {
+		centDists[c] = vecmath.SquaredL2(q, cent)
+	}
+	cells := vecmath.SmallestK(centDists, nprobe)
+
+	type cand struct {
+		id   int
+		dist float64
+	}
+	var cands []cand
+	for _, cell := range cells {
+		for _, id := range ix.lists[cell.Index] {
+			cands = append(cands, cand{id, vecmath.SquaredL2(q, ix.vectors[id])})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].dist != cands[b].dist {
+			return cands[a].dist < cands[b].dist
+		}
+		return cands[a].id < cands[b].id
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]vecmath.IndexedValue, k)
+	for i := 0; i < k; i++ {
+		out[i] = vecmath.IndexedValue{Index: cands[i].id, Value: math.Sqrt(cands[i].dist)}
+	}
+	return out
+}
+
+// BuildTableApprox builds a cluster.Table like cluster.BuildTable, but uses
+// an IVF over the representative embeddings so each record probes only
+// nprobe cells instead of scanning every representative. Neighbor lists may
+// miss true nearest representatives with small probability; nprobe trades
+// recall for speed.
+func BuildTableApprox(embeddings [][]float64, reps []int, k, nprobe int, cfg Config) (*cluster.Table, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("ann: table needs k > 0, got %d", k)
+	}
+	repVecs := make([][]float64, len(reps))
+	for i, rep := range reps {
+		if rep < 0 || rep >= len(embeddings) {
+			return nil, fmt.Errorf("ann: representative %d out of range", rep)
+		}
+		repVecs[i] = embeddings[rep]
+	}
+	ivf, err := Build(cfg, repVecs)
+	if err != nil {
+		return nil, err
+	}
+	t := &cluster.Table{
+		K:         k,
+		Reps:      append([]int(nil), reps...),
+		Neighbors: make([][]cluster.Neighbor, len(embeddings)),
+	}
+	for i, emb := range embeddings {
+		found := ivf.Search(emb, k, nprobe)
+		nbrs := make([]cluster.Neighbor, len(found))
+		for j, f := range found {
+			nbrs[j] = cluster.Neighbor{Rep: reps[f.Index], Dist: f.Value}
+		}
+		t.Neighbors[i] = nbrs
+	}
+	return t, nil
+}

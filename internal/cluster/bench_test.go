@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func benchEmbeddings(n, d int) [][]float64 {
+	r := xrand.New(1)
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func BenchmarkFPF(b *testing.B) {
+	emb := benchEmbeddings(5000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FPF(emb, 100, 0)
+	}
+}
+
+func BenchmarkBuildTable(b *testing.B) {
+	emb := benchEmbeddings(5000, 64)
+	reps := FPF(emb, 200, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildTable(emb, reps, 5)
+	}
+}
+
+func BenchmarkAddRepresentative(b *testing.B) {
+	emb := benchEmbeddings(5000, 64)
+	table := BuildTable(emb, FPF(emb, 200, 0), 5)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Cycle through non-representative IDs.
+		table.AddRepresentative(emb, 300+i%4000)
+	}
+}

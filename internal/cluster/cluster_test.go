@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/vecmath"
+	"repro/internal/xrand"
+)
+
+func randomEmbeddings(r *rand.Rand, n, d int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = r.NormFloat64()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestFPFBasics(t *testing.T) {
+	r := xrand.New(1)
+	emb := randomEmbeddings(r, 100, 4)
+	reps := FPF(emb, 10, 0)
+	if len(reps) != 10 {
+		t.Fatalf("got %d reps", len(reps))
+	}
+	seen := map[int]bool{}
+	for _, rep := range reps {
+		if rep < 0 || rep >= 100 || seen[rep] {
+			t.Fatalf("bad rep %d", rep)
+		}
+		seen[rep] = true
+	}
+	if reps[0] != 0 {
+		t.Errorf("first rep should be the start, got %d", reps[0])
+	}
+	if FPF(emb, 0, 0) != nil {
+		t.Error("k=0 should give nil")
+	}
+	if got := FPF(emb, 1000, 0); len(got) != 100 {
+		t.Errorf("k>n should clamp, got %d", len(got))
+	}
+}
+
+func TestFPFStopsOnDuplicates(t *testing.T) {
+	emb := [][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	reps := FPF(emb, 4, 0)
+	// Only two distinct points exist, so FPF stops after covering both.
+	if len(reps) != 2 {
+		t.Errorf("got %d reps for 2 distinct points: %v", len(reps), reps)
+	}
+}
+
+func TestFPFPanicsOnBadStart(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	FPF(randomEmbeddings(xrand.New(1), 5, 2), 2, 9)
+}
+
+// TestFPFTwoApproximation checks Gonzalez's guarantee: FPF's max point-to-
+// nearest-representative distance is within 2x of optimal. We verify the
+// weaker, directly checkable property that FPF beats random selection on
+// covering radius for clustered data, plus the formal invariant that the
+// covering radius never exceeds the distance between the two closest
+// selected representatives (which the 2-approximation proof relies on).
+func TestFPFTwoApproximation(t *testing.T) {
+	r := xrand.New(7)
+	// Three well-separated Gaussian blobs.
+	var emb [][]float64
+	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	for _, c := range centers {
+		for i := 0; i < 60; i++ {
+			emb = append(emb, []float64{c[0] + r.NormFloat64()*0.3, c[1] + r.NormFloat64()*0.3})
+		}
+	}
+	reps := FPF(emb, 3, 0)
+	radius := MaxMinDistance(emb, reps)
+	if radius > 3 {
+		t.Errorf("FPF failed to place one rep per blob: radius %v", radius)
+	}
+	// Invariant: covering radius <= min pairwise rep distance.
+	minPair := math.Inf(1)
+	for i := 0; i < len(reps); i++ {
+		for j := i + 1; j < len(reps); j++ {
+			d := vecmath.L2(emb[reps[i]], emb[reps[j]])
+			if d < minPair {
+				minPair = d
+			}
+		}
+	}
+	if radius > minPair {
+		t.Errorf("covering radius %v exceeds min rep separation %v", radius, minPair)
+	}
+}
+
+func TestFPFMixed(t *testing.T) {
+	r := xrand.New(3)
+	emb := randomEmbeddings(r, 200, 3)
+	reps := FPFMixed(r, emb, 40, 0.25)
+	if len(reps) != 40 {
+		t.Fatalf("got %d reps", len(reps))
+	}
+	seen := map[int]bool{}
+	for _, rep := range reps {
+		if seen[rep] {
+			t.Fatalf("duplicate rep %d", rep)
+		}
+		seen[rep] = true
+	}
+	if got := FPFMixed(r, emb, 0, 0.5); got != nil {
+		t.Error("k=0 should give nil")
+	}
+	// All-random and all-FPF extremes work.
+	if got := FPFMixed(r, emb, 10, 1.0); len(got) != 10 {
+		t.Errorf("randomFrac=1 gave %d", len(got))
+	}
+	if got := FPFMixed(r, emb, 10, 0.0); len(got) != 10 {
+		t.Errorf("randomFrac=0 gave %d", len(got))
+	}
+}
+
+func TestFPFMixedPanicsOnBadFrac(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	FPFMixed(xrand.New(1), randomEmbeddings(xrand.New(1), 10, 2), 5, 1.5)
+}
+
+func TestRandomReps(t *testing.T) {
+	r := xrand.New(5)
+	reps := RandomReps(r, 50, 10)
+	if len(reps) != 10 {
+		t.Fatalf("got %d", len(reps))
+	}
+	seen := map[int]bool{}
+	for _, rep := range reps {
+		if rep < 0 || rep >= 50 || seen[rep] {
+			t.Fatalf("bad rep %d", rep)
+		}
+		seen[rep] = true
+	}
+	if got := RandomReps(r, 5, 10); len(got) != 5 {
+		t.Errorf("k>n should clamp: %d", len(got))
+	}
+}
+
+// TestFPFBeatsRandomCoverage: on heavy-tailed data, FPF's covering radius
+// should beat random selection's — the property the paper's rare-event
+// results rest on.
+func TestFPFBeatsRandomCoverage(t *testing.T) {
+	r := xrand.New(11)
+	var emb [][]float64
+	for i := 0; i < 300; i++ {
+		emb = append(emb, []float64{r.NormFloat64() * 0.1, r.NormFloat64() * 0.1})
+	}
+	for i := 0; i < 5; i++ { // rare outliers
+		emb = append(emb, []float64{10 + r.NormFloat64(), 10 + r.NormFloat64()})
+	}
+	fpf := FPF(emb, 10, 0)
+	random := RandomReps(xrand.New(12), len(emb), 10)
+	if MaxMinDistance(emb, fpf) >= MaxMinDistance(emb, random) {
+		t.Errorf("FPF radius %v not better than random %v",
+			MaxMinDistance(emb, fpf), MaxMinDistance(emb, random))
+	}
+}
+
+func TestBuildTableMatchesBruteForce(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%40 + 5
+		k := int(kRaw)%4 + 1
+		emb := randomEmbeddings(r, n, 3)
+		numReps := n/2 + 1
+		reps := RandomReps(r, n, numReps)
+		table := BuildTable(emb, reps, k)
+		if table.Validate() != nil {
+			return false
+		}
+		// Brute force nearest rep for a few records.
+		for i := 0; i < n; i += 7 {
+			best, bestD := -1, math.Inf(1)
+			for _, rep := range reps {
+				d := vecmath.L2(emb[i], emb[rep])
+				if d < bestD {
+					best, bestD = rep, d
+				}
+			}
+			got := table.Nearest(i)
+			if math.Abs(got.Dist-bestD) > 1e-9 {
+				return false
+			}
+			_ = best
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuildTablePanics(t *testing.T) {
+	emb := randomEmbeddings(xrand.New(1), 10, 2)
+	for _, fn := range []func(){
+		func() { BuildTable(emb, []int{0}, 0) },
+		func() { BuildTable(emb, nil, 1) },
+		func() { BuildTable(emb, []int{50}, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAddRepresentativeMatchesRebuild(t *testing.T) {
+	r := xrand.New(13)
+	emb := randomEmbeddings(r, 120, 4)
+	reps := RandomReps(r, 120, 20)
+	incremental := BuildTable(emb, reps, 3)
+
+	extra := []int{100, 101, 102}
+	for _, rep := range extra {
+		incremental.AddRepresentative(emb, rep)
+	}
+	full := BuildTable(emb, append(append([]int{}, reps...), extra...), 3)
+
+	if err := incremental.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range emb {
+		for j := range full.Neighbors[i] {
+			a, b := incremental.Neighbors[i][j], full.Neighbors[i][j]
+			if math.Abs(a.Dist-b.Dist) > 1e-9 {
+				t.Fatalf("record %d neighbor %d: incremental %v vs rebuild %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestAddRepresentativeIdempotent(t *testing.T) {
+	r := xrand.New(17)
+	emb := randomEmbeddings(r, 50, 2)
+	table := BuildTable(emb, []int{0, 1}, 2)
+	table.AddRepresentative(emb, 0)
+	if len(table.Reps) != 2 {
+		t.Errorf("re-adding existing rep changed reps: %v", table.Reps)
+	}
+}
+
+func TestMaxNearestDistanceShrinksWithReps(t *testing.T) {
+	r := xrand.New(19)
+	emb := randomEmbeddings(r, 200, 3)
+	small := BuildTable(emb, FPF(emb, 5, 0), 1)
+	large := BuildTable(emb, FPF(emb, 50, 0), 1)
+	if large.MaxNearestDistance() > small.MaxNearestDistance() {
+		t.Errorf("more reps increased covering radius: %v > %v",
+			large.MaxNearestDistance(), small.MaxNearestDistance())
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	r := xrand.New(23)
+	emb := randomEmbeddings(r, 30, 2)
+	table := BuildTable(emb, []int{0, 1, 2}, 2)
+	table.Neighbors[4][0], table.Neighbors[4][1] = table.Neighbors[4][1], table.Neighbors[4][0]
+	if table.Neighbors[4][0].Dist != table.Neighbors[4][1].Dist {
+		if err := table.Validate(); err == nil {
+			t.Error("unsorted neighbors not caught")
+		}
+	}
+	table2 := BuildTable(emb, []int{0, 1, 2}, 2)
+	table2.Neighbors[3][0].Rep = 29
+	if err := table2.Validate(); err == nil {
+		t.Error("non-representative neighbor not caught")
+	}
+	table3 := BuildTable(emb, []int{0, 1, 2}, 2)
+	table3.Reps = append(table3.Reps, 0)
+	if err := table3.Validate(); err == nil {
+		t.Error("duplicate rep not caught")
+	}
+}
+
+// sequentialFPF is the textbook single-threaded reference the parallel FPF
+// must match exactly.
+func sequentialFPF(embeddings [][]float64, k, start int) []int {
+	n := len(embeddings)
+	if k > n {
+		k = n
+	}
+	reps := make([]int, 0, k)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	cur := start
+	for len(reps) < k {
+		reps = append(reps, cur)
+		far, farDist := -1, -1.0
+		for i := range embeddings {
+			d := vecmath.SquaredL2(embeddings[i], embeddings[cur])
+			if d < minDist[i] {
+				minDist[i] = d
+			}
+			if minDist[i] > farDist {
+				far, farDist = i, minDist[i]
+			}
+		}
+		if farDist == 0 {
+			break
+		}
+		cur = far
+	}
+	return reps
+}
+
+func TestFPFMatchesSequential(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%80 + 2
+		k := int(kRaw)%n + 1
+		emb := randomEmbeddings(r, n, 3)
+		got := FPF(emb, k, 0)
+		want := sequentialFPF(emb, k, 0)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package cluster implements the clustering side of the TASTI index:
+// furthest-point-first (FPF) representative selection and the per-record
+// min-k distance tables that score propagation reads.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+
+	"repro/internal/vecmath"
+)
+
+// FPF selects k representatives from the embeddings with the
+// furthest-point-first (Gonzalez, 1985) algorithm, starting from the record
+// with the given index. It returns representative indices in selection
+// order and runs in O(N·k) distance computations. FPF 2-approximates the
+// optimal maximum intra-cluster distance, the property the paper's analysis
+// relies on.
+func FPF(embeddings [][]float64, k, start int) []int {
+	n := len(embeddings)
+	if k <= 0 {
+		return nil
+	}
+	if k > n {
+		k = n
+	}
+	if start < 0 || start >= n {
+		panic(fmt.Sprintf("cluster: FPF start %d out of range [0,%d)", start, n))
+	}
+	reps := make([]int, 0, k)
+	minDist := make([]float64, n)
+	for i := range minDist {
+		minDist[i] = math.Inf(1)
+	}
+	// Each iteration updates every record's distance to the newest
+	// representative and finds the global argmax — the dominant cost of
+	// index construction, so the scan is sharded across workers. Ties on
+	// the max distance break toward the smaller index, keeping the result
+	// identical to a sequential scan.
+	type candidate struct {
+		idx  int
+		dist float64
+	}
+	cur := start
+	for len(reps) < k {
+		reps = append(reps, cur)
+		curEmb := embeddings[cur]
+		shards := shardBounds(n)
+		results := make([]candidate, len(shards))
+		parallelFor(len(shards), func(s int) {
+			far, farDist := -1, -1.0
+			for i := shards[s].lo; i < shards[s].hi; i++ {
+				d := vecmath.SquaredL2(embeddings[i], curEmb)
+				if d < minDist[i] {
+					minDist[i] = d
+				}
+				if minDist[i] > farDist {
+					far, farDist = i, minDist[i]
+				}
+			}
+			results[s] = candidate{far, farDist}
+		})
+		far, farDist := -1, -1.0
+		for _, c := range results {
+			if c.dist > farDist || (c.dist == farDist && c.idx < far) {
+				far, farDist = c.idx, c.dist
+			}
+		}
+		if farDist == 0 { // every point coincides with a representative
+			break
+		}
+		cur = far
+	}
+	return reps
+}
+
+// shardBounds splits [0,n) into GOMAXPROCS-sized contiguous ranges.
+func shardBounds(n int) []struct{ lo, hi int } {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (n + workers - 1) / workers
+	var out []struct{ lo, hi int }
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, struct{ lo, hi int }{lo, hi})
+	}
+	return out
+}
+
+// FPFMixed selects k representatives, the first (1-randomFrac)·k by FPF and
+// the remainder uniformly at random from records not yet selected. The paper
+// mixes in a small random fraction to help average-case queries while FPF
+// covers the outliers.
+func FPFMixed(r *rand.Rand, embeddings [][]float64, k int, randomFrac float64) []int {
+	n := len(embeddings)
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	if randomFrac < 0 || randomFrac > 1 {
+		panic(fmt.Sprintf("cluster: randomFrac %v out of [0,1]", randomFrac))
+	}
+	numRandom := int(math.Round(randomFrac * float64(k)))
+	numFPF := k - numRandom
+	var reps []int
+	selected := make(map[int]bool, k)
+	if numFPF > 0 {
+		reps = FPF(embeddings, numFPF, r.Intn(n))
+		for _, id := range reps {
+			selected[id] = true
+		}
+	}
+	for len(reps) < k {
+		id := r.Intn(n)
+		if selected[id] {
+			continue
+		}
+		selected[id] = true
+		reps = append(reps, id)
+	}
+	return reps
+}
+
+// RandomReps selects k distinct representatives uniformly at random, the
+// baseline the paper's lesion study compares FPF clustering against.
+func RandomReps(r *rand.Rand, n, k int) []int {
+	if k > n {
+		k = n
+	}
+	if k <= 0 {
+		return nil
+	}
+	perm := r.Perm(n)
+	reps := append([]int(nil), perm[:k]...)
+	return reps
+}
+
+// MaxMinDistance returns the maximum over all records of the distance to the
+// nearest representative — the clustering-density quantity bounded by the
+// paper's Theorems 1 and 2.
+func MaxMinDistance(embeddings [][]float64, reps []int) float64 {
+	worst := 0.0
+	for i := range embeddings {
+		best := math.Inf(1)
+		for _, rep := range reps {
+			d := vecmath.SquaredL2(embeddings[i], embeddings[rep])
+			if d < best {
+				best = d
+			}
+		}
+		if best > worst {
+			worst = best
+		}
+	}
+	return math.Sqrt(worst)
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/vecmath"
+)
+
+// Neighbor is one entry of a record's nearest-representative list.
+type Neighbor struct {
+	// Rep is the representative's record ID.
+	Rep int
+	// Dist is the Euclidean embedding distance to that representative.
+	Dist float64
+}
+
+// Table stores, for every record, its k nearest cluster representatives by
+// embedding distance — the MinKDistances of the paper's Algorithm 1. It
+// supports incremental representative insertion for index cracking.
+type Table struct {
+	// K is the number of neighbors retained per record.
+	K int
+	// Reps are the representative record IDs in insertion order.
+	Reps []int
+	// Neighbors[i] lists record i's nearest representatives, ascending by
+	// distance.
+	Neighbors [][]Neighbor
+}
+
+// BuildTable computes the min-k distance table from each embedding to the
+// representatives, in parallel across records.
+func BuildTable(embeddings [][]float64, reps []int, k int) *Table {
+	if k <= 0 {
+		panic(fmt.Sprintf("cluster: table needs k > 0, got %d", k))
+	}
+	if len(reps) == 0 {
+		panic("cluster: table needs at least one representative")
+	}
+	for _, rep := range reps {
+		if rep < 0 || rep >= len(embeddings) {
+			panic(fmt.Sprintf("cluster: representative %d out of range [0,%d)", rep, len(embeddings)))
+		}
+	}
+	t := &Table{
+		K:         k,
+		Reps:      append([]int(nil), reps...),
+		Neighbors: make([][]Neighbor, len(embeddings)),
+	}
+	parallelFor(len(embeddings), func(i int) {
+		dists := make([]float64, len(reps))
+		for j, rep := range reps {
+			dists[j] = vecmath.SquaredL2(embeddings[i], embeddings[rep])
+		}
+		top := vecmath.SmallestK(dists, k)
+		nbrs := make([]Neighbor, len(top))
+		for j, iv := range top {
+			nbrs[j] = Neighbor{Rep: reps[iv.Index], Dist: math.Sqrt(iv.Value)}
+		}
+		t.Neighbors[i] = nbrs
+	})
+	return t
+}
+
+// AddRepresentative inserts a new representative (cracking): each record's
+// neighbor list is updated if the new representative is closer than its
+// current k-th neighbor. Adding an existing representative is a no-op.
+func (t *Table) AddRepresentative(embeddings [][]float64, rep int) {
+	if rep < 0 || rep >= len(embeddings) {
+		panic(fmt.Sprintf("cluster: representative %d out of range [0,%d)", rep, len(embeddings)))
+	}
+	for _, existing := range t.Reps {
+		if existing == rep {
+			return
+		}
+	}
+	t.Reps = append(t.Reps, rep)
+	parallelFor(len(embeddings), func(i int) {
+		d := vecmath.L2(embeddings[i], embeddings[rep])
+		nbrs := t.Neighbors[i]
+		if len(nbrs) >= t.K && d >= nbrs[len(nbrs)-1].Dist {
+			return
+		}
+		pos := sort.Search(len(nbrs), func(j int) bool { return nbrs[j].Dist > d })
+		nbrs = append(nbrs, Neighbor{})
+		copy(nbrs[pos+1:], nbrs[pos:])
+		nbrs[pos] = Neighbor{Rep: rep, Dist: d}
+		if len(nbrs) > t.K {
+			nbrs = nbrs[:t.K]
+		}
+		t.Neighbors[i] = nbrs
+	})
+}
+
+// Nearest returns record i's closest representative and distance.
+func (t *Table) Nearest(i int) Neighbor {
+	return t.Neighbors[i][0]
+}
+
+// MaxNearestDistance returns the maximum over records of the distance to
+// the nearest representative.
+func (t *Table) MaxNearestDistance() float64 {
+	worst := 0.0
+	for _, nbrs := range t.Neighbors {
+		if nbrs[0].Dist > worst {
+			worst = nbrs[0].Dist
+		}
+	}
+	return worst
+}
+
+// Validate checks table invariants: sorted neighbor lists, list lengths
+// min(K, len(Reps)), and neighbor IDs that are actual representatives.
+func (t *Table) Validate() error {
+	repSet := make(map[int]bool, len(t.Reps))
+	for _, rep := range t.Reps {
+		if repSet[rep] {
+			return fmt.Errorf("cluster: duplicate representative %d", rep)
+		}
+		repSet[rep] = true
+	}
+	want := t.K
+	if len(t.Reps) < want {
+		want = len(t.Reps)
+	}
+	for i, nbrs := range t.Neighbors {
+		if len(nbrs) != want {
+			return fmt.Errorf("cluster: record %d has %d neighbors, want %d", i, len(nbrs), want)
+		}
+		for j, nb := range nbrs {
+			if !repSet[nb.Rep] {
+				return fmt.Errorf("cluster: record %d neighbor %d is not a representative", i, nb.Rep)
+			}
+			if j > 0 && nbrs[j-1].Dist > nb.Dist {
+				return fmt.Errorf("cluster: record %d neighbors out of order at %d", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// parallelFor runs fn(i) for i in [0,n) across GOMAXPROCS workers.
+func parallelFor(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,65 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/vecmath"
+)
+
+// ErrNoEmbedder is returned by AppendRecords when the index has no embedding
+// model — e.g. an index restored with Load, which persists embeddings but
+// not the model.
+var ErrNoEmbedder = errors.New("core: index has no embedder; rebuild or keep the original in memory")
+
+// AppendRecords ingests newly arrived unstructured records (for example new
+// frames of a live video stream): each record is embedded and its min-k
+// neighbor list over the existing representatives is computed. The records
+// receive consecutive IDs starting at the current NumRecords, which the
+// caller must mirror in its dataset/labeler so the IDs stay aligned.
+//
+// Appended records are immediately covered by Propagate and friends, and
+// can later be cracked in as representatives like any other record.
+func (ix *Index) AppendRecords(features [][]float64) ([]int, error) {
+	if ix.Embedder == nil {
+		return nil, ErrNoEmbedder
+	}
+	if len(features) == 0 {
+		return nil, nil
+	}
+	k := ix.Table.K
+	if len(ix.Table.Reps) < k {
+		k = len(ix.Table.Reps)
+	}
+	ids := make([]int, len(features))
+	for i, f := range features {
+		emb := ix.Embedder.Embed(f)
+		nbrs, err := nearestReps(emb, ix.Embeddings, ix.Table.Reps, k)
+		if err != nil {
+			return nil, fmt.Errorf("core: appending record %d: %w", i, err)
+		}
+		ids[i] = len(ix.Embeddings)
+		ix.Embeddings = append(ix.Embeddings, emb)
+		ix.Table.Neighbors = append(ix.Table.Neighbors, nbrs)
+	}
+	return ids, nil
+}
+
+// nearestReps computes the k nearest representatives to an embedding.
+func nearestReps(emb []float64, embeddings [][]float64, reps []int, k int) ([]cluster.Neighbor, error) {
+	if len(reps) == 0 {
+		return nil, errors.New("no representatives")
+	}
+	dists := make([]float64, len(reps))
+	for j, rep := range reps {
+		dists[j] = vecmath.SquaredL2(emb, embeddings[rep])
+	}
+	top := vecmath.SmallestK(dists, k)
+	nbrs := make([]cluster.Neighbor, len(top))
+	for j, iv := range top {
+		nbrs[j] = cluster.Neighbor{Rep: reps[iv.Index], Dist: math.Sqrt(iv.Value)}
+	}
+	return nbrs, nil
+}

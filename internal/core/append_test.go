@@ -1,0 +1,96 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestAppendRecords(t *testing.T) {
+	ix, ds, _ := buildTestIndex(t, PretrainedConfig(60, 2), "night-street", 600)
+
+	// A second batch of frames from the same camera.
+	more, err := dataset.Generate("night-street", 100, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := make([][]float64, more.Len())
+	for i := range features {
+		features[i] = more.Records[i].Features
+	}
+
+	before := ix.NumRecords()
+	ids, err := ix.AppendRecords(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 100 {
+		t.Fatalf("got %d ids", len(ids))
+	}
+	for i, id := range ids {
+		if id != before+i {
+			t.Fatalf("id %d = %d, want %d", i, id, before+i)
+		}
+	}
+	if ix.NumRecords() != before+100 {
+		t.Errorf("NumRecords = %d", ix.NumRecords())
+	}
+	if err := ix.Table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Propagation covers the appended records.
+	scores, err := ix.Propagate(CountScore("car"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != before+100 {
+		t.Errorf("propagated %d scores", len(scores))
+	}
+
+	// An appended copy of a representative's raw record lands at distance
+	// zero and gets the exact score.
+	rep := ix.Table.Reps[0]
+	dupIDs, err := ix.AppendRecords([][]float64{ds.Records[rep].Features})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scores, err = ix.Propagate(CountScore("car"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scores[dupIDs[0]] != scores[rep] {
+		t.Errorf("duplicate of rep %d scored %v, want %v", rep, scores[dupIDs[0]], scores[rep])
+	}
+
+	// Cracking still works after appends.
+	ix.Crack(ids[0], more.Truth[0])
+	if err := ix.Table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAppendRecordsEmpty(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, PretrainedConfig(20, 2), "night-street", 200)
+	ids, err := ix.AppendRecords(nil)
+	if err != nil || ids != nil {
+		t.Errorf("empty append: ids=%v err=%v", ids, err)
+	}
+}
+
+func TestAppendRecordsNoEmbedder(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, PretrainedConfig(20, 2), "night-street", 200)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.AppendRecords([][]float64{make([]float64, 52)}); !errors.Is(err, ErrNoEmbedder) {
+		t.Errorf("err = %v, want ErrNoEmbedder", err)
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+)
+
+func benchIndex(b *testing.B) (*Index, *dataset.Dataset) {
+	b.Helper()
+	ds, err := dataset.Generate("night-street", 3000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab := labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)
+	ix, err := Build(PretrainedConfig(300, 2), ds, lab)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ix, ds
+}
+
+func BenchmarkBuildPretrained(b *testing.B) {
+	ds, err := dataset.Generate("night-street", 2000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab := labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(PretrainedConfig(200, 2), ds, lab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPropagate(b *testing.B) {
+	ix, _ := benchIndex(b)
+	score := CountScore("car")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Propagate(score); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPropagateVote(b *testing.B) {
+	ix, _ := benchIndex(b)
+	label := func(ann dataset.Annotation) string {
+		if ann.(dataset.VideoAnnotation).Count("car") > 0 {
+			return "busy"
+		}
+		return "empty"
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.PropagateVote(label); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrack(b *testing.B) {
+	ix, ds := benchIndex(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id := 500 + i%2000
+		ix.Crack(id, ds.Truth[id])
+	}
+}

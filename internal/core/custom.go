@@ -1,0 +1,95 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/cluster"
+)
+
+// PropagateFunc computes one record's proxy score from its nearest
+// annotated representatives. nbrs is the record's neighbor list (ascending
+// by distance, up to the index's K), and repScore returns the query-specific
+// score of a representative. Developers implement this to customize
+// propagation (paper Section 4.3); the built-ins below cover the common
+// shapes.
+type PropagateFunc func(nbrs []cluster.Neighbor, repScore func(rep int) float64) float64
+
+// PropagateCustom propagates scores with a developer-provided rule.
+func (ix *Index) PropagateCustom(score ScoreFunc, prop PropagateFunc) ([]float64, error) {
+	if prop == nil {
+		return nil, fmt.Errorf("core: nil propagation function")
+	}
+	repScores, err := ix.repScores(score)
+	if err != nil {
+		return nil, err
+	}
+	lookup := func(rep int) float64 { return repScores[rep] }
+	out := make([]float64, ix.NumRecords())
+	for i, nbrs := range ix.Table.Neighbors {
+		out[i] = prop(nbrs, lookup)
+	}
+	return out, nil
+}
+
+// InverseDistanceMean is the index's default rule: the exact score at
+// distance zero, otherwise the inverse-distance-weighted mean of the k
+// nearest representatives.
+func InverseDistanceMean(k int) PropagateFunc {
+	return func(nbrs []cluster.Neighbor, repScore func(int) float64) float64 {
+		if len(nbrs) == 0 {
+			return 0
+		}
+		if k > 0 && len(nbrs) > k {
+			nbrs = nbrs[:k]
+		}
+		if nbrs[0].Dist == 0 {
+			return repScore(nbrs[0].Rep)
+		}
+		num, den := 0.0, 0.0
+		for _, nb := range nbrs {
+			w := 1 / (nb.Dist + invDistEps)
+			num += w * repScore(nb.Rep)
+			den += w
+		}
+		return num / den
+	}
+}
+
+// SoftmaxWeighted weights neighbors by exp(-dist/temperature): lower
+// temperatures approach nearest-representative scoring, higher temperatures
+// approach a plain mean. Useful when inverse-distance weights are too
+// peaked.
+func SoftmaxWeighted(temperature float64) PropagateFunc {
+	if temperature <= 0 {
+		panic(fmt.Sprintf("core: softmax temperature must be positive, got %v", temperature))
+	}
+	return func(nbrs []cluster.Neighbor, repScore func(int) float64) float64 {
+		if len(nbrs) == 0 {
+			return 0
+		}
+		num, den := 0.0, 0.0
+		for _, nb := range nbrs {
+			w := math.Exp(-nb.Dist / temperature)
+			num += w * repScore(nb.Rep)
+			den += w
+		}
+		if den == 0 {
+			return repScore(nbrs[0].Rep)
+		}
+		return num / den
+	}
+}
+
+// NearestMinusDistance is the limit-query rule as a single score: the
+// nearest representative's score with the embedding distance subtracted at
+// a small weight, so equal-scoring records rank closest-first (Section
+// 6.3's custom scoring, folded into one number).
+func NearestMinusDistance(distWeight float64) PropagateFunc {
+	return func(nbrs []cluster.Neighbor, repScore func(int) float64) float64 {
+		if len(nbrs) == 0 {
+			return 0
+		}
+		return repScore(nbrs[0].Rep) - distWeight*nbrs[0].Dist
+	}
+}

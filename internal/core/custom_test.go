@@ -1,0 +1,120 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+)
+
+func TestPropagateCustomMatchesDefault(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, PretrainedConfig(40, 2), "night-street", 400)
+	score := CountScore("car")
+	def, err := ix.Propagate(score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	custom, err := ix.PropagateCustom(score, InverseDistanceMean(ix.Table.K))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range def {
+		if math.Abs(def[i]-custom[i]) > 1e-12 {
+			t.Fatalf("record %d: custom %v vs default %v", i, custom[i], def[i])
+		}
+	}
+}
+
+func TestPropagateCustomNil(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, PretrainedConfig(20, 2), "night-street", 200)
+	if _, err := ix.PropagateCustom(CountScore("car"), nil); err == nil {
+		t.Error("nil propagation function should error")
+	}
+}
+
+func TestSoftmaxWeighted(t *testing.T) {
+	scoreOf := func(rep int) float64 {
+		if rep == 1 {
+			return 1
+		}
+		return 0
+	}
+	nbrs := []cluster.Neighbor{{Rep: 1, Dist: 0.1}, {Rep: 2, Dist: 2.0}}
+	// Low temperature: essentially the nearest rep.
+	if got := SoftmaxWeighted(0.01)(nbrs, scoreOf); got < 0.99 {
+		t.Errorf("low temperature = %v, want ~1", got)
+	}
+	// High temperature: close to the plain mean 0.5.
+	if got := SoftmaxWeighted(100)(nbrs, scoreOf); math.Abs(got-0.5) > 0.01 {
+		t.Errorf("high temperature = %v, want ~0.5", got)
+	}
+	if got := SoftmaxWeighted(1)(nil, scoreOf); got != 0 {
+		t.Errorf("empty neighbors = %v", got)
+	}
+}
+
+func TestSoftmaxWeightedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for temperature 0")
+		}
+	}()
+	SoftmaxWeighted(0)
+}
+
+func TestNearestMinusDistance(t *testing.T) {
+	scoreOf := func(rep int) float64 { return 5 }
+	nbrs := []cluster.Neighbor{{Rep: 3, Dist: 0.4}, {Rep: 4, Dist: 0.9}}
+	if got := NearestMinusDistance(1)(nbrs, scoreOf); math.Abs(got-4.6) > 1e-12 {
+		t.Errorf("got %v, want 4.6", got)
+	}
+	// Ranking property: same nearest score, smaller distance ranks higher.
+	far := []cluster.Neighbor{{Rep: 3, Dist: 0.8}}
+	near := []cluster.Neighbor{{Rep: 3, Dist: 0.2}}
+	f := NearestMinusDistance(0.1)
+	if f(near, scoreOf) <= f(far, scoreOf) {
+		t.Error("closer record should score higher")
+	}
+}
+
+func TestInverseDistanceMeanTruncatesK(t *testing.T) {
+	scoreOf := func(rep int) float64 { return float64(rep) }
+	nbrs := []cluster.Neighbor{{Rep: 1, Dist: 0.5}, {Rep: 100, Dist: 0.5}}
+	got := InverseDistanceMean(1)(nbrs, scoreOf)
+	if got != 1 {
+		t.Errorf("k=1 should use only the nearest: %v", got)
+	}
+}
+
+// TestBuildFailsCleanlyOnBudgetExhaustion injects a labeler failure mid
+// construction and checks Build surfaces it as an error instead of
+// panicking or returning a half-built index.
+func TestBuildFailsCleanlyOnBudgetExhaustion(t *testing.T) {
+	ds, err := dataset.Generate("night-street", 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)
+	budgeted := labeler.NewBudgeted(oracle, 30) // less than the 50 training labels needed
+	cfg := fastConfig(50, 40)
+	ix, err := Build(cfg, ds, budgeted)
+	if !errors.Is(err, labeler.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	if ix != nil {
+		t.Error("failed build returned an index")
+	}
+
+	// Enough for training but not for all representatives.
+	budgeted = labeler.NewBudgeted(oracle, 60)
+	ix, err = Build(cfg, ds, budgeted)
+	if !errors.Is(err, labeler.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want budget exhaustion in rep phase", err)
+	}
+	if ix != nil {
+		t.Error("failed build returned an index")
+	}
+}

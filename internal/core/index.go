@@ -1,0 +1,292 @@
+// Package core implements the TASTI index: Algorithm 1's construction
+// pipeline (pre-trained embeddings → FPF training-data mining → triplet
+// training → FPF cluster-representative selection → min-k distance table),
+// score propagation from annotated representatives to every record, and
+// index cracking.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/labeler"
+	"repro/internal/triplet"
+	"repro/internal/xrand"
+)
+
+// Config parameterizes index construction. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// TrainingBudget (N1) is the number of records labeled to build the
+	// triplet training set.
+	TrainingBudget int
+	// NumReps (N2) is the number of cluster representatives to annotate.
+	NumReps int
+	// K is how many nearest representatives each record retains (paper
+	// default 5).
+	K int
+	// EmbedDim is the embedding dimensionality (paper default 128).
+	EmbedDim int
+	// DoTrain selects triplet training (TASTI-T) over raw pre-trained
+	// embeddings (TASTI-PT).
+	DoTrain bool
+	// FPFMining selects training records by FPF over pre-trained embeddings
+	// rather than uniformly at random.
+	FPFMining bool
+	// FPFCluster selects cluster representatives by FPF rather than
+	// uniformly at random.
+	FPFCluster bool
+	// RandomRepFraction is the fraction of representatives chosen at random
+	// when FPFCluster is set ("we mix a small fraction of random clusters").
+	RandomRepFraction float64
+	// BucketKey discretizes annotations for triplet sampling; required when
+	// DoTrain is set.
+	BucketKey triplet.BucketKey
+	// Train overrides the triplet-training hyperparameters; when zero,
+	// triplet.DefaultConfig is used.
+	Train triplet.Config
+	// ApproxTable computes the min-k distance table with an IVF
+	// approximate-nearest-neighbor index instead of exact scans — a
+	// scalability extension beyond the paper. Neighbor lists may miss true
+	// nearest representatives with small probability.
+	ApproxTable bool
+	// ANNProbe is the number of IVF cells probed per record when
+	// ApproxTable is set (default 4).
+	ANNProbe int
+	// Seed makes construction deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the full TASTI-T configuration used across the
+// evaluation.
+func DefaultConfig(trainingBudget, numReps int, key triplet.BucketKey, seed int64) Config {
+	return Config{
+		TrainingBudget:    trainingBudget,
+		NumReps:           numReps,
+		K:                 5,
+		EmbedDim:          64,
+		DoTrain:           true,
+		FPFMining:         true,
+		FPFCluster:        true,
+		RandomRepFraction: 0.1,
+		BucketKey:         key,
+		Seed:              seed,
+	}
+}
+
+// PretrainedConfig returns the TASTI-PT variant: no triplet training, so no
+// training-label budget is spent.
+func PretrainedConfig(numReps int, seed int64) Config {
+	cfg := DefaultConfig(0, numReps, nil, seed)
+	cfg.DoTrain = false
+	return cfg
+}
+
+// BuildStats records what index construction cost.
+type BuildStats struct {
+	// TrainLabelCalls is the number of target-labeler invocations spent on
+	// the triplet training set.
+	TrainLabelCalls int64
+	// RepLabelCalls is the number of invocations spent annotating cluster
+	// representatives (training-set overlaps are cached and free).
+	RepLabelCalls int64
+	// TrainWall, EmbedWall, ClusterWall are measured wall-clock durations of
+	// the pipeline phases.
+	TrainWall, EmbedWall, ClusterWall time.Duration
+	// TripletSteps is the number of optimizer steps taken (0 for TASTI-PT).
+	TripletSteps int
+}
+
+// TotalLabelCalls returns all target-labeler invocations spent building the
+// index.
+func (s BuildStats) TotalLabelCalls() int64 { return s.TrainLabelCalls + s.RepLabelCalls }
+
+// Index is a built TASTI index.
+type Index struct {
+	// Embedder maps raw features to the semantic space.
+	Embedder embed.Embedder
+	// Embeddings holds every record's embedding, needed for cracking.
+	Embeddings [][]float64
+	// Table is the min-k distance table over the representatives.
+	Table *cluster.Table
+	// Annotations caches the target-labeler output for every representative
+	// (and any record cracked in later).
+	Annotations map[int]dataset.Annotation
+	// Stats describes construction cost.
+	Stats BuildStats
+
+	cfg Config
+}
+
+// ErrNoAnnotation is returned when propagation encounters a representative
+// without a cached annotation; it indicates index corruption.
+var ErrNoAnnotation = errors.New("core: representative missing annotation")
+
+// Build constructs a TASTI index over ds using lab as the target labeler.
+// Labeler invocations are cached and counted; the counts land in
+// Index.Stats.
+func Build(cfg Config, ds *dataset.Dataset, lab labeler.Labeler) (*Index, error) {
+	if err := checkConfig(cfg, ds); err != nil {
+		return nil, err
+	}
+	cached := labeler.NewCached(lab)
+	counting := labeler.NewCounting(cached)
+
+	var stats BuildStats
+
+	// Phase 1: pre-trained embeddings over all records.
+	embedStart := time.Now()
+	pre := embed.NewPretrained(ds.FeatureDim(), cfg.EmbedDim, cfg.Seed)
+	preEmb := embed.All(pre, ds)
+	stats.EmbedWall += time.Since(embedStart)
+
+	// Phase 2: optional triplet training on a mined, labeled training set.
+	var embedder embed.Embedder = pre
+	if cfg.DoTrain {
+		trainStart := time.Now()
+		miner := xrand.Split(cfg.Seed, "mining")
+		var trainIDs []int
+		if cfg.FPFMining {
+			trainIDs = triplet.MineFPF(miner, preEmb, cfg.TrainingBudget)
+		} else {
+			trainIDs = triplet.MineRandom(miner, ds.Len(), cfg.TrainingBudget)
+		}
+		anns := make([]dataset.Annotation, len(trainIDs))
+		for i, id := range trainIDs {
+			ann, err := counting.Label(id)
+			if err != nil {
+				return nil, fmt.Errorf("core: labeling training record %d: %w", id, err)
+			}
+			anns[i] = ann
+		}
+		stats.TrainLabelCalls = counting.Calls()
+
+		tcfg := cfg.Train
+		if tcfg.Steps == 0 {
+			tcfg = triplet.DefaultConfig(cfg.EmbedDim, cfg.Seed)
+		}
+		tcfg.EmbedDim = cfg.EmbedDim
+		trained, err := triplet.Train(tcfg, ds, trainIDs, anns, cfg.BucketKey)
+		if err != nil {
+			return nil, fmt.Errorf("core: triplet training: %w", err)
+		}
+		embedder = trained
+		stats.TripletSteps = tcfg.Steps
+		stats.TrainWall = time.Since(trainStart)
+	}
+
+	// Phase 3: final embeddings.
+	embedStart = time.Now()
+	var embeddings [][]float64
+	if cfg.DoTrain {
+		embeddings = embed.All(embedder, ds)
+	} else {
+		embeddings = preEmb
+	}
+	stats.EmbedWall += time.Since(embedStart)
+
+	// Phase 4: representative selection and annotation, then the distance
+	// table.
+	clusterStart := time.Now()
+	repRand := xrand.Split(cfg.Seed, "reps")
+	var reps []int
+	if cfg.FPFCluster {
+		reps = cluster.FPFMixed(repRand, embeddings, cfg.NumReps, cfg.RandomRepFraction)
+	} else {
+		reps = cluster.RandomReps(repRand, ds.Len(), cfg.NumReps)
+	}
+	annotations := make(map[int]dataset.Annotation, len(reps))
+	before := counting.Calls()
+	for _, rep := range reps {
+		ann, err := counting.Label(rep)
+		if err != nil {
+			return nil, fmt.Errorf("core: labeling representative %d: %w", rep, err)
+		}
+		annotations[rep] = ann
+	}
+	stats.RepLabelCalls = counting.Calls() - before
+	var table *cluster.Table
+	if cfg.ApproxTable {
+		nprobe := cfg.ANNProbe
+		if nprobe <= 0 {
+			nprobe = 4
+		}
+		approx, err := ann.BuildTableApprox(embeddings, reps, cfg.K, nprobe, ann.DefaultConfig(len(reps), cfg.Seed))
+		if err != nil {
+			return nil, fmt.Errorf("core: approximate distance table: %w", err)
+		}
+		table = approx
+	} else {
+		table = cluster.BuildTable(embeddings, reps, cfg.K)
+	}
+	stats.ClusterWall = time.Since(clusterStart)
+
+	return &Index{
+		Embedder:    embedder,
+		Embeddings:  embeddings,
+		Table:       table,
+		Annotations: annotations,
+		Stats:       stats,
+		cfg:         cfg,
+	}, nil
+}
+
+func checkConfig(cfg Config, ds *dataset.Dataset) error {
+	if ds.Len() == 0 {
+		return errors.New("core: empty dataset")
+	}
+	if cfg.NumReps <= 0 {
+		return fmt.Errorf("core: NumReps must be positive, got %d", cfg.NumReps)
+	}
+	if cfg.K <= 0 {
+		return fmt.Errorf("core: K must be positive, got %d", cfg.K)
+	}
+	if cfg.EmbedDim <= 0 {
+		return fmt.Errorf("core: EmbedDim must be positive, got %d", cfg.EmbedDim)
+	}
+	if cfg.DoTrain {
+		if cfg.TrainingBudget < 2 {
+			return fmt.Errorf("core: DoTrain needs TrainingBudget >= 2, got %d", cfg.TrainingBudget)
+		}
+		if cfg.BucketKey == nil {
+			return errors.New("core: DoTrain needs a BucketKey")
+		}
+	}
+	return nil
+}
+
+// Config returns the configuration the index was built with.
+func (ix *Index) Config() Config { return ix.cfg }
+
+// NumRecords returns the number of indexed records.
+func (ix *Index) NumRecords() int { return len(ix.Embeddings) }
+
+// Crack adds a target-labeler result observed during query processing as a
+// new cluster representative, improving subsequent proxy scores (Section
+// 3.3). It is a no-op for records that are already representatives.
+func (ix *Index) Crack(id int, ann dataset.Annotation) {
+	if _, ok := ix.Annotations[id]; ok {
+		return
+	}
+	ix.Annotations[id] = ann
+	ix.Table.AddRepresentative(ix.Embeddings, id)
+}
+
+// CrackAll cracks a batch of (id, annotation) observations.
+func (ix *Index) CrackAll(anns map[int]dataset.Annotation) {
+	// Deterministic order keeps the table reproducible.
+	ids := make([]int, 0, len(anns))
+	for id := range anns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ix.Crack(id, anns[id])
+	}
+}

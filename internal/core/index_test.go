@@ -1,0 +1,329 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+	"repro/internal/triplet"
+)
+
+func buildTestIndex(t *testing.T, cfg Config, dsName string, n int) (*Index, *dataset.Dataset, labeler.Labeler) {
+	t.Helper()
+	ds, err := dataset.Generate(dsName, n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)
+	ix, err := Build(cfg, ds, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, ds, lab
+}
+
+func fastConfig(train, reps int) Config {
+	cfg := DefaultConfig(train, reps, triplet.VideoBucketKey(0.5), 3)
+	cfg.Train = triplet.DefaultConfig(cfg.EmbedDim, cfg.Seed)
+	cfg.Train.Steps = 120
+	return cfg
+}
+
+func TestBuildAccounting(t *testing.T) {
+	ix, ds, _ := buildTestIndex(t, fastConfig(100, 80), "night-street", 800)
+	if ix.Stats.TrainLabelCalls != 100 {
+		t.Errorf("TrainLabelCalls = %d", ix.Stats.TrainLabelCalls)
+	}
+	// Representatives overlapping the training set are served from cache,
+	// so rep calls never exceed the rep count.
+	if ix.Stats.RepLabelCalls > 80 {
+		t.Errorf("RepLabelCalls = %d", ix.Stats.RepLabelCalls)
+	}
+	if ix.Stats.TotalLabelCalls() != ix.Stats.TrainLabelCalls+ix.Stats.RepLabelCalls {
+		t.Error("TotalLabelCalls inconsistent")
+	}
+	if ix.NumRecords() != ds.Len() {
+		t.Errorf("NumRecords = %d", ix.NumRecords())
+	}
+	if len(ix.Table.Reps) != 80 {
+		t.Errorf("reps = %d", len(ix.Table.Reps))
+	}
+	if len(ix.Annotations) != 80 {
+		t.Errorf("annotations = %d", len(ix.Annotations))
+	}
+	if err := ix.Table.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPretrainedBuildSpendsNoTrainingLabels(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, PretrainedConfig(60, 2), "night-street", 600)
+	if ix.Stats.TrainLabelCalls != 0 {
+		t.Errorf("TASTI-PT spent %d training labels", ix.Stats.TrainLabelCalls)
+	}
+	if ix.Stats.TripletSteps != 0 {
+		t.Error("TASTI-PT should not train")
+	}
+	if ix.Embedder.Name() != "pretrained" {
+		t.Errorf("embedder = %s", ix.Embedder.Name())
+	}
+}
+
+func TestBuildConfigValidation(t *testing.T) {
+	ds, err := dataset.Generate("night-street", 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := labeler.NewOracle(ds, "o", labeler.MaskRCNNCost)
+	bad := []Config{
+		{},
+		{NumReps: 10},       // K missing
+		{NumReps: 10, K: 1}, // EmbedDim missing
+		{NumReps: 10, K: 1, EmbedDim: 8, DoTrain: true, TrainingBudget: 1}, // budget too small
+		{NumReps: 10, K: 1, EmbedDim: 8, DoTrain: true, TrainingBudget: 5}, // BucketKey missing
+	}
+	for i, cfg := range bad {
+		if _, err := Build(cfg, ds, lab); err == nil {
+			t.Errorf("config %d should fail", i)
+		}
+	}
+	if _, err := Build(PretrainedConfig(5, 1), &dataset.Dataset{}, lab); err == nil {
+		t.Error("empty dataset should fail")
+	}
+}
+
+func TestPropagateExactOnReps(t *testing.T) {
+	ix, ds, _ := buildTestIndex(t, PretrainedConfig(70, 2), "night-street", 700)
+	score := CountScore("car")
+	scores, err := ix.Propagate(score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != ds.Len() {
+		t.Fatalf("got %d scores", len(scores))
+	}
+	for _, rep := range ix.Table.Reps {
+		want := score(ds.Truth[rep])
+		if scores[rep] != want {
+			t.Errorf("rep %d score %v, want exact %v", rep, scores[rep], want)
+		}
+	}
+}
+
+func TestPropagateBounds(t *testing.T) {
+	// Propagated scores are convex combinations of representative scores,
+	// so they stay within the reps' min/max.
+	ix, ds, _ := buildTestIndex(t, PretrainedConfig(50, 2), "night-street", 500)
+	score := CountScore("car")
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, rep := range ix.Table.Reps {
+		v := score(ds.Truth[rep])
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	scores, err := ix.Propagate(score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range scores {
+		if v < lo-1e-9 || v > hi+1e-9 {
+			t.Fatalf("record %d score %v outside [%v,%v]", i, v, lo, hi)
+		}
+	}
+}
+
+func TestPropagateKValidation(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, PretrainedConfig(30, 2), "night-street", 300)
+	if _, err := ix.PropagateK(CountScore("car"), 0); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := ix.PropagateK(CountScore("car"), ix.Table.K+1); err == nil {
+		t.Error("k beyond table should error")
+	}
+	// k=1 equals the nearest-rep exact score.
+	k1, err := ix.PropagateK(CountScore("car"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	near, _, err := ix.PropagateNearest(CountScore("car"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range k1 {
+		if k1[i] != near[i] {
+			t.Fatalf("record %d: PropagateK(1)=%v vs PropagateNearest=%v", i, k1[i], near[i])
+		}
+	}
+}
+
+func TestPropagateMissingAnnotation(t *testing.T) {
+	ix, _, _ := buildTestIndex(t, PretrainedConfig(30, 2), "night-street", 300)
+	delete(ix.Annotations, ix.Table.Reps[0])
+	if _, err := ix.Propagate(CountScore("car")); err == nil {
+		t.Error("missing annotation should error")
+	}
+}
+
+func TestPropagateVote(t *testing.T) {
+	ix, ds, _ := buildTestIndex(t, PretrainedConfig(60, 2), "night-street", 600)
+	label := func(ann dataset.Annotation) string {
+		if ann.(dataset.VideoAnnotation).Count("car") > 0 {
+			return "busy"
+		}
+		return "empty"
+	}
+	votes, err := ix.PropagateVote(label)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(votes) != ds.Len() {
+		t.Fatalf("got %d votes", len(votes))
+	}
+	for _, rep := range ix.Table.Reps {
+		if votes[rep] != label(ds.Truth[rep]) {
+			t.Errorf("rep %d vote %q, want exact label", rep, votes[rep])
+		}
+	}
+	for _, v := range votes {
+		if v != "busy" && v != "empty" {
+			t.Fatalf("unexpected vote %q", v)
+		}
+	}
+}
+
+func TestCrack(t *testing.T) {
+	ix, ds, _ := buildTestIndex(t, PretrainedConfig(40, 2), "night-street", 400)
+	before := ix.Table.MaxNearestDistance()
+	repsBefore := len(ix.Table.Reps)
+
+	// Crack in every 10th record.
+	anns := map[int]dataset.Annotation{}
+	for i := 0; i < ds.Len(); i += 10 {
+		anns[i] = ds.Truth[i]
+	}
+	ix.CrackAll(anns)
+
+	if len(ix.Table.Reps) <= repsBefore {
+		t.Error("cracking added no representatives")
+	}
+	if got := ix.Table.MaxNearestDistance(); got > before {
+		t.Errorf("cracking increased covering radius: %v > %v", got, before)
+	}
+	if err := ix.Table.Validate(); err != nil {
+		t.Error(err)
+	}
+	// Cracked records now get exact scores.
+	score := CountScore("car")
+	scores, err := ix.Propagate(score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := range anns {
+		if scores[id] != score(ds.Truth[id]) {
+			t.Errorf("cracked record %d not exact", id)
+		}
+	}
+	// Cracking an existing rep is a no-op.
+	n := len(ix.Table.Reps)
+	ix.Crack(ix.Table.Reps[0], ds.Truth[ix.Table.Reps[0]])
+	if len(ix.Table.Reps) != n {
+		t.Error("re-cracking a representative changed the table")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	ix, ds, _ := buildTestIndex(t, fastConfig(80, 50), "night-street", 500)
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := CountScore("car")
+	want, err := ix.Propagate(score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.Propagate(score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("record %d: loaded index propagates %v, want %v", i, got[i], want[i])
+		}
+	}
+	// The loaded index still cracks.
+	loaded.Crack(7, ds.Truth[7])
+	if err := loaded.Table.Validate(); err != nil {
+		t.Error(err)
+	}
+	if loaded.Stats.TotalLabelCalls() != ix.Stats.TotalLabelCalls() {
+		t.Error("stats not persisted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("not a gob")); err == nil {
+		t.Error("garbage should fail to load")
+	}
+}
+
+func TestBuiltinScores(t *testing.T) {
+	ann := dataset.VideoAnnotation{Boxes: []dataset.Box{
+		{Class: "car", X: 0.2}, {Class: "car", X: 0.6}, {Class: "bus", X: 0.9},
+	}}
+	if CountScore("car")(ann) != 2 || CountScore("")(ann) != 3 {
+		t.Error("CountScore wrong")
+	}
+	if CountScore("car")(dataset.TextAnnotation{}) != 0 {
+		t.Error("CountScore on non-video should be 0")
+	}
+	pred := func(a dataset.Annotation) bool { return a.(dataset.VideoAnnotation).Count("bus") > 0 }
+	if MatchScore(pred)(ann) != 1 {
+		t.Error("MatchScore true case")
+	}
+	if MatchScore(pred)(dataset.VideoAnnotation{}) != 0 {
+		t.Error("MatchScore false case")
+	}
+	if got := AvgXScore("car")(ann); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("AvgXScore = %v", got)
+	}
+	if got := AvgXScore("car")(dataset.VideoAnnotation{}); got != 0.5 {
+		t.Errorf("AvgXScore neutral = %v", got)
+	}
+}
+
+func TestBuildApproxTable(t *testing.T) {
+	cfg := PretrainedConfig(80, 2)
+	cfg.ApproxTable = true
+	cfg.ANNProbe = 4
+	ix, ds, _ := buildTestIndex(t, cfg, "night-street", 800)
+	if err := ix.Table.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	scores, err := ix.Propagate(CountScore("car"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The approximate table's propagation should closely track the exact
+	// one.
+	exactIx, _, _ := buildTestIndex(t, PretrainedConfig(80, 2), "night-street", 800)
+	exact, err := exactIx.Propagate(CountScore("car"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for i := range scores {
+		if math.Abs(scores[i]-exact[i]) < 0.5 {
+			agree++
+		}
+	}
+	if frac := float64(agree) / float64(ds.Len()); frac < 0.9 {
+		t.Errorf("approximate propagation agrees on only %.2f of records", frac)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/cluster"
+	"repro/internal/dataset"
+)
+
+func init() {
+	// The annotation cache holds interface values; gob needs the concrete
+	// types registered.
+	gob.Register(dataset.VideoAnnotation{})
+	gob.Register(dataset.TextAnnotation{})
+	gob.Register(dataset.SpeechAnnotation{})
+}
+
+// snapshot is the on-disk form of an index: everything query processing and
+// cracking need. The embedder itself is not persisted — embeddings are — so
+// a loaded index can propagate scores and crack but not embed new records.
+type snapshot struct {
+	K           int
+	Reps        []int
+	Neighbors   [][]cluster.Neighbor
+	Annotations map[int]dataset.Annotation
+	Embeddings  [][]float64
+	Stats       BuildStats
+}
+
+// Save serializes the index with encoding/gob.
+func (ix *Index) Save(w io.Writer) error {
+	snap := snapshot{
+		K:           ix.Table.K,
+		Reps:        ix.Table.Reps,
+		Neighbors:   ix.Table.Neighbors,
+		Annotations: ix.Annotations,
+		Embeddings:  ix.Embeddings,
+		Stats:       ix.Stats,
+	}
+	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+		return fmt.Errorf("core: saving index: %w", err)
+	}
+	return nil
+}
+
+// Load deserializes an index saved with Save. The returned index propagates
+// scores and supports cracking; Embedder is nil because the embedding model
+// is not persisted.
+func Load(r io.Reader) (*Index, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	ix := &Index{
+		Embeddings: snap.Embeddings,
+		Table: &cluster.Table{
+			K:         snap.K,
+			Reps:      snap.Reps,
+			Neighbors: snap.Neighbors,
+		},
+		Annotations: snap.Annotations,
+		Stats:       snap.Stats,
+	}
+	if err := ix.Table.Validate(); err != nil {
+		return nil, fmt.Errorf("core: loaded index invalid: %w", err)
+	}
+	return ix, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+)
+
+// ScoreFunc turns a target-labeler output into a numeric query-specific
+// score — the paper's Section 4.2 developer API. Examples: count of "car"
+// boxes for an aggregation query, 0/1 predicate match for a selection query.
+type ScoreFunc func(ann dataset.Annotation) float64
+
+// LabelFunc turns a target-labeler output into a categorical label, for
+// propagation by distance-weighted majority vote.
+type LabelFunc func(ann dataset.Annotation) string
+
+// invDistEps regularizes inverse-distance weights so exact matches do not
+// divide by zero.
+const invDistEps = 1e-9
+
+// Propagate computes a proxy score for every record: the exact score on
+// representatives and the inverse-distance-weighted mean of the k nearest
+// representatives' scores elsewhere (Section 4.3).
+func (ix *Index) Propagate(score ScoreFunc) ([]float64, error) {
+	return ix.PropagateK(score, ix.Table.K)
+}
+
+// PropagateK is Propagate with an explicit neighbor count k <= Table.K
+// (limit queries use k=1).
+func (ix *Index) PropagateK(score ScoreFunc, k int) ([]float64, error) {
+	if k <= 0 || k > ix.Table.K {
+		return nil, fmt.Errorf("core: propagation k=%d outside [1,%d]", k, ix.Table.K)
+	}
+	repScores, err := ix.repScores(score)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, ix.NumRecords())
+	for i, nbrs := range ix.Table.Neighbors {
+		if len(nbrs) > k {
+			nbrs = nbrs[:k]
+		}
+		// A zero-distance neighbor (the record is itself a representative)
+		// gets the exact score.
+		if nbrs[0].Dist == 0 {
+			out[i] = repScores[nbrs[0].Rep]
+			continue
+		}
+		num, den := 0.0, 0.0
+		for _, nb := range nbrs {
+			w := 1 / (nb.Dist + invDistEps)
+			num += w * repScores[nb.Rep]
+			den += w
+		}
+		out[i] = num / den
+	}
+	return out, nil
+}
+
+// PropagateNearest returns each record's nearest representative's exact
+// score along with the distance to it, the k=1 scoring with distance
+// tie-breaking that the paper's limit queries use (Section 6.3).
+func (ix *Index) PropagateNearest(score ScoreFunc) (scores, dists []float64, err error) {
+	repScores, err := ix.repScores(score)
+	if err != nil {
+		return nil, nil, err
+	}
+	scores = make([]float64, ix.NumRecords())
+	dists = make([]float64, ix.NumRecords())
+	for i := range ix.Table.Neighbors {
+		nb := ix.Table.Nearest(i)
+		scores[i] = repScores[nb.Rep]
+		dists[i] = nb.Dist
+	}
+	return scores, dists, nil
+}
+
+// PropagateVote computes a categorical label per record by
+// distance-weighted majority vote over the k nearest representatives.
+func (ix *Index) PropagateVote(label LabelFunc) ([]string, error) {
+	labels := make(map[int]string, len(ix.Annotations))
+	for id, ann := range ix.Annotations {
+		labels[id] = label(ann)
+	}
+	out := make([]string, ix.NumRecords())
+	for i, nbrs := range ix.Table.Neighbors {
+		if nbrs[0].Dist == 0 {
+			out[i] = labels[nbrs[0].Rep]
+			continue
+		}
+		votes := make(map[string]float64, len(nbrs))
+		for _, nb := range nbrs {
+			votes[labels[nb.Rep]] += 1 / (nb.Dist + invDistEps)
+		}
+		best, bestW := "", math.Inf(-1)
+		for l, w := range votes {
+			if w > bestW || (w == bestW && l < best) {
+				best, bestW = l, w
+			}
+		}
+		out[i] = best
+	}
+	return out, nil
+}
+
+// repScores evaluates the scoring function on every representative's cached
+// annotation.
+func (ix *Index) repScores(score ScoreFunc) (map[int]float64, error) {
+	out := make(map[int]float64, len(ix.Table.Reps))
+	for _, rep := range ix.Table.Reps {
+		ann, ok := ix.Annotations[rep]
+		if !ok {
+			return nil, fmt.Errorf("%w: representative %d", ErrNoAnnotation, rep)
+		}
+		out[rep] = score(ann)
+	}
+	return out, nil
+}
+
+// Built-in scoring functions for the common query families.
+
+// CountScore counts boxes of the given class in a video annotation (empty
+// class counts all boxes). Non-video annotations score 0.
+func CountScore(class string) ScoreFunc {
+	return func(ann dataset.Annotation) float64 {
+		if va, ok := ann.(dataset.VideoAnnotation); ok {
+			return float64(va.Count(class))
+		}
+		return 0
+	}
+}
+
+// MatchScore converts a Boolean predicate over annotations into a 0/1 score
+// for selection queries.
+func MatchScore(pred func(ann dataset.Annotation) bool) ScoreFunc {
+	return func(ann dataset.Annotation) float64 {
+		if pred(ann) {
+			return 1
+		}
+		return 0
+	}
+}
+
+// AvgXScore returns the mean x-position of boxes of the given class, or the
+// neutral position 0.5 for frames without such boxes — the paper's Section
+// 6.4 regression query.
+func AvgXScore(class string) ScoreFunc {
+	return func(ann dataset.Annotation) float64 {
+		if va, ok := ann.(dataset.VideoAnnotation); ok {
+			if x, ok := va.AvgX(class); ok {
+				return x
+			}
+		}
+		return 0.5
+	}
+}

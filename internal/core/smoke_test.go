@@ -1,0 +1,56 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+	"repro/internal/stats"
+	"repro/internal/triplet"
+)
+
+// TestSmokePipelineQuality builds TASTI-PT and TASTI-T indexes on a small
+// night-street corpus and checks the paper's core quality claim: triplet
+// training improves the proxy-score correlation (rho^2) with the target
+// labeler, and both produce usable scores.
+func TestSmokePipelineQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	ds, err := dataset.Generate("night-street", 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := labeler.NewOracle(ds, "mask-rcnn", labeler.MaskRCNNCost)
+
+	truth := make([]float64, ds.Len())
+	for i, ann := range ds.Truth {
+		truth[i] = float64(ann.(dataset.VideoAnnotation).Count("car"))
+	}
+
+	build := func(cfg Config) float64 {
+		ix, err := Build(cfg, ds, lab)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		scores, err := ix.Propagate(CountScore("car"))
+		if err != nil {
+			t.Fatalf("propagate: %v", err)
+		}
+		return stats.RSquared(scores, truth)
+	}
+
+	key := triplet.VideoBucketKey(0.5)
+	ptCfg := PretrainedConfig(800, 7)
+	tCfg := DefaultConfig(1000, 800, key, 7)
+
+	r2PT := build(ptCfg)
+	r2T := build(tCfg)
+	t.Logf("rho^2: TASTI-PT=%.3f TASTI-T=%.3f", r2PT, r2T)
+	if r2T < 0.6 {
+		t.Errorf("TASTI-T rho^2 = %.3f, want >= 0.6", r2T)
+	}
+	if r2T <= r2PT {
+		t.Errorf("triplet training did not help: T=%.3f PT=%.3f", r2T, r2PT)
+	}
+}

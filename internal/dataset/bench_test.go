@@ -1,0 +1,30 @@
+package dataset
+
+import "testing"
+
+func BenchmarkGenerateVideo(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateVideo(NightStreetConfig(2000, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateText(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateText(WikiSQLConfig(2000, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGenerateSpeech(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := GenerateSpeech(CommonVoiceConfig(2000, 1)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateAllCorpora(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := Generate(name, 500, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Len() != 500 {
+			t.Errorf("%s: len = %d", name, ds.Len())
+		}
+		if err := ds.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope", 10, 1); err == nil {
+		t.Error("unknown dataset should error")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		a, err := Generate(name, 200, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(name, 200, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Records {
+			for j := range a.Records[i].Features {
+				if a.Records[i].Features[j] != b.Records[i].Features[j] {
+					t.Fatalf("%s: features diverge at record %d dim %d", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate("night-street", 200, 1)
+	b, _ := Generate("night-street", 200, 2)
+	same := true
+	for i := range a.Records {
+		for j := range a.Records[i].Features {
+			if a.Records[i].Features[j] != b.Records[i].Features[j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestVideoAnnotationHelpers(t *testing.T) {
+	ann := VideoAnnotation{Boxes: []Box{
+		{Class: "car", X: 0.2, Y: 0.5},
+		{Class: "car", X: 0.6, Y: 0.5},
+		{Class: "bus", X: 0.9, Y: 0.5},
+	}}
+	if ann.Count("car") != 2 || ann.Count("bus") != 1 || ann.Count("") != 3 {
+		t.Error("Count wrong")
+	}
+	x, ok := ann.AvgX("car")
+	if !ok || math.Abs(x-0.4) > 1e-12 {
+		t.Errorf("AvgX = %v, %v", x, ok)
+	}
+	if _, ok := ann.AvgX("bike"); ok {
+		t.Error("AvgX of absent class should report false")
+	}
+	if ann.Kind() != "video" {
+		t.Errorf("Kind = %s", ann.Kind())
+	}
+}
+
+func TestSpeechAgeBucket(t *testing.T) {
+	if (SpeechAnnotation{AgeYears: 47}).AgeBucket() != 4 {
+		t.Error("bucket of 47 should be 4")
+	}
+	if (SpeechAnnotation{}).Kind() != "speech" {
+		t.Error("kind")
+	}
+	if (TextAnnotation{}).Kind() != "text" {
+		t.Error("kind")
+	}
+}
+
+func TestVideoSceneConsistency(t *testing.T) {
+	ds, err := GenerateVideo(NightStreetConfig(2000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Counts change slowly: the scene is Markov, so consecutive frames
+	// rarely differ by more than one or two objects.
+	big := 0
+	for i := 1; i < ds.Len(); i++ {
+		a := ds.Truth[i-1].(VideoAnnotation).Count("")
+		b := ds.Truth[i].(VideoAnnotation).Count("")
+		if d := b - a; d > 2 || d < -2 {
+			big++
+		}
+	}
+	if big > ds.Len()/50 {
+		t.Errorf("%d large frame-to-frame count jumps", big)
+	}
+	// Boxes stay in frame.
+	for i, ann := range ds.Truth {
+		for _, b := range ann.(VideoAnnotation).Boxes {
+			if b.X < -0.06 || b.X > 1.06 || b.Y < -0.06 || b.Y > 1.06 {
+				t.Fatalf("frame %d: box out of range (%v,%v)", i, b.X, b.Y)
+			}
+		}
+	}
+}
+
+func TestVideoConfigValidation(t *testing.T) {
+	cfg := NightStreetConfig(0, 1)
+	if _, err := GenerateVideo(cfg); err == nil {
+		t.Error("Frames=0 should error")
+	}
+	cfg = NightStreetConfig(10, 1)
+	cfg.ArrivalRate = nil
+	if _, err := GenerateVideo(cfg); err == nil {
+		t.Error("missing arrival rates should error")
+	}
+	cfg = NightStreetConfig(10, 1)
+	cfg.GridSize = 0
+	if _, err := GenerateVideo(cfg); err == nil {
+		t.Error("GridSize=0 should error")
+	}
+}
+
+func TestTaipeiHasBothClasses(t *testing.T) {
+	ds, err := Generate("taipei", 3000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cars, buses := 0, 0
+	for _, ann := range ds.Truth {
+		va := ann.(VideoAnnotation)
+		cars += va.Count("car")
+		buses += va.Count("bus")
+	}
+	if cars == 0 || buses == 0 {
+		t.Errorf("cars=%d buses=%d", cars, buses)
+	}
+	if buses >= cars {
+		t.Errorf("buses (%d) should be rarer than cars (%d)", buses, cars)
+	}
+}
+
+func TestTextOperatorDistribution(t *testing.T) {
+	ds, err := Generate("wikisql", 4000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]int{}
+	for _, ann := range ds.Truth {
+		ta := ann.(TextAnnotation)
+		ops[ta.Operator]++
+		if ta.NumPredicates < 0 || ta.NumPredicates > 4 {
+			t.Fatalf("predicate count %d out of range", ta.NumPredicates)
+		}
+	}
+	if len(ops) != 6 {
+		t.Errorf("expected 6 operators, got %v", ops)
+	}
+	if float64(ops["SELECT"])/4000 < 0.4 {
+		t.Errorf("SELECT should dominate: %v", ops)
+	}
+}
+
+func TestTextConfigValidation(t *testing.T) {
+	cfg := WikiSQLConfig(0, 1)
+	if _, err := GenerateText(cfg); err == nil {
+		t.Error("Questions=0 should error")
+	}
+	cfg = WikiSQLConfig(10, 1)
+	cfg.FeatureDim = 0
+	if _, err := GenerateText(cfg); err == nil {
+		t.Error("FeatureDim=0 should error")
+	}
+}
+
+func TestHashBagOfWordsProperties(t *testing.T) {
+	f := func(a, b string) bool {
+		fa := hashBagOfWords(a, 64)
+		fb := hashBagOfWords(b, 64)
+		if len(fa) != 64 || len(fb) != 64 {
+			return false
+		}
+		// Determinism.
+		fa2 := hashBagOfWords(a, 64)
+		for i := range fa {
+			if fa[i] != fa2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// The empty string hashes to the zero vector.
+	for _, v := range hashBagOfWords("", 16) {
+		if v != 0 {
+			t.Error("empty text should hash to zero")
+		}
+	}
+}
+
+func TestSpeechGenderBalance(t *testing.T) {
+	cfg := CommonVoiceConfig(4000, 1)
+	ds, err := GenerateSpeech(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	male := 0
+	for _, ann := range ds.Truth {
+		sa := ann.(SpeechAnnotation)
+		if sa.Gender == "male" {
+			male++
+		}
+		if sa.AgeYears < 18 || sa.AgeYears > 80 {
+			t.Fatalf("age %d out of range", sa.AgeYears)
+		}
+	}
+	frac := float64(male) / 4000
+	if math.Abs(frac-cfg.MaleFraction) > 0.03 {
+		t.Errorf("male fraction %v, want ~%v", frac, cfg.MaleFraction)
+	}
+}
+
+func TestSpeechPitchSeparatesGender(t *testing.T) {
+	// The first spectral coefficients should statistically separate male
+	// and female snippets; otherwise the corpus is unanswerable.
+	ds, err := Generate("common-voice", 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maleMean, femaleMean [4]float64
+	var nm, nf int
+	for i, ann := range ds.Truth {
+		sa := ann.(SpeechAnnotation)
+		for d := 0; d < 4; d++ {
+			if sa.Gender == "male" {
+				maleMean[d] += ds.Records[i].Features[d]
+			} else {
+				femaleMean[d] += ds.Records[i].Features[d]
+			}
+		}
+		if sa.Gender == "male" {
+			nm++
+		} else {
+			nf++
+		}
+	}
+	separated := false
+	for d := 0; d < 4; d++ {
+		if math.Abs(maleMean[d]/float64(nm)-femaleMean[d]/float64(nf)) > 0.05 {
+			separated = true
+		}
+	}
+	if !separated {
+		t.Error("no spectral coefficient separates gender")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	ds, _ := Generate("night-street", 50, 1)
+	ds.Truth = ds.Truth[:len(ds.Truth)-1]
+	if err := ds.Validate(); err == nil {
+		t.Error("length mismatch not caught")
+	}
+	ds, _ = Generate("night-street", 50, 1)
+	ds.Records[3].ID = 99
+	if err := ds.Validate(); err == nil {
+		t.Error("bad ID not caught")
+	}
+	ds, _ = Generate("night-street", 50, 1)
+	ds.Records[3].Features = ds.Records[3].Features[:2]
+	if err := ds.Validate(); err == nil {
+		t.Error("dim mismatch not caught")
+	}
+	ds, _ = Generate("night-street", 50, 1)
+	ds.Truth[3] = nil
+	if err := ds.Validate(); err == nil {
+		t.Error("nil annotation not caught")
+	}
+}
+
+func TestFeatureDim(t *testing.T) {
+	ds, _ := Generate("night-street", 10, 1)
+	if ds.FeatureDim() != 36+16 {
+		t.Errorf("FeatureDim = %d", ds.FeatureDim())
+	}
+	empty := &Dataset{}
+	if empty.FeatureDim() != 0 {
+		t.Error("empty dataset dim should be 0")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		orig, err := Generate(name, 150, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := orig.Save(&buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if loaded.Name != orig.Name || loaded.Len() != orig.Len() {
+			t.Fatalf("%s: metadata mismatch", name)
+		}
+		for i := range orig.Records {
+			for j := range orig.Records[i].Features {
+				if loaded.Records[i].Features[j] != orig.Records[i].Features[j] {
+					t.Fatalf("%s: features differ at %d/%d", name, i, j)
+				}
+			}
+			if loaded.Truth[i].Kind() != orig.Truth[i].Kind() {
+				t.Fatalf("%s: annotation kind differs at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	ds, _ := Generate("night-street", 20, 1)
+	ds.Truth = ds.Truth[:10]
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err == nil {
+		t.Error("invalid dataset should not save")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewBufferString("junk")); err == nil {
+		t.Error("garbage should not load")
+	}
+}

@@ -1,0 +1,28 @@
+package dataset
+
+import "testing"
+
+// FuzzHashBagOfWords checks the hashed feature extractor never panics and
+// always returns the requested dimension, whatever the text.
+func FuzzHashBagOfWords(f *testing.F) {
+	f.Add("how many points did the team score", 64)
+	f.Add("", 1)
+	f.Add("a b c d e f g h i j", 256)
+	f.Add("ünïcödé 字 \x00\xff", 16)
+	f.Fuzz(func(t *testing.T, text string, dimRaw int) {
+		dim := dimRaw%512 + 1
+		if dim < 1 {
+			dim = 1
+		}
+		feats := hashBagOfWords(text, dim)
+		if len(feats) != dim {
+			t.Fatalf("dim %d, want %d", len(feats), dim)
+		}
+		again := hashBagOfWords(text, dim)
+		for i := range feats {
+			if feats[i] != again[i] {
+				t.Fatal("not deterministic")
+			}
+		}
+	})
+}

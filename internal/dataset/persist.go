@@ -1,0 +1,38 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+func init() {
+	// Dataset.Truth holds interface values; gob needs the concrete types.
+	gob.Register(VideoAnnotation{})
+	gob.Register(TextAnnotation{})
+	gob.Register(SpeechAnnotation{})
+}
+
+// Save serializes the dataset with encoding/gob, so a generated corpus can
+// be shared or reloaded without regenerating it.
+func (d *Dataset) Save(w io.Writer) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("dataset: refusing to save invalid dataset: %w", err)
+	}
+	if err := gob.NewEncoder(w).Encode(d); err != nil {
+		return fmt.Errorf("dataset: saving %s: %w", d.Name, err)
+	}
+	return nil
+}
+
+// Load deserializes a dataset saved with Save and validates it.
+func Load(r io.Reader) (*Dataset, error) {
+	var d Dataset
+	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+		return nil, fmt.Errorf("dataset: loading: %w", err)
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: loaded dataset invalid: %w", err)
+	}
+	return &d, nil
+}

@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"repro/internal/xrand"
+)
+
+// TextConfig parameterizes the synthetic WikiSQL-style corpus: natural
+// language questions whose ground truth is the SQL operator they parse to
+// plus their predicate count.
+type TextConfig struct {
+	// Name labels the generated dataset.
+	Name string
+	// Questions is the number of questions to generate.
+	Questions int
+	// FeatureDim is the hashed bag-of-words dimension.
+	FeatureDim int
+	// NoiseDim is the number of pure-noise dimensions appended.
+	NoiseDim int
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+// WikiSQLConfig returns the defaults used by the evaluation harness.
+func WikiSQLConfig(questions int, seed int64) TextConfig {
+	return TextConfig{
+		Name:       "wikisql",
+		Questions:  questions,
+		FeatureDim: 128,
+		NoiseDim:   16,
+		Seed:       seed,
+	}
+}
+
+// sqlOperators matches the WikiSQL aggregation-operator vocabulary; "" (the
+// star/no-aggregation operator) dominates the real distribution, so it does
+// here too. The paper's selection query targets the star operator.
+var sqlOperators = []struct {
+	Name   string
+	Weight float64
+	// Stems are question-prefix templates characteristic of the operator.
+	Stems []string
+}{
+	{"SELECT", 0.55, []string{"what is", "which", "name the", "tell me", "show"}},
+	{"COUNT", 0.18, []string{"how many", "count the", "what number of"}},
+	{"MAX", 0.08, []string{"what is the highest", "what is the largest", "what is the most"}},
+	{"MIN", 0.08, []string{"what is the lowest", "what is the smallest", "what is the least"}},
+	{"AVG", 0.06, []string{"what is the average", "what is the mean"}},
+	{"SUM", 0.05, []string{"what is the total", "what is the sum of"}},
+}
+
+var textSubjects = []string{
+	"population", "score", "year", "attendance", "revenue", "rank",
+	"temperature", "distance", "duration", "budget", "capacity", "elevation",
+}
+
+var textEntities = []string{
+	"the team", "the city", "the player", "the company", "the school",
+	"the district", "the station", "the album", "the bridge", "the river",
+}
+
+var textPredicateFields = []string{
+	"season", "country", "league", "category", "region", "division",
+	"round", "venue", "position", "format",
+}
+
+// GenerateText produces the synthetic WikiSQL-style dataset.
+func GenerateText(cfg TextConfig) (*Dataset, error) {
+	if cfg.Questions <= 0 {
+		return nil, fmt.Errorf("dataset: text config needs Questions > 0, got %d", cfg.Questions)
+	}
+	if cfg.FeatureDim <= 0 {
+		return nil, fmt.Errorf("dataset: text config needs FeatureDim > 0, got %d", cfg.FeatureDim)
+	}
+	r := xrand.Split(cfg.Seed, "text")
+	noiseRand := xrand.Split(cfg.Seed, "text-noise")
+
+	weights := make([]float64, len(sqlOperators))
+	for i, op := range sqlOperators {
+		weights[i] = op.Weight
+	}
+
+	ds := &Dataset{
+		Name:    cfg.Name,
+		Records: make([]Record, 0, cfg.Questions),
+		Truth:   make([]Annotation, 0, cfg.Questions),
+	}
+	for i := 0; i < cfg.Questions; i++ {
+		opIdx := xrand.Categorical(r, weights)
+		op := sqlOperators[opIdx]
+		// Predicate counts skew low, as in WikiSQL (most questions have one
+		// or two conditions).
+		numPred := xrand.Categorical(r, []float64{0.15, 0.45, 0.25, 0.1, 0.05})
+
+		var sb strings.Builder
+		sb.WriteString(op.Stems[r.Intn(len(op.Stems))])
+		sb.WriteByte(' ')
+		sb.WriteString(textSubjects[r.Intn(len(textSubjects))])
+		sb.WriteString(" of ")
+		sb.WriteString(textEntities[r.Intn(len(textEntities))])
+		for p := 0; p < numPred; p++ {
+			if p == 0 {
+				sb.WriteString(" when ")
+			} else {
+				sb.WriteString(" and ")
+			}
+			sb.WriteString(textPredicateFields[r.Intn(len(textPredicateFields))])
+			sb.WriteString(" is ")
+			sb.WriteString(fmt.Sprintf("value%d", r.Intn(50)))
+		}
+
+		feats := hashBagOfWords(sb.String(), cfg.FeatureDim)
+		for n := 0; n < cfg.NoiseDim; n++ {
+			feats = append(feats, xrand.Normal(noiseRand, 0, 1))
+		}
+		ds.Records = append(ds.Records, Record{ID: i, Features: feats})
+		ds.Truth = append(ds.Truth, TextAnnotation{Operator: op.Name, NumPredicates: numPred})
+	}
+	if err := ds.Validate(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// hashBagOfWords maps whitespace tokens (unigrams and bigrams) into a fixed
+// dimension by feature hashing with a sign hash, the standard trick behind
+// FastText-style cheap text features.
+func hashBagOfWords(text string, dim int) []float64 {
+	feats := make([]float64, dim)
+	tokens := strings.Fields(strings.ToLower(text))
+	add := func(tok string) {
+		h := fnv.New64a()
+		h.Write([]byte(tok))
+		sum := h.Sum64()
+		slot := int(sum % uint64(dim))
+		sign := 1.0
+		if (sum>>32)&1 == 1 {
+			sign = -1.0
+		}
+		feats[slot] += sign
+	}
+	for i, tok := range tokens {
+		add(tok)
+		if i+1 < len(tokens) {
+			add(tok + "_" + tokens[i+1])
+		}
+	}
+	return feats
+}

@@ -1,0 +1,133 @@
+// Package embed defines embedding models: the maps from raw record features
+// to the semantic vectors TASTI clusters and propagates over.
+//
+// Two implementations mirror the paper's TASTI-PT and TASTI-T variants:
+// Pretrained is a fixed generic random-feature projection (the stand-in for
+// an ImageNet ResNet or off-the-shelf BERT), and Trained wraps an MLP that
+// package triplet fine-tunes with the domain-specific triplet loss.
+package embed
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/xrand"
+)
+
+// Embedder maps raw record features to an embedding vector.
+type Embedder interface {
+	// Embed returns the embedding of one record's raw features.
+	Embed(features []float64) []float64
+	// Dim returns the embedding dimensionality.
+	Dim() int
+	// Name identifies the embedder ("pretrained" or "triplet-trained").
+	Name() string
+}
+
+// Pretrained is a fixed random-feature embedder: a seeded Gaussian
+// projection followed by tanh. It is semantically meaningful (nearby raw
+// features stay nearby) but not adapted to any induced schema, exactly the
+// role of a generic pre-trained DNN in the paper.
+type Pretrained struct {
+	w   [][]float64
+	dim int
+}
+
+// NewPretrained builds a random-feature embedder from inputDim to dim,
+// deterministic in seed.
+func NewPretrained(inputDim, dim int, seed int64) *Pretrained {
+	if inputDim <= 0 || dim <= 0 {
+		panic(fmt.Sprintf("embed: invalid dims %d -> %d", inputDim, dim))
+	}
+	r := xrand.Split(seed, "pretrained-embedder")
+	w := make([][]float64, dim)
+	scale := 1 / math.Sqrt(float64(inputDim))
+	for i := range w {
+		row := make([]float64, inputDim)
+		for j := range row {
+			row[j] = r.NormFloat64() * scale
+		}
+		w[i] = row
+	}
+	return &Pretrained{w: w, dim: dim}
+}
+
+// Embed implements Embedder.
+func (p *Pretrained) Embed(features []float64) []float64 {
+	out := make([]float64, p.dim)
+	for i, row := range p.w {
+		if len(features) != len(row) {
+			panic(fmt.Sprintf("embed: feature dim %d, want %d", len(features), len(row)))
+		}
+		s := 0.0
+		for j, w := range row {
+			s += w * features[j]
+		}
+		out[i] = math.Tanh(s)
+	}
+	return out
+}
+
+// Dim implements Embedder.
+func (p *Pretrained) Dim() int { return p.dim }
+
+// Name implements Embedder.
+func (p *Pretrained) Name() string { return "pretrained" }
+
+// Trained wraps a triplet-fine-tuned MLP as an Embedder.
+type Trained struct {
+	// Net is the underlying network; package triplet trains it in place.
+	Net *nn.MLP
+}
+
+// NewTrained wraps net.
+func NewTrained(net *nn.MLP) *Trained { return &Trained{Net: net} }
+
+// Embed implements Embedder.
+func (t *Trained) Embed(features []float64) []float64 {
+	return t.Net.Forward(features)
+}
+
+// Dim implements Embedder.
+func (t *Trained) Dim() int { return t.Net.OutputDim() }
+
+// Name implements Embedder.
+func (t *Trained) Name() string { return "triplet-trained" }
+
+// All embeds every record of ds in parallel and returns the embeddings in
+// record order.
+func All(e Embedder, ds *dataset.Dataset) [][]float64 {
+	out := make([][]float64, ds.Len())
+	workers := runtime.GOMAXPROCS(0)
+	if workers > ds.Len() {
+		workers = ds.Len()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (ds.Len() + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > ds.Len() {
+			hi = ds.Len()
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = e.Embed(ds.Records[i].Features)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/proxy"
+	"repro/internal/query/supg"
+)
+
+// RunFig5 reproduces Figure 5: recall-target SUPG selection (recall 0.9,
+// confidence 95%, fixed labeler budget) on all six settings, comparing a
+// per-query proxy model against TASTI-PT and TASTI-T by the false positive
+// rate of the returned set (lower is better).
+func RunFig5(sc Scale, w io.Writer) (*Report, error) {
+	rep := &Report{ID: "fig5", Title: "SUPG recall-target selection: false positive rate % (lower is better)"}
+	for _, s := range AllSettings() {
+		env, err := NewEnv(s, sc)
+		if err != nil {
+			return nil, err
+		}
+		if err := fig5Setting(rep, env); err != nil {
+			return nil, fmt.Errorf("fig5 %s: %w", s.Key, err)
+		}
+	}
+	if w != nil {
+		rep.Print(w)
+	}
+	return rep, nil
+}
+
+func fig5Setting(rep *Report, env *Env) error {
+	s := env.Setting
+	truth := env.TruthMatches(s.SelPred)
+	opts := supg.DefaultOptions(env.Scale.SUPGBudget(s), env.Scale.Seed+200)
+
+	run := func(method Variant, scores []float64) error {
+		res, err := supg.RecallTarget(opts, env.DS.Len(), scores, s.SelPred, env.Oracle)
+		if err != nil {
+			return err
+		}
+		c := metrics.NewConfusion(truth, res.Returned)
+		extra := fmt.Sprintf("recall=%.3f returned=%d budget=%d", c.Recall(), len(res.Returned), opts.Budget)
+		rep.Add(s.Key, string(method), "FPR %", c.FalsePositiveRate()*100, extra)
+		return nil
+	}
+
+	proxyScores, _, err := env.TrainProxy(proxy.Classification, BoolScore(s.SelPred), "sel")
+	if err != nil {
+		return err
+	}
+	if err := run(PerQueryProxy, proxyScores); err != nil {
+		return err
+	}
+
+	for _, v := range []Variant{TastiPT, TastiT} {
+		ix, err := env.BuildSelectionIndex(v)
+		if err != nil {
+			return err
+		}
+		scores, err := ix.Propagate(BoolScore(s.SelPred))
+		if err != nil {
+			return err
+		}
+		if err := run(v, scores); err != nil {
+			return err
+		}
+	}
+	return nil
+}

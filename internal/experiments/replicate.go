@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/stats"
+	"repro/internal/xrand"
+)
+
+// RunReplicated executes one experiment across several seeds and aggregates
+// each (setting, method, metric) cell: mean, min/max, and a percentile-
+// bootstrap 95% confidence interval. Replication separates an experiment's
+// signal from its seed-level noise — single-seed gaps smaller than the CI
+// width should not be read as findings.
+func RunReplicated(id string, sc Scale, seeds []int64, w io.Writer) (*Report, error) {
+	if len(seeds) == 0 {
+		return nil, fmt.Errorf("experiments: no seeds to replicate over")
+	}
+	type cell struct {
+		setting, method, metric string
+	}
+	values := map[cell][]float64{}
+	var order []cell
+	for _, seed := range seeds {
+		scSeed := sc
+		scSeed.Seed = seed
+		rep, err := Run(id, scSeed, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: replica seed %d: %w", seed, err)
+		}
+		for _, row := range rep.Rows {
+			c := cell{row.Setting, row.Method, row.Metric}
+			if _, ok := values[c]; !ok {
+				order = append(order, c)
+			}
+			values[c] = append(values[c], row.Value)
+		}
+	}
+
+	out := &Report{
+		ID:    id + "-replicated",
+		Title: fmt.Sprintf("%s across %d seeds (mean with bootstrap 95%% CI)", id, len(seeds)),
+	}
+	r := xrand.New(12345)
+	for _, c := range order {
+		xs := values[c]
+		mean := stats.Mean(xs)
+		lo, hi := mean, mean
+		if len(xs) > 1 {
+			var err error
+			lo, hi, err = stats.BootstrapCI(r, xs, stats.Mean, 500, 0.05)
+			if err != nil {
+				return nil, err
+			}
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		out.Add(c.setting, c.method, c.metric, mean,
+			fmt.Sprintf("ci95=[%s,%s] range=[%s,%s] n=%d",
+				formatValue(lo), formatValue(hi),
+				formatValue(sorted[0]), formatValue(sorted[len(sorted)-1]), len(xs)))
+	}
+	if w != nil {
+		out.Print(w)
+	}
+	return out, nil
+}

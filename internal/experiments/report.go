@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Row is one data point of a report: a (setting, method) cell with a named
+// metric, mirroring one bar or table entry of the paper.
+type Row struct {
+	// Setting is the evaluation setting key ("night-street").
+	Setting string `json:"setting"`
+	// Method identifies the system ("TASTI-T", "per-query proxy", ...).
+	Method string `json:"method"`
+	// Metric names what Value measures ("target calls", "FPR %").
+	Metric string `json:"metric"`
+	// Value is the measurement.
+	Value float64 `json:"value"`
+	// Extra carries auxiliary context (e.g. the estimate and ground truth).
+	Extra string `json:"notes,omitempty"`
+}
+
+// Report is the output of one experiment runner.
+type Report struct {
+	// ID is the experiment identifier ("fig4").
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Rows holds the measurements in presentation order.
+	Rows []Row
+}
+
+// Add appends a row.
+func (r *Report) Add(setting, method, metric string, value float64, extra string) {
+	r.Rows = append(r.Rows, Row{Setting: setting, Method: method, Metric: metric, Value: value, Extra: extra})
+}
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "setting\tmethod\tmetric\tvalue\tnotes")
+	fmt.Fprintln(tw, strings.Repeat("-", 8)+"\t"+strings.Repeat("-", 6)+"\t"+strings.Repeat("-", 6)+"\t"+strings.Repeat("-", 5)+"\t"+strings.Repeat("-", 5))
+	for _, row := range r.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\n", row.Setting, row.Method, row.Metric, formatValue(row.Value), row.Extra)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// WriteJSON renders the report as indented JSON for machine consumption.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Rows  []Row  `json:"rows"`
+	}{r.ID, r.Title, r.Rows})
+}
+
+// WriteMarkdown renders the report as a GitHub-flavored markdown table.
+func (r *Report) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "### %s — %s\n\n", r.ID, r.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "| setting | method | metric | value | notes |\n|---|---|---|---|---|"); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s |\n",
+			row.Setting, row.Method, row.Metric, formatValue(row.Value), row.Extra); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// Value returns the first row matching (setting, method) and whether one
+// exists; reports are small so a scan suffices.
+func (r *Report) Value(setting, method string) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Setting == setting && row.Method == method {
+			return row.Value, true
+		}
+	}
+	return 0, false
+}
+
+func formatValue(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// TestRunAllTiny executes every registered experiment at TinyScale, checking
+// each produces rows and none errors. This is the integration test for the
+// whole harness; it takes a few minutes, so -short skips it.
+func TestRunAllTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	sc := TinyScale()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel() // experiments are independent and CPU-bound
+			rep, err := Run(id, sc, io.Discard)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			if rep.ID != id {
+				t.Fatalf("report id %q", rep.ID)
+			}
+			for _, row := range rep.Rows {
+				if row.Setting == "" || row.Method == "" || row.Metric == "" {
+					t.Fatalf("incomplete row %+v", row)
+				}
+			}
+		})
+	}
+}

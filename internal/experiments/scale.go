@@ -1,0 +1,138 @@
+package experiments
+
+// Scale sets the data and budget sizes every experiment runs at. The paper
+// runs on ~10^6-frame videos; DefaultScale shrinks that to laptop scale
+// while keeping the ratios (training budget and representative count are a
+// few percent to ~10% of the corpus) so the relative results keep their
+// shape.
+type Scale struct {
+	// VideoFrames, TextQuestions, SpeechSnippets size each corpus.
+	VideoFrames    int
+	TextQuestions  int
+	SpeechSnippets int
+	// VideoTrain/VideoReps are TASTI's N1/N2 for video settings (paper:
+	// 3,000 / 7,000 on ~1M frames).
+	VideoTrain int
+	VideoReps  int
+	// TextTrain/TextReps mirror the paper's 500/500 for WikiSQL.
+	TextTrain int
+	TextReps  int
+	// SpeechTrain/SpeechReps mirror the paper's 500/500 for Common Voice.
+	SpeechTrain int
+	SpeechReps  int
+	// ProxyTMAS is the number of target labels each per-query proxy model
+	// is trained on (the BlazeIt "TMAS").
+	ProxyTMAS int
+	// SUPGBudgetFrac is the SUPG labeler budget as a fraction of the
+	// corpus.
+	SUPGBudgetFrac float64
+	// AggErrFrac scales the EBS error target: the absolute target for a
+	// setting is AggErrFrac times the setting's score standard deviation.
+	AggErrFrac float64
+	// TripletSteps overrides the triplet-training step count when positive
+	// (0 keeps the library default); TinyScale shrinks it so the whole
+	// suite fits in test budgets.
+	TripletSteps int
+	// Seed seeds data generation and every algorithm.
+	Seed int64
+}
+
+// DefaultScale is what cmd/tastibench runs.
+func DefaultScale() Scale {
+	return Scale{
+		VideoFrames:    20000,
+		TextQuestions:  8000,
+		SpeechSnippets: 8000,
+		VideoTrain:     800,
+		VideoReps:      1500,
+		TextTrain:      500,
+		TextReps:       600,
+		SpeechTrain:    500,
+		SpeechReps:     600,
+		ProxyTMAS:      3000,
+		SUPGBudgetFrac: 0.025,
+		AggErrFrac:     0.04,
+		Seed:           1,
+	}
+}
+
+// SmallScale keeps unit tests and benchmarks fast; shapes still hold but
+// with more variance.
+func SmallScale() Scale {
+	return Scale{
+		VideoFrames:    4000,
+		TextQuestions:  2500,
+		SpeechSnippets: 2500,
+		VideoTrain:     800,
+		VideoReps:      600,
+		TextTrain:      300,
+		TextReps:       350,
+		SpeechTrain:    300,
+		SpeechReps:     350,
+		ProxyTMAS:      1200,
+		SUPGBudgetFrac: 0.03,
+		AggErrFrac:     0.095,
+		Seed:           1,
+	}
+}
+
+// CorpusSize returns the dataset size for a setting under this scale.
+func (sc Scale) CorpusSize(s Setting) int {
+	switch s.Dataset {
+	case "wikisql":
+		return sc.TextQuestions
+	case "common-voice":
+		return sc.SpeechSnippets
+	default:
+		return sc.VideoFrames
+	}
+}
+
+// IndexBudgets returns TASTI's training budget (N1) and representative
+// count (N2) for a setting under this scale.
+func (sc Scale) IndexBudgets(s Setting) (train, reps int) {
+	switch s.Dataset {
+	case "wikisql":
+		return sc.TextTrain, sc.TextReps
+	case "common-voice":
+		return sc.SpeechTrain, sc.SpeechReps
+	default:
+		return sc.VideoTrain, sc.VideoReps
+	}
+}
+
+// SUPGBudget returns the SUPG target-labeler budget for a setting.
+func (sc Scale) SUPGBudget(s Setting) int {
+	b := int(sc.SUPGBudgetFrac * float64(sc.CorpusSize(s)))
+	if b < 100 {
+		b = 100
+	}
+	return b
+}
+
+// AggErrTarget returns the absolute EBS error target for a setting.
+func (sc Scale) AggErrTarget(s Setting) float64 {
+	return sc.AggErrFrac * s.AggSD
+}
+
+// TinyScale is for unit tests and benchmarks of the runners themselves:
+// everything completes in seconds, at the cost of noisy magnitudes. The
+// qualitative orderings usually — but not always — survive this scale.
+func TinyScale() Scale {
+	return Scale{
+		VideoFrames:    1500,
+		TextQuestions:  1000,
+		SpeechSnippets: 1000,
+		VideoTrain:     300,
+		VideoReps:      250,
+		TextTrain:      150,
+		TextReps:       180,
+		SpeechTrain:    150,
+		SpeechReps:     180,
+		ProxyTMAS:      500,
+		SUPGBudgetFrac: 0.05,
+		AggErrFrac:     0.15,
+		TripletSteps:   800,
+		Seed:           1,
+	}
+}

@@ -1,0 +1,324 @@
+// Package labeler models target labelers: the expensive DNNs or human
+// annotators that turn unstructured records into structured annotations.
+//
+// The evaluation's primary metric is the number of target-labeler
+// invocations, so every labeler here is wrapped in counting; simulated
+// per-call costs (seconds of GPU time or dollars of crowd work) turn counts
+// into the wall-clock and dollar figures of the paper's Figure 2 and Table 1.
+package labeler
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/xrand"
+)
+
+// ErrBudgetExhausted is returned by a Budgeted labeler once its invocation
+// budget is spent.
+var ErrBudgetExhausted = errors.New("labeler: budget exhausted")
+
+// Labeler produces the structured annotation for a record ID.
+type Labeler interface {
+	// Label returns the annotation for the record with the given ID.
+	Label(id int) (dataset.Annotation, error)
+	// Name identifies the labeler (e.g. "mask-rcnn").
+	Name() string
+	// Cost returns the simulated per-invocation cost.
+	Cost() CostModel
+}
+
+// CostModel is the simulated cost of one labeler invocation.
+type CostModel struct {
+	// Seconds of compute per call (GPU inference time).
+	Seconds float64
+	// Dollars per call (crowd work).
+	Dollars float64
+}
+
+// Mul scales the per-call cost by an invocation count.
+func (c CostModel) Mul(calls int64) CostModel {
+	return CostModel{Seconds: c.Seconds * float64(calls), Dollars: c.Dollars * float64(calls)}
+}
+
+// Add sums two costs.
+func (c CostModel) Add(o CostModel) CostModel {
+	return CostModel{Seconds: c.Seconds + o.Seconds, Dollars: c.Dollars + o.Dollars}
+}
+
+// String renders the cost compactly.
+func (c CostModel) String() string {
+	if c.Dollars > 0 {
+		return fmt.Sprintf("$%.0f", c.Dollars)
+	}
+	return fmt.Sprintf("%.0f s", c.Seconds)
+}
+
+// Per-call costs calibrated to the paper's Section 3.4 and Table 1:
+// Mask R-CNN runs at ~3 fps, SSD ~50x faster, human labels cost ~$0.07 each,
+// and the embedding DNN runs at ~12,000 fps.
+var (
+	MaskRCNNCost  = CostModel{Seconds: 1.0 / 3.0}
+	SSDCost       = CostModel{Seconds: 1.0 / 150.0}
+	HumanCost     = CostModel{Dollars: 0.07}
+	EmbeddingCost = CostModel{Seconds: 1.0 / 12000.0}
+)
+
+// Oracle returns the dataset's ground truth exactly: the stand-in for the
+// most accurate target labeler (Mask R-CNN on video, crowd workers on text
+// and speech).
+type Oracle struct {
+	ds   *dataset.Dataset
+	name string
+	cost CostModel
+}
+
+// NewOracle builds an exact labeler over ds with the given display name and
+// per-call cost.
+func NewOracle(ds *dataset.Dataset, name string, cost CostModel) *Oracle {
+	return &Oracle{ds: ds, name: name, cost: cost}
+}
+
+// Label implements Labeler.
+func (o *Oracle) Label(id int) (dataset.Annotation, error) {
+	if id < 0 || id >= o.ds.Len() {
+		return nil, fmt.Errorf("labeler %s: record %d out of range [0,%d)", o.name, id, o.ds.Len())
+	}
+	return o.ds.Truth[id], nil
+}
+
+// Name implements Labeler.
+func (o *Oracle) Name() string { return o.name }
+
+// Cost implements Labeler.
+func (o *Oracle) Cost() CostModel { return o.cost }
+
+// Noisy degrades an exact video labeler the way a cheap detector (SSD)
+// degrades Mask R-CNN: it drops boxes, hallucinates boxes, and jitters
+// positions. It only supports video annotations.
+type Noisy struct {
+	inner     Labeler
+	name      string
+	cost      CostModel
+	missProb  float64
+	fpProb    float64
+	posJitter float64
+	seed      int64
+}
+
+// NewNoisy wraps inner with detection noise. missProb is the per-box drop
+// probability, fpProb the per-record hallucination probability, and
+// posJitter the stddev of position noise. The noise is deterministic per
+// record ID for a fixed seed.
+func NewNoisy(inner Labeler, name string, cost CostModel, missProb, fpProb, posJitter float64, seed int64) *Noisy {
+	return &Noisy{
+		inner: inner, name: name, cost: cost,
+		missProb: missProb, fpProb: fpProb, posJitter: posJitter, seed: seed,
+	}
+}
+
+// Label implements Labeler.
+func (n *Noisy) Label(id int) (dataset.Annotation, error) {
+	ann, err := n.inner.Label(id)
+	if err != nil {
+		return nil, err
+	}
+	va, ok := ann.(dataset.VideoAnnotation)
+	if !ok {
+		return nil, fmt.Errorf("labeler %s: noisy labeler requires video annotations, got %s", n.name, ann.Kind())
+	}
+	r := xrand.Split(n.seed, fmt.Sprintf("noisy-%d", id))
+	out := dataset.VideoAnnotation{}
+	for _, b := range va.Boxes {
+		if xrand.Bernoulli(r, n.missProb) {
+			continue
+		}
+		b.X = clamp01(b.X + xrand.Normal(r, 0, n.posJitter))
+		b.Y = clamp01(b.Y + xrand.Normal(r, 0, n.posJitter))
+		out.Boxes = append(out.Boxes, b)
+	}
+	if xrand.Bernoulli(r, n.fpProb) {
+		out.Boxes = append(out.Boxes, dataset.Box{
+			Class: fpClass(r, va),
+			X:     r.Float64(), Y: r.Float64(), W: 0.1, H: 0.08,
+		})
+	}
+	return out, nil
+}
+
+func fpClass(r *rand.Rand, va dataset.VideoAnnotation) string {
+	if len(va.Boxes) > 0 {
+		return va.Boxes[r.Intn(len(va.Boxes))].Class
+	}
+	return "car"
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Name implements Labeler.
+func (n *Noisy) Name() string { return n.name }
+
+// Cost implements Labeler.
+func (n *Noisy) Cost() CostModel { return n.cost }
+
+// Counting wraps a labeler and records how many invocations it served and
+// how many distinct records were labeled. It is safe for concurrent use.
+type Counting struct {
+	inner Labeler
+
+	mu     sync.Mutex
+	calls  int64
+	unique map[int]struct{}
+}
+
+// NewCounting wraps inner with invocation accounting.
+func NewCounting(inner Labeler) *Counting {
+	return &Counting{inner: inner, unique: make(map[int]struct{})}
+}
+
+// Label implements Labeler.
+func (c *Counting) Label(id int) (dataset.Annotation, error) {
+	ann, err := c.inner.Label(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.calls++
+	c.unique[id] = struct{}{}
+	c.mu.Unlock()
+	return ann, nil
+}
+
+// Name implements Labeler.
+func (c *Counting) Name() string { return c.inner.Name() }
+
+// Cost implements Labeler.
+func (c *Counting) Cost() CostModel { return c.inner.Cost() }
+
+// Calls returns the total invocations served.
+func (c *Counting) Calls() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.calls
+}
+
+// Unique returns the number of distinct records labeled.
+func (c *Counting) Unique() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.unique)
+}
+
+// Reset zeroes the counters.
+func (c *Counting) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.calls = 0
+	c.unique = make(map[int]struct{})
+}
+
+// TotalCost returns the simulated cost of all invocations so far.
+func (c *Counting) TotalCost() CostModel {
+	return c.inner.Cost().Mul(c.Calls())
+}
+
+// Cached wraps a labeler with a result cache so repeated requests for the
+// same record are answered for free, the way the paper caches target-labeler
+// results during index construction and cracking. It is safe for concurrent
+// use.
+type Cached struct {
+	inner Labeler
+
+	mu    sync.Mutex
+	cache map[int]dataset.Annotation
+}
+
+// NewCached wraps inner with a cache.
+func NewCached(inner Labeler) *Cached {
+	return &Cached{inner: inner, cache: make(map[int]dataset.Annotation)}
+}
+
+// Label implements Labeler.
+func (c *Cached) Label(id int) (dataset.Annotation, error) {
+	c.mu.Lock()
+	if ann, ok := c.cache[id]; ok {
+		c.mu.Unlock()
+		return ann, nil
+	}
+	c.mu.Unlock()
+	ann, err := c.inner.Label(id)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.cache[id] = ann
+	c.mu.Unlock()
+	return ann, nil
+}
+
+// Name implements Labeler.
+func (c *Cached) Name() string { return c.inner.Name() }
+
+// Cost implements Labeler.
+func (c *Cached) Cost() CostModel { return c.inner.Cost() }
+
+// CachedIDs returns the IDs currently cached, in unspecified order.
+func (c *Cached) CachedIDs() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]int, 0, len(c.cache))
+	for id := range c.cache {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+// Budgeted wraps a labeler with a hard invocation budget; once spent, Label
+// returns ErrBudgetExhausted. It is safe for concurrent use.
+type Budgeted struct {
+	inner Labeler
+
+	mu        sync.Mutex
+	remaining int64
+}
+
+// NewBudgeted wraps inner with a budget of n invocations.
+func NewBudgeted(inner Labeler, n int64) *Budgeted {
+	return &Budgeted{inner: inner, remaining: n}
+}
+
+// Label implements Labeler.
+func (b *Budgeted) Label(id int) (dataset.Annotation, error) {
+	b.mu.Lock()
+	if b.remaining <= 0 {
+		b.mu.Unlock()
+		return nil, ErrBudgetExhausted
+	}
+	b.remaining--
+	b.mu.Unlock()
+	return b.inner.Label(id)
+}
+
+// Name implements Labeler.
+func (b *Budgeted) Name() string { return b.inner.Name() }
+
+// Cost implements Labeler.
+func (b *Budgeted) Cost() CostModel { return b.inner.Cost() }
+
+// Remaining returns how many invocations the budget still allows.
+func (b *Budgeted) Remaining() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.remaining
+}

@@ -1,0 +1,196 @@
+package labeler
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func videoDataset(t *testing.T, n int) *dataset.Dataset {
+	t.Helper()
+	ds, err := dataset.Generate("night-street", n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestOracle(t *testing.T) {
+	ds := videoDataset(t, 50)
+	o := NewOracle(ds, "mask-rcnn", MaskRCNNCost)
+	ann, err := o.Label(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Kind() != "video" {
+		t.Errorf("kind = %s", ann.Kind())
+	}
+	if _, err := o.Label(-1); err == nil {
+		t.Error("negative id should error")
+	}
+	if _, err := o.Label(50); err == nil {
+		t.Error("out-of-range id should error")
+	}
+	if o.Name() != "mask-rcnn" || o.Cost() != MaskRCNNCost {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestNoisyDeterministicAndDegrading(t *testing.T) {
+	ds := videoDataset(t, 300)
+	oracle := NewOracle(ds, "mask-rcnn", MaskRCNNCost)
+	ssd := NewNoisy(oracle, "ssd", SSDCost, 0.3, 0.1, 0.05, 9)
+
+	a, err := ssd.Label(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ssd.Label(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, vb := a.(dataset.VideoAnnotation), b.(dataset.VideoAnnotation)
+	if len(va.Boxes) != len(vb.Boxes) {
+		t.Error("noisy labeler not deterministic per record")
+	}
+
+	// Across the corpus the noisy labeler must disagree with the truth on a
+	// meaningful fraction of counts.
+	diff := 0
+	for i := 0; i < ds.Len(); i++ {
+		ann, err := ssd.Label(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ann.(dataset.VideoAnnotation).Count("") != ds.Truth[i].(dataset.VideoAnnotation).Count("") {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("noisy labeler never disagreed with the oracle")
+	}
+	// Box positions stay clamped to [0,1].
+	for i := 0; i < 50; i++ {
+		ann, _ := ssd.Label(i)
+		for _, b := range ann.(dataset.VideoAnnotation).Boxes {
+			if b.X < 0 || b.X > 1 || b.Y < 0 || b.Y > 1 {
+				t.Fatalf("box escaped clamp: %v", b)
+			}
+		}
+	}
+}
+
+func TestNoisyRejectsNonVideo(t *testing.T) {
+	ds, err := dataset.Generate("wikisql", 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := NewNoisy(NewOracle(ds, "crowd", HumanCost), "ssd", SSDCost, 0.1, 0.1, 0.05, 1)
+	if _, err := noisy.Label(0); err == nil {
+		t.Error("noisy labeler should reject text annotations")
+	}
+}
+
+func TestCounting(t *testing.T) {
+	ds := videoDataset(t, 20)
+	c := NewCounting(NewOracle(ds, "o", MaskRCNNCost))
+	for i := 0; i < 5; i++ {
+		if _, err := c.Label(3); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.Label(4); err != nil {
+		t.Fatal(err)
+	}
+	if c.Calls() != 6 {
+		t.Errorf("Calls = %d", c.Calls())
+	}
+	if c.Unique() != 2 {
+		t.Errorf("Unique = %d", c.Unique())
+	}
+	if got := c.TotalCost().Seconds; got != 6*MaskRCNNCost.Seconds {
+		t.Errorf("TotalCost = %v", got)
+	}
+	// Failed labels do not count.
+	if _, err := c.Label(99); err == nil {
+		t.Fatal("expected error")
+	}
+	if c.Calls() != 6 {
+		t.Errorf("failed call counted: %d", c.Calls())
+	}
+	c.Reset()
+	if c.Calls() != 0 || c.Unique() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestCountingConcurrent(t *testing.T) {
+	ds := videoDataset(t, 100)
+	c := NewCounting(NewOracle(ds, "o", MaskRCNNCost))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				c.Label((w*100 + i) % 100) //nolint:errcheck
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Calls() != 800 {
+		t.Errorf("Calls = %d, want 800", c.Calls())
+	}
+	if c.Unique() != 100 {
+		t.Errorf("Unique = %d, want 100", c.Unique())
+	}
+}
+
+func TestCachedAvoidsRepeatCalls(t *testing.T) {
+	ds := videoDataset(t, 20)
+	counting := NewCounting(NewOracle(ds, "o", MaskRCNNCost))
+	cached := NewCached(counting)
+	for i := 0; i < 10; i++ {
+		if _, err := cached.Label(5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if counting.Calls() != 1 {
+		t.Errorf("inner calls = %d, want 1", counting.Calls())
+	}
+	ids := cached.CachedIDs()
+	if len(ids) != 1 || ids[0] != 5 {
+		t.Errorf("CachedIDs = %v", ids)
+	}
+}
+
+func TestBudgeted(t *testing.T) {
+	ds := videoDataset(t, 20)
+	b := NewBudgeted(NewOracle(ds, "o", MaskRCNNCost), 3)
+	for i := 0; i < 3; i++ {
+		if _, err := b.Label(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Remaining() != 0 {
+		t.Errorf("Remaining = %d", b.Remaining())
+	}
+	if _, err := b.Label(4); !errors.Is(err, ErrBudgetExhausted) {
+		t.Errorf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := CostModel{Seconds: 2}.Mul(3).Add(CostModel{Seconds: 1, Dollars: 5})
+	if c.Seconds != 7 || c.Dollars != 5 {
+		t.Errorf("cost = %+v", c)
+	}
+	if (CostModel{Dollars: 3}).String() != "$3" {
+		t.Errorf("dollar string = %s", CostModel{Dollars: 3})
+	}
+	if (CostModel{Seconds: 4}).String() != "4 s" {
+		t.Errorf("seconds string = %s", CostModel{Seconds: 4})
+	}
+}

@@ -1,0 +1,78 @@
+// Package metrics implements the evaluation metrics the paper reports:
+// precision, recall, F1, false positive rate, and percent error.
+package metrics
+
+import "math"
+
+// Confusion is a binary confusion matrix.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// NewConfusion tallies a returned ID set against ground truth. truth[i]
+// reports whether record i matches; returned lists the selected IDs.
+func NewConfusion(truth []bool, returned []int) Confusion {
+	sel := make(map[int]bool, len(returned))
+	for _, id := range returned {
+		sel[id] = true
+	}
+	var c Confusion
+	for i, t := range truth {
+		switch {
+		case t && sel[i]:
+			c.TP++
+		case t && !sel[i]:
+			c.FN++
+		case !t && sel[i]:
+			c.FP++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was returned (no false
+// positives were asserted).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 1 when there are no positives to find.
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// FalsePositiveRate returns FP/(TP+FP), the fraction of the returned set
+// that does not match — the metric the paper reports for recall-target SUPG
+// queries (lower is better). An empty returned set has FPR 0.
+func (c Confusion) FalsePositiveRate() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.TP+c.FP)
+}
+
+// PercentError returns |est-truth|/|truth| in percent; if truth is zero it
+// returns the absolute error in percent points.
+func PercentError(est, truth float64) float64 {
+	if truth == 0 {
+		return math.Abs(est) * 100
+	}
+	return math.Abs(est-truth) / math.Abs(truth) * 100
+}

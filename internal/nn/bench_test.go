@@ -1,0 +1,51 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkForward(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	m := NewMLP(r, 64, 160, 64)
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+func BenchmarkForwardBackward(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	m := NewMLP(r, 64, 160, 64)
+	x := make([]float64, 64)
+	g := make([]float64, 64)
+	for i := range x {
+		x[i] = r.NormFloat64()
+		g[i] = r.NormFloat64()
+	}
+	grads := NewGrads(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := m.ForwardCache(x)
+		m.Backward(cache, g, grads)
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	m := NewMLP(r, 64, 160, 64)
+	grads := NewGrads(m)
+	m.Backward(m.ForwardCache(make([]float64, 64)), make([]float64, 64), grads)
+	opt := NewAdam(1e-3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(m, grads)
+	}
+}

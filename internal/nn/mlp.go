@@ -1,0 +1,223 @@
+// Package nn is the minimal deep-learning substrate the reproduction needs:
+// a multi-layer perceptron with manual backpropagation and an Adam
+// optimizer. It stands in for the paper's ResNet-18/BERT embedding DNNs and
+// the "tiny ResNet"/CNN-10 per-query proxy models, which are gated behind
+// GPU inference we do not have.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// MLP is a fully connected network with tanh hidden activations and a linear
+// output layer.
+type MLP struct {
+	// Sizes are the layer widths, input first, output last.
+	Sizes []int
+	// W[l][i][j] is the weight from input j to unit i of layer l.
+	W [][][]float64
+	// B[l][i] is the bias of unit i of layer l.
+	B [][]float64
+}
+
+// NewMLP constructs an MLP with the given layer sizes (at least input and
+// output) and Xavier-style initialization from r.
+func NewMLP(r *rand.Rand, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: MLP needs at least 2 layer sizes, got %d", len(sizes)))
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: MLP layer sizes must be positive, got %v", sizes))
+		}
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...)}
+	for l := 1; l < len(sizes); l++ {
+		in, out := sizes[l-1], sizes[l]
+		scale := math.Sqrt(2.0 / float64(in+out))
+		w := make([][]float64, out)
+		for i := range w {
+			row := make([]float64, in)
+			for j := range row {
+				row[j] = r.NormFloat64() * scale
+			}
+			w[i] = row
+		}
+		m.W = append(m.W, w)
+		m.B = append(m.B, make([]float64, out))
+	}
+	return m
+}
+
+// InputDim returns the expected input width.
+func (m *MLP) InputDim() int { return m.Sizes[0] }
+
+// OutputDim returns the output width.
+func (m *MLP) OutputDim() int { return m.Sizes[len(m.Sizes)-1] }
+
+// NumParams returns the total number of weights and biases.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.W {
+		n += len(m.W[l])*len(m.W[l][0]) + len(m.B[l])
+	}
+	return n
+}
+
+// Forward computes the network output for input x.
+func (m *MLP) Forward(x []float64) []float64 {
+	cache := m.forward(x)
+	return cache.acts[len(cache.acts)-1]
+}
+
+// Cache holds the intermediate activations of one forward pass, needed by
+// Backward.
+type Cache struct {
+	// acts[0] is the input; acts[l] the post-activation output of layer l.
+	acts [][]float64
+}
+
+// Output returns the network output stored in the cache.
+func (c *Cache) Output() []float64 { return c.acts[len(c.acts)-1] }
+
+// ForwardCache computes the output and retains activations for Backward.
+func (m *MLP) ForwardCache(x []float64) *Cache {
+	return m.forward(x)
+}
+
+func (m *MLP) forward(x []float64) *Cache {
+	if len(x) != m.InputDim() {
+		panic(fmt.Sprintf("nn: input dim %d, want %d", len(x), m.InputDim()))
+	}
+	cache := &Cache{acts: make([][]float64, 0, len(m.W)+1)}
+	cache.acts = append(cache.acts, x)
+	cur := x
+	for l := range m.W {
+		out := make([]float64, len(m.W[l]))
+		for i, row := range m.W[l] {
+			s := m.B[l][i]
+			for j, w := range row {
+				s += w * cur[j]
+			}
+			out[i] = s
+		}
+		if l < len(m.W)-1 { // hidden layers use tanh; output stays linear
+			for i := range out {
+				out[i] = math.Tanh(out[i])
+			}
+		}
+		cache.acts = append(cache.acts, out)
+		cur = out
+	}
+	return cache
+}
+
+// Grads holds parameter gradients with the same shape as the MLP's weights.
+type Grads struct {
+	W [][][]float64
+	B [][]float64
+}
+
+// NewGrads allocates a zero gradient for m.
+func NewGrads(m *MLP) *Grads {
+	g := &Grads{}
+	for l := range m.W {
+		w := make([][]float64, len(m.W[l]))
+		for i := range w {
+			w[i] = make([]float64, len(m.W[l][i]))
+		}
+		g.W = append(g.W, w)
+		g.B = append(g.B, make([]float64, len(m.B[l])))
+	}
+	return g
+}
+
+// Zero resets all gradients to zero.
+func (g *Grads) Zero() {
+	for l := range g.W {
+		for i := range g.W[l] {
+			for j := range g.W[l][i] {
+				g.W[l][i][j] = 0
+			}
+		}
+		for i := range g.B[l] {
+			g.B[l][i] = 0
+		}
+	}
+}
+
+// Scale multiplies every gradient by s (e.g. 1/batchSize).
+func (g *Grads) Scale(s float64) {
+	for l := range g.W {
+		for i := range g.W[l] {
+			for j := range g.W[l][i] {
+				g.W[l][i][j] *= s
+			}
+		}
+		for i := range g.B[l] {
+			g.B[l][i] *= s
+		}
+	}
+}
+
+// Backward accumulates into g the parameter gradients of a scalar loss whose
+// gradient with respect to the network output is gradOut, for the forward
+// pass recorded in cache. It returns the gradient with respect to the input
+// (useful for tests).
+func (m *MLP) Backward(cache *Cache, gradOut []float64, g *Grads) []float64 {
+	if len(gradOut) != m.OutputDim() {
+		panic(fmt.Sprintf("nn: gradOut dim %d, want %d", len(gradOut), m.OutputDim()))
+	}
+	delta := append([]float64(nil), gradOut...)
+	for l := len(m.W) - 1; l >= 0; l-- {
+		in := cache.acts[l]
+		// Accumulate parameter gradients for layer l.
+		for i := range m.W[l] {
+			g.B[l][i] += delta[i]
+			row := g.W[l][i]
+			for j := range row {
+				row[j] += delta[i] * in[j]
+			}
+		}
+		if l == 0 {
+			// Gradient w.r.t. the network input.
+			gin := make([]float64, len(in))
+			for i, row := range m.W[l] {
+				for j, w := range row {
+					gin[j] += delta[i] * w
+				}
+			}
+			return gin
+		}
+		// Propagate to the previous layer through the tanh of layer l-1:
+		// d/dz tanh(z) = 1 - tanh(z)^2, and acts[l] stores tanh(z).
+		prev := make([]float64, len(cache.acts[l]))
+		for i, row := range m.W[l] {
+			for j, w := range row {
+				prev[j] += delta[i] * w
+			}
+		}
+		a := cache.acts[l]
+		for j := range prev {
+			prev[j] *= 1 - a[j]*a[j]
+		}
+		delta = prev
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the network.
+func (m *MLP) Clone() *MLP {
+	c := &MLP{Sizes: append([]int(nil), m.Sizes...)}
+	for l := range m.W {
+		w := make([][]float64, len(m.W[l]))
+		for i := range w {
+			w[i] = append([]float64(nil), m.W[l][i]...)
+		}
+		c.W = append(c.W, w)
+		c.B = append(c.B, append([]float64(nil), m.B[l]...))
+	}
+	return c
+}

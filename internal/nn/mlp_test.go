@@ -1,0 +1,182 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewMLPShapes(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	m := NewMLP(r, 5, 7, 3)
+	if m.InputDim() != 5 || m.OutputDim() != 3 {
+		t.Errorf("dims = %d, %d", m.InputDim(), m.OutputDim())
+	}
+	if got, want := m.NumParams(), 5*7+7+7*3+3; got != want {
+		t.Errorf("NumParams = %d, want %d", got, want)
+	}
+	out := m.Forward(make([]float64, 5))
+	if len(out) != 3 {
+		t.Errorf("output len = %d", len(out))
+	}
+}
+
+func TestNewMLPPanics(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, sizes := range [][]int{{3}, {3, 0, 2}, {}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for sizes %v", sizes)
+				}
+			}()
+			NewMLP(r, sizes...)
+		}()
+	}
+}
+
+func TestForwardPanicsOnBadInput(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(1)), 3, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on wrong input dim")
+		}
+	}()
+	m.Forward([]float64{1})
+}
+
+// TestGradientCheck verifies Backward against finite differences for a
+// scalar loss L = sum(out_i * g_i) on a two-hidden-layer network.
+func TestGradientCheck(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	m := NewMLP(r, 4, 6, 5, 3)
+	x := make([]float64, 4)
+	for i := range x {
+		x[i] = r.NormFloat64()
+	}
+	gradOut := make([]float64, 3)
+	for i := range gradOut {
+		gradOut[i] = r.NormFloat64()
+	}
+	loss := func() float64 {
+		out := m.Forward(x)
+		s := 0.0
+		for i, v := range out {
+			s += v * gradOut[i]
+		}
+		return s
+	}
+
+	grads := NewGrads(m)
+	gin := m.Backward(m.ForwardCache(x), gradOut, grads)
+
+	const eps = 1e-6
+	check := func(analytic float64, bump func(delta float64), what string) {
+		bump(eps)
+		up := loss()
+		bump(-2 * eps)
+		down := loss()
+		bump(eps) // restore
+		numeric := (up - down) / (2 * eps)
+		if math.Abs(numeric-analytic) > 1e-4*(1+math.Abs(numeric)) {
+			t.Errorf("%s: analytic %v vs numeric %v", what, analytic, numeric)
+		}
+	}
+
+	for l := range m.W {
+		for i := 0; i < len(m.W[l]); i += 2 {
+			for j := 0; j < len(m.W[l][i]); j += 2 {
+				l, i, j := l, i, j
+				check(grads.W[l][i][j], func(d float64) { m.W[l][i][j] += d },
+					"weight")
+			}
+		}
+		for i := 0; i < len(m.B[l]); i += 2 {
+			l, i := l, i
+			check(grads.B[l][i], func(d float64) { m.B[l][i] += d }, "bias")
+		}
+	}
+	for j := range x {
+		j := j
+		check(gin[j], func(d float64) { x[j] += d }, "input")
+	}
+}
+
+func TestBackwardAccumulates(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	m := NewMLP(r, 3, 4, 2)
+	x := []float64{1, -1, 0.5}
+	g := []float64{1, 2}
+
+	once := NewGrads(m)
+	m.Backward(m.ForwardCache(x), g, once)
+	twice := NewGrads(m)
+	m.Backward(m.ForwardCache(x), g, twice)
+	m.Backward(m.ForwardCache(x), g, twice)
+
+	if got, want := twice.W[0][0][0], 2*once.W[0][0][0]; math.Abs(got-want) > 1e-12 {
+		t.Errorf("accumulation: %v vs %v", got, want)
+	}
+	twice.Scale(0.5)
+	if got := twice.W[0][0][0]; math.Abs(got-once.W[0][0][0]) > 1e-12 {
+		t.Errorf("scale: %v vs %v", got, once.W[0][0][0])
+	}
+	twice.Zero()
+	if twice.W[0][0][0] != 0 || twice.B[1][0] != 0 {
+		t.Error("zero did not clear")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := NewMLP(rand.New(rand.NewSource(4)), 2, 3, 1)
+	c := m.Clone()
+	m.W[0][0][0] += 100
+	if c.W[0][0][0] == m.W[0][0][0] {
+		t.Error("clone shares weights")
+	}
+	m.B[0][0] += 100
+	if c.B[0][0] == m.B[0][0] {
+		t.Error("clone shares biases")
+	}
+}
+
+// trainRegression fits y = 2x0 - x1 and returns the final MSE.
+func trainRegression(t *testing.T, step func(m *MLP, g *Grads)) float64 {
+	t.Helper()
+	r := rand.New(rand.NewSource(5))
+	m := NewMLP(r, 2, 8, 1)
+	grads := NewGrads(m)
+	var mse float64
+	for iter := 0; iter < 2000; iter++ {
+		grads.Zero()
+		mse = 0
+		for b := 0; b < 16; b++ {
+			x := []float64{r.NormFloat64(), r.NormFloat64()}
+			y := 2*x[0] - x[1]
+			cache := m.ForwardCache(x)
+			diff := cache.Output()[0] - y
+			mse += diff * diff
+			m.Backward(cache, []float64{diff}, grads)
+		}
+		grads.Scale(1.0 / 16)
+		mse /= 16
+		step(m, grads)
+	}
+	return mse
+}
+
+func TestAdamLearnsRegression(t *testing.T) {
+	opt := NewAdam(1e-2)
+	mse := trainRegression(t, opt.Step)
+	if mse > 0.1 {
+		t.Errorf("Adam final MSE = %v", mse)
+	}
+}
+
+func TestSGDLearnsRegression(t *testing.T) {
+	opt := NewSGD(1e-2, 0.9)
+	mse := trainRegression(t, opt.Step)
+	if mse > 0.1 {
+		t.Errorf("SGD final MSE = %v", mse)
+	}
+}

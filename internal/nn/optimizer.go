@@ -1,0 +1,95 @@
+package nn
+
+import "math"
+
+// Adam implements the Adam optimizer (Kingma & Ba, 2015) over an MLP's
+// parameters.
+type Adam struct {
+	// LR is the learning rate.
+	LR float64
+	// Beta1, Beta2 are the moment decay rates.
+	Beta1, Beta2 float64
+	// Eps is the numerical-stability constant.
+	Eps float64
+
+	t      int
+	mW, vW [][][]float64
+	mB, vB [][]float64
+}
+
+// NewAdam returns an Adam optimizer with the usual defaults
+// (β1=0.9, β2=0.999, ε=1e-8) for the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Step applies one Adam update of m's parameters using gradients g.
+func (a *Adam) Step(m *MLP, g *Grads) {
+	if a.mW == nil {
+		a.init(m)
+	}
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for l := range m.W {
+		for i := range m.W[l] {
+			for j := range m.W[l][i] {
+				a.mW[l][i][j] = a.Beta1*a.mW[l][i][j] + (1-a.Beta1)*g.W[l][i][j]
+				a.vW[l][i][j] = a.Beta2*a.vW[l][i][j] + (1-a.Beta2)*g.W[l][i][j]*g.W[l][i][j]
+				mHat := a.mW[l][i][j] / c1
+				vHat := a.vW[l][i][j] / c2
+				m.W[l][i][j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+			}
+		}
+		for i := range m.B[l] {
+			a.mB[l][i] = a.Beta1*a.mB[l][i] + (1-a.Beta1)*g.B[l][i]
+			a.vB[l][i] = a.Beta2*a.vB[l][i] + (1-a.Beta2)*g.B[l][i]*g.B[l][i]
+			mHat := a.mB[l][i] / c1
+			vHat := a.vB[l][i] / c2
+			m.B[l][i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+func (a *Adam) init(m *MLP) {
+	zeros := func() (*Grads, *Grads) { return NewGrads(m), NewGrads(m) }
+	g1, g2 := zeros()
+	a.mW, a.vW = g1.W, g2.W
+	a.mB, a.vB = g1.B, g2.B
+}
+
+// SGD implements plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	// LR is the learning rate.
+	LR float64
+	// Momentum in [0,1); zero disables it.
+	Momentum float64
+
+	vW [][][]float64
+	vB [][]float64
+}
+
+// NewSGD returns a momentum-SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum}
+}
+
+// Step applies one SGD update of m's parameters using gradients g.
+func (s *SGD) Step(m *MLP, g *Grads) {
+	if s.vW == nil {
+		v := NewGrads(m)
+		s.vW, s.vB = v.W, v.B
+	}
+	for l := range m.W {
+		for i := range m.W[l] {
+			for j := range m.W[l][i] {
+				s.vW[l][i][j] = s.Momentum*s.vW[l][i][j] - s.LR*g.W[l][i][j]
+				m.W[l][i][j] += s.vW[l][i][j]
+			}
+		}
+		for i := range m.B[l] {
+			s.vB[l][i] = s.Momentum*s.vB[l][i] - s.LR*g.B[l][i]
+			m.B[l][i] += s.vB[l][i]
+		}
+	}
+}

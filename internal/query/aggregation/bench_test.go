@@ -1,0 +1,48 @@
+package aggregation
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+)
+
+func benchEnv(b *testing.B) (*dataset.Dataset, labeler.Labeler, []float64) {
+	b.Helper()
+	ds, err := dataset.Generate("night-street", 4000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab := labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)
+	truth := make([]float64, ds.Len())
+	for i, ann := range ds.Truth {
+		truth[i] = float64(ann.(dataset.VideoAnnotation).Count("car"))
+	}
+	return ds, lab, truth
+}
+
+func BenchmarkEstimateNoProxy(b *testing.B) {
+	ds, lab, _ := benchEnv(b)
+	opts := Options{ErrTarget: 0.1, Delta: 0.05, MinSamples: 100, Seed: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i)
+		if _, err := Estimate(opts, ds.Len(), nil, carCount, lab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateWithProxy(b *testing.B) {
+	ds, lab, truth := benchEnv(b)
+	opts := Options{ErrTarget: 0.1, Delta: 0.05, MinSamples: 100, Seed: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts.Seed = int64(i)
+		if _, err := Estimate(opts, ds.Len(), truth, carCount, lab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

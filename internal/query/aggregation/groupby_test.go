@@ -1,0 +1,108 @@
+package aggregation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+// groupOfCars buckets frames into empty / light / heavy traffic.
+func groupOfCars(ann dataset.Annotation) string {
+	switch n := ann.(dataset.VideoAnnotation).Count("car"); {
+	case n == 0:
+		return "empty"
+	case n <= 2:
+		return "light"
+	default:
+		return "heavy"
+	}
+}
+
+func TestEstimateGroups(t *testing.T) {
+	ds, lab, _ := testEnv(t, 4000)
+
+	// Perfect proxy groups (ground truth): the estimator must then be
+	// accurate per group.
+	proxyGroups := make([]string, ds.Len())
+	for i, ann := range ds.Truth {
+		proxyGroups[i] = groupOfCars(ann)
+	}
+	score := carCount
+
+	// Ground truth per group.
+	truthMean := map[string]float64{}
+	truthFrac := map[string]float64{}
+	for _, ann := range ds.Truth {
+		g := groupOfCars(ann)
+		truthMean[g] += score(ann)
+		truthFrac[g]++
+	}
+	for g := range truthMean {
+		truthMean[g] /= truthFrac[g]
+		truthFrac[g] /= float64(ds.Len())
+	}
+
+	res, err := EstimateGroups(GroupByOptions{Budget: 900, Seed: 2}, ds.Len(), proxyGroups, groupOfCars, score, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LabelerCalls > 900 {
+		t.Errorf("spent %d calls", res.LabelerCalls)
+	}
+	for g, want := range truthMean {
+		got, ok := res.Groups[g]
+		if !ok {
+			t.Fatalf("group %q missing", g)
+		}
+		if math.Abs(got.Mean-want) > 0.3 {
+			t.Errorf("group %q mean %v, truth %v", g, got.Mean, want)
+		}
+		if math.Abs(got.Fraction-truthFrac[g]) > 0.05 {
+			t.Errorf("group %q fraction %v, truth %v", g, got.Fraction, truthFrac[g])
+		}
+	}
+}
+
+func TestEstimateGroupsNoisyProxy(t *testing.T) {
+	// Even a useless proxy grouping (everything in one stratum) keeps the
+	// estimates unbiased — it just loses the rare-group precision boost.
+	ds, lab, _ := testEnv(t, 3000)
+	proxyGroups := make([]string, ds.Len())
+	for i := range proxyGroups {
+		proxyGroups[i] = "all"
+	}
+	res, err := EstimateGroups(GroupByOptions{Budget: 1200, Seed: 3}, ds.Len(), proxyGroups, groupOfCars, carCount, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the three groups appear and their fractions sum to ~1.
+	total := 0.0
+	for _, est := range res.Groups {
+		total += est.Fraction
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("fractions sum to %v", total)
+	}
+	if res.Groups["empty"].Mean != 0 {
+		t.Errorf("empty group mean %v", res.Groups["empty"].Mean)
+	}
+	if res.Groups["heavy"].Mean <= res.Groups["light"].Mean {
+		t.Errorf("heavy mean %v not above light %v",
+			res.Groups["heavy"].Mean, res.Groups["light"].Mean)
+	}
+}
+
+func TestEstimateGroupsValidation(t *testing.T) {
+	ds, lab, _ := testEnv(t, 100)
+	groups := make([]string, ds.Len())
+	if _, err := EstimateGroups(GroupByOptions{Budget: 10}, 0, nil, groupOfCars, carCount, lab); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := EstimateGroups(GroupByOptions{Budget: 10}, ds.Len(), groups[:5], groupOfCars, carCount, lab); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := EstimateGroups(GroupByOptions{Budget: 0}, ds.Len(), groups, groupOfCars, carCount, lab); err == nil {
+		t.Error("zero budget should error")
+	}
+}

@@ -1,0 +1,30 @@
+package limitq
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+)
+
+func BenchmarkRun(b *testing.B) {
+	ds, err := dataset.Generate("night-street", 4000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lab := labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)
+	pred := func(ann dataset.Annotation) bool {
+		return ann.(dataset.VideoAnnotation).Count("car") >= 4
+	}
+	scores := make([]float64, ds.Len())
+	for i, ann := range ds.Truth {
+		scores[i] = float64(ann.(dataset.VideoAnnotation).Count("car")) * 0.2
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(10, scores, nil, pred, lab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package limitq implements BlazeIt-style limit queries: find K records
+// matching a rare predicate by examining records with the target labeler in
+// descending proxy-score order. Proxy scores that rank the rare events early
+// mean fewer labeler invocations — the mechanism behind the paper's
+// Figure 6.
+package limitq
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+)
+
+// Predicate reports whether a target-labeler output matches the query.
+type Predicate func(ann dataset.Annotation) bool
+
+// Result is the limit-query output.
+type Result struct {
+	// Found holds the IDs of matching records, in discovery order, at most
+	// Limit of them.
+	Found []int
+	// OracleCalls is the number of target-labeler invocations consumed.
+	OracleCalls int64
+	// Exhausted reports that the whole dataset was scanned without finding
+	// Limit matches.
+	Exhausted bool
+	// Labeled maps every examined record to its annotation, so callers can
+	// crack the index with the labels the query paid for.
+	Labeled map[int]dataset.Annotation
+}
+
+// Run scans records in descending proxy-score order — ties broken by
+// ascending tieDist (the distance to the nearest cluster representative, per
+// the paper's Section 6.3 custom scoring), then by ID — labeling each until
+// limit matches are found. tieDist may be nil.
+func Run(limit int, proxy, tieDist []float64, pred Predicate, lab labeler.Labeler) (Result, error) {
+	n := len(proxy)
+	if n == 0 {
+		return Result{}, errors.New("limitq: empty dataset")
+	}
+	if limit <= 0 {
+		return Result{}, fmt.Errorf("limitq: limit must be positive, got %d", limit)
+	}
+	if tieDist != nil && len(tieDist) != n {
+		return Result{}, fmt.Errorf("limitq: %d tie distances for %d records", len(tieDist), n)
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		i, j := order[a], order[b]
+		if proxy[i] != proxy[j] {
+			return proxy[i] > proxy[j]
+		}
+		if tieDist != nil && tieDist[i] != tieDist[j] {
+			return tieDist[i] < tieDist[j]
+		}
+		return i < j
+	})
+
+	res := Result{Labeled: make(map[int]dataset.Annotation)}
+	for _, id := range order {
+		ann, err := lab.Label(id)
+		if err != nil {
+			return Result{}, fmt.Errorf("limitq: labeling record %d: %w", id, err)
+		}
+		res.OracleCalls++
+		res.Labeled[id] = ann
+		if pred(ann) {
+			res.Found = append(res.Found, id)
+			if len(res.Found) == limit {
+				return res, nil
+			}
+		}
+	}
+	res.Exhausted = true
+	return res, nil
+}

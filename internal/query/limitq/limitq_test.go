@@ -1,0 +1,153 @@
+package limitq
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+)
+
+func limitEnv(t *testing.T, n int) (*dataset.Dataset, labeler.Labeler, Predicate) {
+	t.Helper()
+	ds, err := dataset.Generate("night-street", n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)
+	pred := func(ann dataset.Annotation) bool {
+		return ann.(dataset.VideoAnnotation).Count("car") >= 4
+	}
+	return ds, lab, pred
+}
+
+func TestRunPerfectScores(t *testing.T) {
+	ds, lab, pred := limitEnv(t, 2000)
+	// With oracle scores, exactly limit calls are needed.
+	scores := make([]float64, ds.Len())
+	matches := 0
+	for i, ann := range ds.Truth {
+		if pred(ann) {
+			scores[i] = 1
+			matches++
+		}
+	}
+	if matches < 5 {
+		t.Skipf("only %d matches in corpus", matches)
+	}
+	res, err := Run(5, scores, nil, pred, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleCalls != 5 || len(res.Found) != 5 {
+		t.Errorf("calls=%d found=%d, want 5/5", res.OracleCalls, len(res.Found))
+	}
+	for _, id := range res.Found {
+		if !pred(ds.Truth[id]) {
+			t.Errorf("returned non-match %d", id)
+		}
+	}
+	if len(res.Labeled) != 5 {
+		t.Errorf("labeled map has %d entries", len(res.Labeled))
+	}
+}
+
+func TestRunAdversarialScores(t *testing.T) {
+	// Inverted scores force a near-full scan; the result must still be
+	// correct.
+	ds, lab, pred := limitEnv(t, 1000)
+	scores := make([]float64, ds.Len())
+	for i, ann := range ds.Truth {
+		if pred(ann) {
+			scores[i] = -1 // matches ranked last
+		}
+	}
+	res, err := Run(3, scores, nil, pred, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Found) != 3 {
+		t.Fatalf("found %d", len(res.Found))
+	}
+	// All non-matches are scanned first.
+	nonMatches := 0
+	for _, ann := range ds.Truth {
+		if !pred(ann) {
+			nonMatches++
+		}
+	}
+	if res.OracleCalls != int64(nonMatches+3) {
+		t.Errorf("calls = %d, want %d", res.OracleCalls, nonMatches+3)
+	}
+}
+
+func TestRunExhausted(t *testing.T) {
+	ds, lab, _ := limitEnv(t, 300)
+	never := func(dataset.Annotation) bool { return false }
+	scores := make([]float64, ds.Len())
+	res, err := Run(1, scores, nil, never, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exhausted {
+		t.Error("should report exhaustion")
+	}
+	if res.OracleCalls != int64(ds.Len()) {
+		t.Errorf("calls = %d", res.OracleCalls)
+	}
+	if len(res.Found) != 0 {
+		t.Errorf("found %v", res.Found)
+	}
+}
+
+func TestTieBreakingByDistance(t *testing.T) {
+	ds, lab, _ := limitEnv(t, 100)
+	// All scores tie; distances order the scan.
+	scores := make([]float64, ds.Len())
+	dists := make([]float64, ds.Len())
+	for i := range dists {
+		dists[i] = float64(ds.Len() - i) // record 99 closest
+	}
+	matchLast := func(ann dataset.Annotation) bool { return true }
+	res, err := Run(1, scores, dists, matchLast, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found[0] != ds.Len()-1 {
+		t.Errorf("first scanned = %d, want %d (smallest distance)", res.Found[0], ds.Len()-1)
+	}
+}
+
+func TestTieBreakingByID(t *testing.T) {
+	ds, lab, _ := limitEnv(t, 50)
+	scores := make([]float64, ds.Len())
+	res, err := Run(1, scores, nil, func(dataset.Annotation) bool { return true }, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found[0] != 0 {
+		t.Errorf("all-ties scan should start at ID 0, got %d", res.Found[0])
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	ds, lab, pred := limitEnv(t, 50)
+	scores := make([]float64, ds.Len())
+	if _, err := Run(0, scores, nil, pred, lab); err == nil {
+		t.Error("limit=0 should error")
+	}
+	if _, err := Run(1, nil, nil, pred, lab); err == nil {
+		t.Error("empty scores should error")
+	}
+	if _, err := Run(1, scores, make([]float64, 3), pred, lab); err == nil {
+		t.Error("tieDist length mismatch should error")
+	}
+}
+
+func TestRunPropagatesLabelerError(t *testing.T) {
+	ds, _, pred := limitEnv(t, 100)
+	budgeted := labeler.NewBudgeted(labeler.NewOracle(ds, "o", labeler.MaskRCNNCost), 2)
+	scores := make([]float64, ds.Len())
+	if _, err := Run(50, scores, nil, pred, budgeted); err == nil {
+		t.Error("budget exhaustion should surface")
+	}
+}

@@ -1,0 +1,233 @@
+// Package predagg implements approximate aggregation with expensive
+// predicates: estimating the mean of a score over only the records that
+// match a predicate, when both the score and the predicate require the
+// target labeler. This is the query class the paper's Section 2.2 notes
+// later work built on TASTI (Kang et al., "Accelerating Approximate
+// Aggregation Queries with Expensive Predicates", PVLDB 2021).
+//
+// The algorithm is stratified two-phase sampling in the style of ABae:
+// records are stratified by their predicate proxy score, a pilot phase
+// estimates each stratum's match rate and score variance, and the remaining
+// budget is allocated across strata by Neyman allocation. Better proxy
+// scores concentrate matching records into few strata, which shrinks the
+// estimator variance at a fixed labeler budget.
+package predagg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+	"repro/internal/xrand"
+)
+
+// Predicate reports whether a target-labeler output matches the filter.
+type Predicate func(ann dataset.Annotation) bool
+
+// ScoreFunc maps a target-labeler output to the aggregated quantity.
+type ScoreFunc func(ann dataset.Annotation) float64
+
+// Options configures the stratified estimator.
+type Options struct {
+	// Budget is the total number of target-labeler invocations.
+	Budget int
+	// Strata is the number of proxy-score strata (default 5).
+	Strata int
+	// PilotFraction is the share of the budget spent uniformly across
+	// strata before allocation (default 0.3).
+	PilotFraction float64
+	// Seed makes sampling deterministic.
+	Seed int64
+}
+
+// DefaultOptions returns the standard configuration for the given budget.
+func DefaultOptions(budget int, seed int64) Options {
+	return Options{Budget: budget, Strata: 5, PilotFraction: 0.3, Seed: seed}
+}
+
+// Result is the estimator output.
+type Result struct {
+	// Estimate is the estimated mean of the score over matching records.
+	Estimate float64
+	// LabelerCalls is the number of target-labeler invocations consumed.
+	LabelerCalls int64
+	// MatchFraction is the estimated fraction of records matching the
+	// predicate.
+	MatchFraction float64
+	// SamplesPerStratum records how the budget was spent.
+	SamplesPerStratum []int
+}
+
+// stratum accumulates pilot and final-phase observations for one band of
+// proxy scores.
+type stratum struct {
+	ids     []int
+	labeled int
+	matches int
+	sum     float64
+	sumSq   float64
+}
+
+func (s *stratum) observe(match bool, score float64) {
+	s.labeled++
+	if match {
+		s.matches++
+		s.sum += score
+		s.sumSq += score * score
+	}
+}
+
+// matchRate returns the stratum's observed predicate rate.
+func (s *stratum) matchRate() float64 {
+	if s.labeled == 0 {
+		return 0
+	}
+	return float64(s.matches) / float64(s.labeled)
+}
+
+// meanScore returns the mean score among observed matches.
+func (s *stratum) meanScore() float64 {
+	if s.matches == 0 {
+		return 0
+	}
+	return s.sum / float64(s.matches)
+}
+
+// scoreVar returns the sample variance of scores among observed matches.
+func (s *stratum) scoreVar() float64 {
+	if s.matches < 2 {
+		return 0
+	}
+	m := s.meanScore()
+	return (s.sumSq - float64(s.matches)*m*m) / float64(s.matches-1)
+}
+
+// Estimate runs the stratified predicate-aggregation estimator over n
+// records with predicate proxy scores predProxy.
+func Estimate(opts Options, n int, predProxy []float64, pred Predicate, score ScoreFunc, lab labeler.Labeler) (Result, error) {
+	if n <= 0 {
+		return Result{}, errors.New("predagg: empty dataset")
+	}
+	if len(predProxy) != n {
+		return Result{}, fmt.Errorf("predagg: %d proxy scores for %d records", len(predProxy), n)
+	}
+	if opts.Budget < 2*opts.Strata {
+		return Result{}, fmt.Errorf("predagg: budget %d too small for %d strata", opts.Budget, opts.Strata)
+	}
+	if opts.Strata <= 0 {
+		return Result{}, fmt.Errorf("predagg: strata must be positive, got %d", opts.Strata)
+	}
+	if opts.PilotFraction <= 0 || opts.PilotFraction >= 1 {
+		return Result{}, fmt.Errorf("predagg: pilot fraction %v outside (0,1)", opts.PilotFraction)
+	}
+
+	strata := stratify(n, predProxy, opts.Strata)
+	r := xrand.New(opts.Seed)
+	var calls int64
+
+	sample := func(s *stratum) error {
+		id := s.ids[r.Intn(len(s.ids))]
+		ann, err := lab.Label(id)
+		if err != nil {
+			return fmt.Errorf("predagg: labeling record %d: %w", id, err)
+		}
+		calls++
+		s.observe(pred(ann), score(ann))
+		return nil
+	}
+
+	// Pilot phase: uniform across strata.
+	pilotPer := int(opts.PilotFraction * float64(opts.Budget) / float64(len(strata)))
+	if pilotPer < 2 {
+		pilotPer = 2
+	}
+	for _, s := range strata {
+		for i := 0; i < pilotPer && i < len(s.ids); i++ {
+			if err := sample(s); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+
+	// Allocation phase: Neyman allocation on the contribution of each
+	// stratum to the estimator variance. A stratum with weight w_k, match
+	// rate p_k, and score spread s_k contributes ~ w_k * sqrt(p_k) *
+	// sqrt(s_k^2 + mu_k^2 * (1-p_k)), covering both the score variance
+	// among matches and the Bernoulli variance of matching itself.
+	remaining := opts.Budget - int(calls)
+	if remaining > 0 {
+		priority := make([]float64, len(strata))
+		total := 0.0
+		for k, s := range strata {
+			w := float64(len(s.ids)) / float64(n)
+			p := s.matchRate()
+			mu := s.meanScore()
+			priority[k] = w * math.Sqrt(p*(s.scoreVar()+mu*mu*(1-p)))
+			// Never fully starve a stratum the pilot found matches in.
+			if p > 0 && priority[k] == 0 {
+				priority[k] = w * 1e-6
+			}
+			total += priority[k]
+		}
+		for k, s := range strata {
+			var quota int
+			if total == 0 {
+				quota = remaining / len(strata)
+			} else {
+				quota = int(float64(remaining) * priority[k] / total)
+			}
+			for i := 0; i < quota; i++ {
+				if err := sample(s); err != nil {
+					return Result{}, err
+				}
+			}
+		}
+	}
+
+	// Combine: E[f | P] = sum_k w_k p_k mu_k / sum_k w_k p_k.
+	num, den := 0.0, 0.0
+	samplesPer := make([]int, len(strata))
+	for k, s := range strata {
+		w := float64(len(s.ids)) / float64(n)
+		p := s.matchRate()
+		num += w * p * s.meanScore()
+		den += w * p
+		samplesPer[k] = s.labeled
+	}
+	res := Result{LabelerCalls: calls, MatchFraction: den, SamplesPerStratum: samplesPer}
+	if den > 0 {
+		res.Estimate = num / den
+	}
+	return res, nil
+}
+
+// stratify partitions record IDs into numStrata bands of ascending proxy
+// score, sized as evenly as possible.
+func stratify(n int, proxy []float64, numStrata int) []*stratum {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if proxy[order[a]] != proxy[order[b]] {
+			return proxy[order[a]] < proxy[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	if numStrata > n {
+		numStrata = n
+	}
+	out := make([]*stratum, 0, numStrata)
+	for k := 0; k < numStrata; k++ {
+		lo := k * n / numStrata
+		hi := (k + 1) * n / numStrata
+		if lo >= hi {
+			continue
+		}
+		out = append(out, &stratum{ids: order[lo:hi]})
+	}
+	return out
+}

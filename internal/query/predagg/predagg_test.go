@@ -1,0 +1,182 @@
+package predagg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+	"repro/internal/xrand"
+)
+
+// predaggEnv: the query is "average number of cars in frames that contain at
+// least one car".
+func predaggEnv(t *testing.T, n int) (*dataset.Dataset, labeler.Labeler, Predicate, ScoreFunc, float64) {
+	t.Helper()
+	ds, err := dataset.Generate("night-street", n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)
+	pred := func(ann dataset.Annotation) bool {
+		return ann.(dataset.VideoAnnotation).Count("car") >= 1
+	}
+	score := func(ann dataset.Annotation) float64 {
+		return float64(ann.(dataset.VideoAnnotation).Count("car"))
+	}
+	sum, matches := 0.0, 0
+	for _, ann := range ds.Truth {
+		if pred(ann) {
+			sum += score(ann)
+			matches++
+		}
+	}
+	return ds, lab, pred, score, sum / float64(matches)
+}
+
+// proxyFor builds predicate proxy scores of controllable quality.
+func proxyFor(ds *dataset.Dataset, pred Predicate, noise float64, seed int64) []float64 {
+	r := xrand.New(seed)
+	out := make([]float64, ds.Len())
+	for i, ann := range ds.Truth {
+		v := 0.1
+		if pred(ann) {
+			v = 0.9
+		}
+		out[i] = v + xrand.Normal(r, 0, noise)
+	}
+	return out
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	ds, lab, pred, score, truth := predaggEnv(t, 4000)
+	proxy := proxyFor(ds, pred, 0.1, 2)
+
+	var errs []float64
+	for trial := 0; trial < 15; trial++ {
+		opts := DefaultOptions(400, int64(trial))
+		res, err := Estimate(opts, ds.Len(), proxy, pred, score, lab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LabelerCalls > 400 {
+			t.Fatalf("spent %d calls, budget 400", res.LabelerCalls)
+		}
+		errs = append(errs, math.Abs(res.Estimate-truth))
+	}
+	mean := 0.0
+	for _, e := range errs {
+		mean += e
+	}
+	mean /= float64(len(errs))
+	if mean > 0.25 {
+		t.Errorf("mean absolute error %v on truth %v", mean, truth)
+	}
+}
+
+func TestBetterProxyHelps(t *testing.T) {
+	ds, lab, pred, score, truth := predaggEnv(t, 4000)
+	sharp := proxyFor(ds, pred, 0.05, 3)
+	flat := make([]float64, ds.Len()) // useless proxy: everything ties
+
+	errOf := func(proxy []float64) float64 {
+		total := 0.0
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			res, err := Estimate(DefaultOptions(300, int64(100+trial)), ds.Len(), proxy, pred, score, lab)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += (res.Estimate - truth) * (res.Estimate - truth)
+		}
+		return total / trials
+	}
+	if sharpErr, flatErr := errOf(sharp), errOf(flat); sharpErr >= flatErr {
+		t.Errorf("sharp proxy MSE %v not below flat %v", sharpErr, flatErr)
+	}
+}
+
+func TestMatchFraction(t *testing.T) {
+	ds, lab, pred, score, _ := predaggEnv(t, 3000)
+	proxy := proxyFor(ds, pred, 0.1, 4)
+	trueFrac := 0.0
+	for _, ann := range ds.Truth {
+		if pred(ann) {
+			trueFrac++
+		}
+	}
+	trueFrac /= float64(ds.Len())
+
+	res, err := Estimate(DefaultOptions(500, 5), ds.Len(), proxy, pred, score, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.MatchFraction-trueFrac) > 0.1 {
+		t.Errorf("match fraction %v, truth %v", res.MatchFraction, trueFrac)
+	}
+	sum := 0
+	for _, s := range res.SamplesPerStratum {
+		sum += s
+	}
+	if int64(sum) != res.LabelerCalls {
+		t.Errorf("per-stratum samples %d != calls %d", sum, res.LabelerCalls)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ds, lab, pred, score, _ := predaggEnv(t, 100)
+	proxy := make([]float64, ds.Len())
+	if _, err := Estimate(DefaultOptions(50, 1), 0, nil, pred, score, lab); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := Estimate(DefaultOptions(50, 1), ds.Len(), proxy[:3], pred, score, lab); err == nil {
+		t.Error("proxy mismatch should error")
+	}
+	opts := DefaultOptions(5, 1) // < 2*strata
+	if _, err := Estimate(opts, ds.Len(), proxy, pred, score, lab); err == nil {
+		t.Error("tiny budget should error")
+	}
+	opts = DefaultOptions(100, 1)
+	opts.Strata = 0
+	if _, err := Estimate(opts, ds.Len(), proxy, pred, score, lab); err == nil {
+		t.Error("zero strata should error")
+	}
+	opts = DefaultOptions(100, 1)
+	opts.PilotFraction = 1
+	if _, err := Estimate(opts, ds.Len(), proxy, pred, score, lab); err == nil {
+		t.Error("pilot fraction 1 should error")
+	}
+}
+
+func TestNoMatches(t *testing.T) {
+	ds, lab, _, score, _ := predaggEnv(t, 500)
+	never := func(dataset.Annotation) bool { return false }
+	proxy := make([]float64, ds.Len())
+	res, err := Estimate(DefaultOptions(100, 6), ds.Len(), proxy, never, score, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate != 0 || res.MatchFraction != 0 {
+		t.Errorf("no matches: estimate %v, fraction %v", res.Estimate, res.MatchFraction)
+	}
+}
+
+func TestStratify(t *testing.T) {
+	proxy := []float64{0.9, 0.1, 0.5, 0.3, 0.7}
+	strata := stratify(5, proxy, 2)
+	if len(strata) != 2 {
+		t.Fatalf("got %d strata", len(strata))
+	}
+	// Low stratum holds the lowest proxy scores.
+	for _, id := range strata[0].ids {
+		for _, hi := range strata[1].ids {
+			if proxy[id] > proxy[hi] {
+				t.Errorf("stratum order violated: %d above %d", id, hi)
+			}
+		}
+	}
+	// More strata than records clamps.
+	if got := stratify(2, []float64{0.1, 0.9}, 10); len(got) != 2 {
+		t.Errorf("clamping failed: %d strata", len(got))
+	}
+}

@@ -1,0 +1,115 @@
+// Package selection implements threshold selection without statistical
+// guarantees, the mode of NoScope, Tahoma, and probabilistic predicates: a
+// small labeled validation sample picks the proxy-score threshold that
+// maximizes F1, and the query answer is every record above it (paper
+// Section 6.5, Table 2).
+package selection
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+	"repro/internal/xrand"
+)
+
+// Predicate reports whether a target-labeler output matches the selection.
+type Predicate func(ann dataset.Annotation) bool
+
+// Result is the output of a threshold selection.
+type Result struct {
+	// Returned holds the selected record IDs in ascending order.
+	Returned []int
+	// Threshold is the chosen proxy-score cutoff.
+	Threshold float64
+	// OracleCalls is the number of target-labeler invocations spent on the
+	// validation sample.
+	OracleCalls int64
+}
+
+// Threshold labels a random validation sample of the given size, picks the
+// proxy threshold maximizing validation F1, and returns every record whose
+// proxy score clears it.
+func Threshold(n int, proxy []float64, validationSize int, pred Predicate, lab labeler.Labeler, seed int64) (Result, error) {
+	if n <= 0 {
+		return Result{}, errors.New("selection: empty dataset")
+	}
+	if len(proxy) != n {
+		return Result{}, fmt.Errorf("selection: %d proxy scores for %d records", len(proxy), n)
+	}
+	if validationSize <= 0 {
+		return Result{}, fmt.Errorf("selection: validation size must be positive, got %d", validationSize)
+	}
+	if validationSize > n {
+		validationSize = n
+	}
+
+	r := xrand.New(seed)
+	ids := xrand.SampleWithoutReplacement(r, n, validationSize)
+	val := make([]labeled, 0, len(ids))
+	var calls int64
+	for _, id := range ids {
+		ann, err := lab.Label(id)
+		if err != nil {
+			return Result{}, fmt.Errorf("selection: labeling record %d: %w", id, err)
+		}
+		calls++
+		val = append(val, labeled{score: proxy[id], match: pred(ann)})
+	}
+
+	threshold := bestF1Threshold(val)
+
+	var out []int
+	for i, p := range proxy {
+		if p >= threshold {
+			out = append(out, i)
+		}
+	}
+	return Result{Returned: out, Threshold: threshold, OracleCalls: calls}, nil
+}
+
+// labeled pairs a validation record's proxy score with its oracle label.
+type labeled struct {
+	score float64
+	match bool
+}
+
+// bestF1Threshold sweeps the distinct validation scores from high to low and
+// returns the cutoff with the best F1 against the validation labels.
+func bestF1Threshold(val []labeled) float64 {
+	sort.Slice(val, func(i, j int) bool { return val[i].score > val[j].score })
+	totalPos := 0
+	for _, v := range val {
+		if v.match {
+			totalPos++
+		}
+	}
+	bestF1, bestThreshold := -1.0, val[0].score
+	tp, fp := 0, 0
+	for i, v := range val {
+		if v.match {
+			tp++
+		} else {
+			fp++
+		}
+		// Only evaluate at distinct score boundaries.
+		if i+1 < len(val) && val[i+1].score == v.score {
+			continue
+		}
+		f1 := f1Score(tp, fp, totalPos-tp)
+		if f1 > bestF1 {
+			bestF1, bestThreshold = f1, v.score
+		}
+	}
+	return bestThreshold
+}
+
+func f1Score(tp, fp, fn int) float64 {
+	denom := float64(2*tp + fp + fn)
+	if denom == 0 {
+		return 0
+	}
+	return 2 * float64(tp) / denom
+}

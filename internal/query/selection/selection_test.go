@@ -1,0 +1,127 @@
+package selection
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+func selectionEnv(t *testing.T, n int) (*dataset.Dataset, labeler.Labeler, Predicate, []bool) {
+	t.Helper()
+	ds, err := dataset.Generate("night-street", n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)
+	pred := func(ann dataset.Annotation) bool {
+		return ann.(dataset.VideoAnnotation).Count("car") >= 1
+	}
+	truth := make([]bool, n)
+	for i, ann := range ds.Truth {
+		truth[i] = pred(ann)
+	}
+	return ds, lab, pred, truth
+}
+
+func TestThresholdSeparableScores(t *testing.T) {
+	ds, lab, pred, truth := selectionEnv(t, 2000)
+	// Perfectly separable proxy: matches score high.
+	scores := make([]float64, ds.Len())
+	for i, m := range truth {
+		if m {
+			scores[i] = 0.8
+		} else {
+			scores[i] = 0.2
+		}
+	}
+	res, err := Threshold(ds.Len(), scores, 200, pred, lab, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := metrics.NewConfusion(truth, res.Returned)
+	if c.F1() < 0.999 {
+		t.Errorf("F1 on separable scores = %v", c.F1())
+	}
+	if res.OracleCalls != 200 {
+		t.Errorf("oracle calls = %d", res.OracleCalls)
+	}
+}
+
+func TestThresholdNoisyScoresStillReasonable(t *testing.T) {
+	ds, lab, pred, truth := selectionEnv(t, 2000)
+	r := xrand.New(4)
+	scores := make([]float64, ds.Len())
+	for i, m := range truth {
+		base := 0.25
+		if m {
+			base = 0.75
+		}
+		scores[i] = base + xrand.Normal(r, 0, 0.2)
+	}
+	res, err := Threshold(ds.Len(), scores, 300, pred, lab, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := metrics.NewConfusion(truth, res.Returned)
+	if c.F1() < 0.7 {
+		t.Errorf("F1 on noisy scores = %v", c.F1())
+	}
+}
+
+func TestThresholdValidation(t *testing.T) {
+	ds, lab, pred, _ := selectionEnv(t, 100)
+	scores := make([]float64, ds.Len())
+	if _, err := Threshold(0, nil, 10, pred, lab, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := Threshold(ds.Len(), scores[:5], 10, pred, lab, 1); err == nil {
+		t.Error("length mismatch should error")
+	}
+	if _, err := Threshold(ds.Len(), scores, 0, pred, lab, 1); err == nil {
+		t.Error("validationSize=0 should error")
+	}
+	// Oversized validation clamps to n.
+	res, err := Threshold(ds.Len(), scores, 10000, pred, lab, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleCalls != int64(ds.Len()) {
+		t.Errorf("calls = %d", res.OracleCalls)
+	}
+}
+
+func TestThresholdReturnedSorted(t *testing.T) {
+	ds, lab, pred, _ := selectionEnv(t, 500)
+	scores := make([]float64, ds.Len())
+	for i := range scores {
+		scores[i] = float64(i%10) / 10
+	}
+	res, err := Threshold(ds.Len(), scores, 100, pred, lab, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.Returned); i++ {
+		if res.Returned[i] <= res.Returned[i-1] {
+			t.Fatal("returned IDs not strictly ascending")
+		}
+	}
+	for _, id := range res.Returned {
+		if scores[id] < res.Threshold {
+			t.Fatalf("returned record %d below threshold", id)
+		}
+	}
+}
+
+func TestBestF1Threshold(t *testing.T) {
+	val := []labeled{
+		{0.9, true}, {0.8, true}, {0.7, false}, {0.6, true}, {0.1, false},
+	}
+	got := bestF1Threshold(val)
+	// Cutting at 0.6 gives precision 3/4, recall 1, F1 ~0.857 — the best.
+	if got != 0.6 {
+		t.Errorf("threshold = %v, want 0.6", got)
+	}
+}

@@ -1,0 +1,216 @@
+package supg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+	"repro/internal/metrics"
+	"repro/internal/xrand"
+)
+
+func selectionEnv(t testing.TB, n int) (*dataset.Dataset, labeler.Labeler, Predicate, []bool) {
+	t.Helper()
+	ds, err := dataset.Generate("night-street", n, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lab := labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)
+	pred := func(ann dataset.Annotation) bool {
+		return ann.(dataset.VideoAnnotation).Count("car") >= 1
+	}
+	truth := make([]bool, n)
+	for i, ann := range ds.Truth {
+		truth[i] = pred(ann)
+	}
+	return ds, lab, pred, truth
+}
+
+// goodProxy builds proxy scores correlated with the predicate: the truth
+// plus noise.
+func goodProxy(truth []bool, noise float64, seed int64) []float64 {
+	r := xrand.New(seed)
+	out := make([]float64, len(truth))
+	for i, m := range truth {
+		v := 0.1
+		if m {
+			v = 0.9
+		}
+		out[i] = math.Max(0, math.Min(1, v+xrand.Normal(r, 0, noise)))
+	}
+	return out
+}
+
+func TestRecallTargetMeetsRecall(t *testing.T) {
+	ds, lab, pred, truth := selectionEnv(t, 3000)
+	scores := goodProxy(truth, 0.15, 2)
+
+	misses := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		opts := Options{Budget: 150, Target: 0.9, Delta: 0.05, Seed: int64(trial)}
+		res, err := RecallTarget(opts, ds.Len(), scores, pred, lab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := metrics.NewConfusion(truth, res.Returned)
+		if c.Recall() < 0.9 {
+			misses++
+		}
+		if res.OracleCalls != 150 {
+			t.Fatalf("oracle calls = %d, want budget 150", res.OracleCalls)
+		}
+	}
+	if float64(misses)/trials > 0.1 {
+		t.Errorf("recall target missed in %d/%d trials", misses, trials)
+	}
+}
+
+func TestBetterProxyLowersFPR(t *testing.T) {
+	ds, lab, pred, truth := selectionEnv(t, 3000)
+	sharp := goodProxy(truth, 0.05, 3)
+	blurry := goodProxy(truth, 0.45, 3)
+	opts := Options{Budget: 150, Target: 0.9, Delta: 0.05, Seed: 4}
+
+	resSharp, err := RecallTarget(opts, ds.Len(), sharp, pred, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBlurry, err := RecallTarget(opts, ds.Len(), blurry, pred, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fprSharp := metrics.NewConfusion(truth, resSharp.Returned).FalsePositiveRate()
+	fprBlurry := metrics.NewConfusion(truth, resBlurry.Returned).FalsePositiveRate()
+	if fprSharp >= fprBlurry {
+		t.Errorf("sharp proxy FPR %v not below blurry %v", fprSharp, fprBlurry)
+	}
+}
+
+func TestPrecisionTarget(t *testing.T) {
+	ds, lab, pred, truth := selectionEnv(t, 3000)
+	scores := goodProxy(truth, 0.1, 5)
+	misses := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		opts := Options{Budget: 150, Target: 0.85, Delta: 0.05, Seed: int64(100 + trial)}
+		res, err := PrecisionTarget(opts, ds.Len(), scores, pred, lab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Returned) == 0 {
+			continue
+		}
+		c := metrics.NewConfusion(truth, res.Returned)
+		if c.Precision() < 0.85 {
+			misses++
+		}
+	}
+	if float64(misses)/trials > 0.1 {
+		t.Errorf("precision target missed in %d/%d trials", misses, trials)
+	}
+}
+
+func TestSampledNegativesExcluded(t *testing.T) {
+	// Records the sample labeled negative must never be returned: they are
+	// known non-matches.
+	ds, lab, pred, truth := selectionEnv(t, 1500)
+	scores := goodProxy(truth, 0.3, 6)
+	opts := Options{Budget: 300, Target: 0.9, Delta: 0.05, Seed: 7}
+	res, err := RecallTarget(opts, ds.Len(), scores, pred, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	returned := make(map[int]bool, len(res.Returned))
+	for _, id := range res.Returned {
+		returned[id] = true
+	}
+	for _, id := range res.Returned {
+		_ = id
+	}
+	for i, m := range truth {
+		if returned[i] && !m && scores[i] >= res.Threshold {
+			// Allowed: unsampled false positives above the threshold.
+			continue
+		}
+	}
+	// Direct check: run with a labeler that records which IDs were sampled.
+	counting := labeler.NewCounting(lab)
+	res2, err := RecallTarget(opts, ds.Len(), scores, pred, counting)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret2 := make(map[int]bool, len(res2.Returned))
+	for _, id := range res2.Returned {
+		ret2[id] = true
+	}
+	// Any sampled negative in the returned set is a bug; sampled IDs are
+	// not exposed, so approximate by checking no returned record below the
+	// threshold is a non-match.
+	for _, id := range res2.Returned {
+		if scores[id] < res2.Threshold && !truth[id] {
+			t.Fatalf("returned sub-threshold non-match %d", id)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	ds, lab, pred, truth := selectionEnv(t, 100)
+	scores := goodProxy(truth, 0.1, 8)
+	cases := []Options{
+		{Budget: 0, Target: 0.9, Delta: 0.05},
+		{Budget: 10, Target: 0, Delta: 0.05},
+		{Budget: 10, Target: 1, Delta: 0.05},
+		{Budget: 10, Target: 0.9, Delta: 0},
+	}
+	for i, opts := range cases {
+		if _, err := RecallTarget(opts, ds.Len(), scores, pred, lab); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+	good := Options{Budget: 10, Target: 0.9, Delta: 0.05}
+	if _, err := RecallTarget(good, 0, nil, pred, lab); err == nil {
+		t.Error("empty dataset should error")
+	}
+	if _, err := RecallTarget(good, ds.Len(), scores[:5], pred, lab); err == nil {
+		t.Error("score length mismatch should error")
+	}
+}
+
+func TestBudgetLargerThanDataset(t *testing.T) {
+	ds, lab, pred, truth := selectionEnv(t, 50)
+	scores := goodProxy(truth, 0.1, 9)
+	opts := Options{Budget: 500, Target: 0.9, Delta: 0.05, Seed: 10}
+	res, err := RecallTarget(opts, ds.Len(), scores, pred, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OracleCalls > int64(ds.Len()) {
+		t.Errorf("oracle calls %d exceed dataset size", res.OracleCalls)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := map[float64]float64{
+		0.5:    0,
+		0.975:  1.959964,
+		0.95:   1.644854,
+		0.025:  -1.959964,
+		0.0001: -3.719016,
+	}
+	for p, want := range cases {
+		if got := normalQuantile(p); math.Abs(got-want) > 1e-4 {
+			t.Errorf("quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestNormalQuantilePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	normalQuantile(0)
+}

@@ -1,0 +1,32 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// BootstrapCI returns a percentile-bootstrap (1-delta) confidence interval
+// for a statistic of xs, using numResamples resampled replicates. The
+// evaluation harness uses it for error bars on repeated-trial metrics.
+func BootstrapCI(r *rand.Rand, xs []float64, stat func([]float64) float64, numResamples int, delta float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, fmt.Errorf("stats: bootstrap of empty sample")
+	}
+	if numResamples <= 0 {
+		return 0, 0, fmt.Errorf("stats: bootstrap needs resamples > 0, got %d", numResamples)
+	}
+	if delta <= 0 || delta >= 1 {
+		return 0, 0, fmt.Errorf("stats: bootstrap delta %v outside (0,1)", delta)
+	}
+	reps := make([]float64, numResamples)
+	buf := make([]float64, len(xs))
+	for i := range reps {
+		for j := range buf {
+			buf[j] = xs[r.Intn(len(xs))]
+		}
+		reps[i] = stat(buf)
+	}
+	sort.Float64s(reps)
+	return Quantile(reps, delta/2), Quantile(reps, 1-delta/2), nil
+}

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBootstrapCICoversMean(t *testing.T) {
+	src := rand.New(rand.NewSource(1))
+	misses := 0
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		xs := make([]float64, 100)
+		for i := range xs {
+			xs[i] = src.NormFloat64() + 3 // true mean 3
+		}
+		lo, hi, err := BootstrapCI(rand.New(rand.NewSource(int64(trial))), xs, Mean, 300, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lo > hi {
+			t.Fatalf("inverted interval [%v,%v]", lo, hi)
+		}
+		if 3 < lo || 3 > hi {
+			misses++
+		}
+	}
+	// The percentile bootstrap undercover slightly; allow 12%.
+	if float64(misses)/trials > 0.12 {
+		t.Errorf("interval missed the mean in %d/%d trials", misses, trials)
+	}
+}
+
+func TestBootstrapCIValidation(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	if _, _, err := BootstrapCI(r, nil, Mean, 100, 0.05); err == nil {
+		t.Error("empty sample should error")
+	}
+	if _, _, err := BootstrapCI(r, []float64{1}, Mean, 0, 0.05); err == nil {
+		t.Error("zero resamples should error")
+	}
+	if _, _, err := BootstrapCI(r, []float64{1}, Mean, 10, 1); err == nil {
+		t.Error("delta=1 should error")
+	}
+}
+
+func TestBootstrapCIDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	lo1, hi1, _ := BootstrapCI(rand.New(rand.NewSource(7)), xs, Mean, 200, 0.1)
+	lo2, hi2, _ := BootstrapCI(rand.New(rand.NewSource(7)), xs, Mean, 200, 0.1)
+	if lo1 != lo2 || hi1 != hi2 {
+		t.Error("same source gave different intervals")
+	}
+}

@@ -1,0 +1,153 @@
+package triplet
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func frame(boxes ...dataset.Box) dataset.VideoAnnotation {
+	return dataset.VideoAnnotation{Boxes: boxes}
+}
+
+func TestVideoCloseness(t *testing.T) {
+	close := VideoCloseness(0.1)
+	a := frame(dataset.Box{Class: "car", X: 0.2, Y: 0.2})
+	b := frame(dataset.Box{Class: "car", X: 0.25, Y: 0.22})
+	far := frame(dataset.Box{Class: "car", X: 0.8, Y: 0.8})
+	twoCars := frame(dataset.Box{Class: "car", X: 0.2, Y: 0.2}, dataset.Box{Class: "car", X: 0.8, Y: 0.8})
+	bus := frame(dataset.Box{Class: "bus", X: 0.2, Y: 0.2})
+
+	if !close(a, b) {
+		t.Error("nearby same-class frames should be close")
+	}
+	if close(a, far) {
+		t.Error("distant boxes should not be close")
+	}
+	if close(a, twoCars) {
+		t.Error("different counts should not be close")
+	}
+	if close(a, bus) {
+		t.Error("different classes should not be close")
+	}
+	if !close(frame(), frame()) {
+		t.Error("two empty frames should be close")
+	}
+	if close(a, dataset.TextAnnotation{}) {
+		t.Error("cross-kind should not be close")
+	}
+}
+
+func TestVideoClosenessMatching(t *testing.T) {
+	// Matching must handle permuted boxes.
+	close := VideoCloseness(0.1)
+	a := frame(
+		dataset.Box{Class: "car", X: 0.1, Y: 0.1},
+		dataset.Box{Class: "car", X: 0.9, Y: 0.9},
+	)
+	b := frame(
+		dataset.Box{Class: "car", X: 0.92, Y: 0.88},
+		dataset.Box{Class: "car", X: 0.12, Y: 0.08},
+	)
+	if !close(a, b) {
+		t.Error("permuted matching boxes should be close")
+	}
+}
+
+func TestVideoBucketKey(t *testing.T) {
+	key := VideoBucketKey(0.5)
+	a := frame(dataset.Box{Class: "car", X: 0.1, Y: 0.1})
+	b := frame(dataset.Box{Class: "car", X: 0.3, Y: 0.4})
+	c := frame(dataset.Box{Class: "car", X: 0.7, Y: 0.1})
+	if key(a) != key(b) {
+		t.Error("same cell should share a bucket")
+	}
+	if key(a) == key(c) {
+		t.Error("different cells should differ")
+	}
+	// Box order must not matter.
+	ab := frame(a.Boxes[0], c.Boxes[0])
+	ba := frame(c.Boxes[0], a.Boxes[0])
+	if key(ab) != key(ba) {
+		t.Error("bucket key depends on box order")
+	}
+	if key(dataset.TextAnnotation{}) != "non-video" {
+		t.Error("non-video fallback")
+	}
+}
+
+func TestVideoBucketKeyPanicsOnBadCell(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for cell <= 0")
+		}
+	}()
+	VideoBucketKey(0)
+}
+
+func TestTextCloseness(t *testing.T) {
+	close := TextCloseness()
+	a := dataset.TextAnnotation{Operator: "COUNT", NumPredicates: 2}
+	b := dataset.TextAnnotation{Operator: "COUNT", NumPredicates: 2}
+	c := dataset.TextAnnotation{Operator: "COUNT", NumPredicates: 3}
+	d := dataset.TextAnnotation{Operator: "SUM", NumPredicates: 2}
+	if !close(a, b) || close(a, c) || close(a, d) {
+		t.Error("text closeness wrong")
+	}
+	key := TextBucketKey()
+	if key(a) != key(b) || key(a) == key(c) || key(a) == key(d) {
+		t.Error("text bucket key wrong")
+	}
+}
+
+func TestSpeechCloseness(t *testing.T) {
+	close := SpeechCloseness()
+	a := dataset.SpeechAnnotation{Gender: "male", AgeYears: 41}
+	b := dataset.SpeechAnnotation{Gender: "male", AgeYears: 49}
+	c := dataset.SpeechAnnotation{Gender: "male", AgeYears: 51}
+	d := dataset.SpeechAnnotation{Gender: "female", AgeYears: 41}
+	if !close(a, b) {
+		t.Error("same decade should be close")
+	}
+	if close(a, c) || close(a, d) {
+		t.Error("different decade/gender should not be close")
+	}
+	key := SpeechBucketKey()
+	if key(a) != key(b) || key(a) == key(c) {
+		t.Error("speech bucket key wrong")
+	}
+}
+
+func TestFromBucketKey(t *testing.T) {
+	close := FromBucketKey(TextBucketKey())
+	a := dataset.TextAnnotation{Operator: "MAX", NumPredicates: 1}
+	b := dataset.TextAnnotation{Operator: "MAX", NumPredicates: 1}
+	c := dataset.TextAnnotation{Operator: "MIN", NumPredicates: 1}
+	if !close(a, b) || close(a, c) {
+		t.Error("derived closeness wrong")
+	}
+}
+
+// TestClosenessConsistentWithBuckets: same bucket implies close under the
+// matching tolerance, for generated data.
+func TestClosenessConsistentWithBuckets(t *testing.T) {
+	ds, err := dataset.Generate("night-street", 400, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := VideoBucketKey(0.5)
+	close := VideoCloseness(0.5)
+	byKey := map[string][]int{}
+	for i, ann := range ds.Truth {
+		k := key(ann)
+		byKey[k] = append(byKey[k], i)
+	}
+	for _, ids := range byKey {
+		for i := 1; i < len(ids); i++ {
+			if !close(ds.Truth[ids[0]], ds.Truth[ids[i]]) {
+				t.Fatalf("records %d and %d share a bucket but are not close",
+					ids[0], ids[i])
+			}
+		}
+	}
+}

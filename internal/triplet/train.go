@@ -1,0 +1,228 @@
+package triplet
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/dataset"
+	"repro/internal/embed"
+	"repro/internal/nn"
+	"repro/internal/xrand"
+)
+
+// ErrNoTriplets is returned when the labeled training set cannot produce
+// any (anchor, positive, negative) triple — e.g. all records fall in one
+// bucket.
+var ErrNoTriplets = errors.New("triplet: training set yields no triplets")
+
+// Config parameterizes triplet training of the embedding MLP.
+type Config struct {
+	// EmbedDim is the output embedding dimensionality (paper default 128).
+	EmbedDim int
+	// Hidden lists the MLP hidden-layer widths.
+	Hidden []int
+	// Margin is the triplet-loss margin m.
+	Margin float64
+	// Steps is the number of optimizer steps.
+	Steps int
+	// BatchSize is the number of triplets per step.
+	BatchSize int
+	// LR is the Adam learning rate.
+	LR float64
+	// WeightDecay is the L2 regularization coefficient.
+	WeightDecay float64
+	// HardNegatives enables semi-hard negative mining: each triplet's
+	// negative is the most loss-violating of HardNegatives candidate draws
+	// (0 or 1 disables mining). Hard negatives sharpen the margin around
+	// bucket boundaries at the cost of extra forward passes.
+	HardNegatives int
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns the training settings used across the evaluation.
+func DefaultConfig(embedDim int, seed int64) Config {
+	return Config{
+		EmbedDim:    embedDim,
+		Hidden:      []int{160},
+		Margin:      1.0,
+		Steps:       4000,
+		BatchSize:   32,
+		LR:          3e-3,
+		WeightDecay: 1e-4,
+		Seed:        seed,
+	}
+}
+
+// Loss returns the per-example margin triplet loss
+// max(0, m + |a-p| - |a-n|) for embedded points.
+func Loss(anchor, pos, neg []float64, margin float64) float64 {
+	dp := l2(anchor, pos)
+	dn := l2(anchor, neg)
+	return math.Max(0, margin+dp-dn)
+}
+
+func l2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Train fine-tunes a fresh MLP embedder with the triplet loss over the
+// labeled training records. trainIDs and anns are parallel slices: the
+// training record IDs and their target-labeler annotations. Triplets are
+// sampled by bucketing the annotations under key (paper Section 3.1).
+func Train(cfg Config, ds *dataset.Dataset, trainIDs []int, anns []dataset.Annotation, key BucketKey) (*embed.Trained, error) {
+	if cfg.EmbedDim <= 0 {
+		return nil, fmt.Errorf("triplet: invalid embed dim %d", cfg.EmbedDim)
+	}
+	for _, h := range cfg.Hidden {
+		if h <= 0 {
+			return nil, fmt.Errorf("triplet: invalid hidden widths %v", cfg.Hidden)
+		}
+	}
+	if len(trainIDs) != len(anns) {
+		return nil, fmt.Errorf("triplet: %d train ids but %d annotations", len(trainIDs), len(anns))
+	}
+	buckets := BucketRecords(trainIDs, anns, key)
+	r := xrand.New(cfg.Seed)
+	if _, ok := buckets.SampleTriplet(r); !ok {
+		return nil, ErrNoTriplets
+	}
+
+	sizes := append([]int{ds.FeatureDim()}, cfg.Hidden...)
+	sizes = append(sizes, cfg.EmbedDim)
+	net := nn.NewMLP(xrand.Split(cfg.Seed, "init"), sizes...)
+	opt := nn.NewAdam(cfg.LR)
+	grads := nn.NewGrads(net)
+	sampleRand := xrand.Split(cfg.Seed, "sample")
+
+	for step := 0; step < cfg.Steps; step++ {
+		grads.Zero()
+		active := 0
+		for b := 0; b < cfg.BatchSize; b++ {
+			tr, ok := buckets.SampleTriplet(sampleRand)
+			if !ok {
+				return nil, ErrNoTriplets
+			}
+			if cfg.HardNegatives > 1 {
+				tr = hardestNegative(net, ds, buckets, sampleRand, tr, cfg)
+			}
+			if backwardTriplet(net, ds, tr, cfg.Margin, grads) {
+				active++
+			}
+		}
+		if active == 0 {
+			continue
+		}
+		grads.Scale(1 / float64(active))
+		if cfg.WeightDecay > 0 {
+			addWeightDecay(net, grads, cfg.WeightDecay)
+		}
+		opt.Step(net, grads)
+	}
+	return embed.NewTrained(net), nil
+}
+
+// hardestNegative redraws the triplet's negative up to cfg.HardNegatives
+// times and keeps the candidate with the highest triplet loss under the
+// current network (semi-hard mining). The anchor and positive stay fixed.
+func hardestNegative(net *nn.MLP, ds *dataset.Dataset, buckets *Buckets, r *rand.Rand, tr Triplet, cfg Config) Triplet {
+	a := net.Forward(ds.Records[tr.Anchor].Features)
+	p := net.Forward(ds.Records[tr.Positive].Features)
+	best := tr
+	bestLoss := Loss(a, p, net.Forward(ds.Records[tr.Negative].Features), cfg.Margin)
+	for i := 1; i < cfg.HardNegatives; i++ {
+		cand, ok := buckets.SampleTriplet(r)
+		if !ok {
+			break
+		}
+		// Only the negative is swapped in; it must come from a bucket
+		// different from the anchor's, which SampleTriplet guarantees for
+		// its own anchor but not ours.
+		if buckets.Key(tr.Anchor) == buckets.Key(cand.Negative) {
+			continue
+		}
+		loss := Loss(a, p, net.Forward(ds.Records[cand.Negative].Features), cfg.Margin)
+		if loss > bestLoss {
+			best.Negative = cand.Negative
+			bestLoss = loss
+		}
+	}
+	return best
+}
+
+// addWeightDecay adds wd * W to the weight gradients (biases are exempt).
+func addWeightDecay(net *nn.MLP, grads *nn.Grads, wd float64) {
+	for l := range net.W {
+		for i := range net.W[l] {
+			for j := range net.W[l][i] {
+				grads.W[l][i][j] += wd * net.W[l][i][j]
+			}
+		}
+	}
+}
+
+// backwardTriplet accumulates the triplet-loss gradient for one example and
+// reports whether the example was active (loss > 0).
+func backwardTriplet(net *nn.MLP, ds *dataset.Dataset, tr Triplet, margin float64, grads *nn.Grads) bool {
+	ca := net.ForwardCache(ds.Records[tr.Anchor].Features)
+	cp := net.ForwardCache(ds.Records[tr.Positive].Features)
+	cn := net.ForwardCache(ds.Records[tr.Negative].Features)
+	a, p, n := ca.Output(), cp.Output(), cn.Output()
+
+	dp := l2(a, p)
+	dn := l2(a, n)
+	if margin+dp-dn <= 0 {
+		return false
+	}
+	// L = m + |a-p| - |a-n| when positive, so
+	//   dL/da = (a-p)/|a-p| - (a-n)/|a-n|
+	//   dL/dp = -(a-p)/|a-p|
+	//   dL/dn =  (a-n)/|a-n|
+	// with zero-distance guards.
+	dim := len(a)
+	ga := make([]float64, dim)
+	gp := make([]float64, dim)
+	gn := make([]float64, dim)
+	for i := 0; i < dim; i++ {
+		if dp > 1e-12 {
+			u := (a[i] - p[i]) / dp
+			ga[i] += u
+			gp[i] -= u
+		}
+		if dn > 1e-12 {
+			v := (a[i] - n[i]) / dn
+			ga[i] -= v
+			gn[i] += v
+		}
+	}
+	net.Backward(ca, ga, grads)
+	net.Backward(cp, gp, grads)
+	net.Backward(cn, gn, grads)
+	return true
+}
+
+// EmpiricalLoss estimates the population triplet loss L(φ; ·, m) of an
+// embedder by sampling numSamples triplets from the bucketed annotations.
+// It is the quantity the paper's Theorems 1 and 2 bound query error by.
+func EmpiricalLoss(r *rand.Rand, e embed.Embedder, ds *dataset.Dataset, trainIDs []int, anns []dataset.Annotation, key BucketKey, margin float64, numSamples int) (float64, error) {
+	buckets := BucketRecords(trainIDs, anns, key)
+	total := 0.0
+	for i := 0; i < numSamples; i++ {
+		tr, ok := buckets.SampleTriplet(r)
+		if !ok {
+			return 0, ErrNoTriplets
+		}
+		a := e.Embed(ds.Records[tr.Anchor].Features)
+		p := e.Embed(ds.Records[tr.Positive].Features)
+		n := e.Embed(ds.Records[tr.Negative].Features)
+		total += Loss(a, p, n, margin)
+	}
+	return total / float64(numSamples), nil
+}

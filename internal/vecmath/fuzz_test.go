@@ -1,0 +1,44 @@
+package vecmath
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzSmallestK cross-checks the heap-based selection against a sort on
+// fuzz-generated inputs.
+func FuzzSmallestK(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, 2)
+	f.Add([]byte{}, 1)
+	f.Add([]byte{5, 5, 5, 5}, 3)
+	f.Fuzz(func(t *testing.T, raw []byte, kRaw int) {
+		xs := make([]float64, len(raw))
+		for i, b := range raw {
+			xs[i] = float64(b%16) - 8
+		}
+		k := kRaw % (len(xs) + 2)
+		if k < 0 {
+			k = -k
+		}
+		got := SmallestK(xs, k)
+
+		want := append([]float64(nil), xs...)
+		sort.Float64s(want)
+		n := k
+		if n > len(xs) {
+			n = len(xs)
+		}
+		if len(got) != n {
+			t.Fatalf("got %d results, want %d", len(got), n)
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(got[i].Value-want[i]) > 1e-12 {
+				t.Fatalf("value %d = %v, want %v", i, got[i].Value, want[i])
+			}
+			if xs[got[i].Index] != got[i].Value {
+				t.Fatalf("index %d does not hold value %v", got[i].Index, got[i].Value)
+			}
+		}
+	})
+}

@@ -1,0 +1,74 @@
+package vecmath
+
+import "container/heap"
+
+// IndexedValue pairs a value with the index it came from. It is the element
+// type of top-k results.
+type IndexedValue struct {
+	Index int
+	Value float64
+}
+
+// SmallestK returns the k smallest values of xs with their indices, ordered
+// ascending by value (ties broken by index). If k >= len(xs) all elements are
+// returned. It runs in O(n log k) using a bounded max-heap.
+func SmallestK(xs []float64, k int) []IndexedValue {
+	if k <= 0 {
+		return nil
+	}
+	if k > len(xs) {
+		k = len(xs)
+	}
+	h := make(maxHeap, 0, k)
+	for i, v := range xs {
+		if len(h) < k {
+			heap.Push(&h, IndexedValue{i, v})
+			continue
+		}
+		if v < h[0].Value || (v == h[0].Value && i < h[0].Index) {
+			h[0] = IndexedValue{i, v}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]IndexedValue, len(h))
+	for i := len(h) - 1; i >= 0; i-- {
+		out[i] = heap.Pop(&h).(IndexedValue)
+	}
+	return out
+}
+
+// LargestK returns the k largest values with their indices, ordered
+// descending by value (ties broken by smaller index first).
+func LargestK(xs []float64, k int) []IndexedValue {
+	neg := make([]float64, len(xs))
+	for i, v := range xs {
+		neg[i] = -v
+	}
+	out := SmallestK(neg, k)
+	for i := range out {
+		out[i].Value = -out[i].Value
+	}
+	return out
+}
+
+// maxHeap keeps the largest value at the root so SmallestK can evict it.
+type maxHeap []IndexedValue
+
+func (h maxHeap) Len() int { return len(h) }
+func (h maxHeap) Less(i, j int) bool {
+	if h[i].Value != h[j].Value {
+		return h[i].Value > h[j].Value
+	}
+	return h[i].Index > h[j].Index
+}
+func (h maxHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *maxHeap) Push(x interface{}) {
+	*h = append(*h, x.(IndexedValue))
+}
+func (h *maxHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

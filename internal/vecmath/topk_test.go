@@ -1,0 +1,87 @@
+package vecmath
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSmallestK(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	got := SmallestK(xs, 3)
+	want := []IndexedValue{{1, 1}, {3, 2}, {4, 3}}
+	if len(got) != 3 {
+		t.Fatalf("got %d items", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("got[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSmallestKEdgeCases(t *testing.T) {
+	if got := SmallestK([]float64{1, 2}, 0); got != nil {
+		t.Errorf("k=0 gave %v", got)
+	}
+	if got := SmallestK([]float64{2, 1}, 10); len(got) != 2 {
+		t.Errorf("k>n gave %d items", len(got))
+	}
+	if got := SmallestK(nil, 3); len(got) != 0 {
+		t.Errorf("empty input gave %v", got)
+	}
+}
+
+func TestSmallestKTies(t *testing.T) {
+	got := SmallestK([]float64{1, 1, 1, 1}, 2)
+	if got[0].Index != 0 || got[1].Index != 1 {
+		t.Errorf("ties not broken by index: %v", got)
+	}
+}
+
+// TestSmallestKMatchesSort is the property check: SmallestK agrees with a
+// full sort for random inputs.
+func TestSmallestKMatchesSort(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%60 + 1
+		k := int(kRaw)%n + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(r.Intn(10)) // duplicates likely
+		}
+		got := SmallestK(xs, k)
+
+		type pair struct {
+			idx int
+			val float64
+		}
+		all := make([]pair, n)
+		for i, v := range xs {
+			all[i] = pair{i, v}
+		}
+		sort.Slice(all, func(a, b int) bool {
+			if all[a].val != all[b].val {
+				return all[a].val < all[b].val
+			}
+			return all[a].idx < all[b].idx
+		})
+		for i := 0; i < k; i++ {
+			if got[i].Index != all[i].idx || got[i].Value != all[i].val {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLargestK(t *testing.T) {
+	got := LargestK([]float64{5, 1, 4, 2, 3}, 2)
+	if got[0].Index != 0 || got[0].Value != 5 || got[1].Index != 2 || got[1].Value != 4 {
+		t.Errorf("LargestK = %v", got)
+	}
+}

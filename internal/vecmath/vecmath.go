@@ -1,0 +1,191 @@
+// Package vecmath implements the small dense linear-algebra kernels used by
+// the embedding models, clustering, and score propagation: vector arithmetic,
+// distances, matrix-vector products, and top-k selection.
+//
+// Everything operates on []float64 and plain [][]float64 row-major matrices;
+// the workloads here are small enough (embedding dims <= 512) that clarity
+// beats blocking or SIMD tricks.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics on length mismatch.
+func Dot(a, b []float64) float64 {
+	checkLen(a, b)
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// L2 returns the Euclidean distance between a and b.
+func L2(a, b []float64) float64 {
+	return math.Sqrt(SquaredL2(a, b))
+}
+
+// SquaredL2 returns the squared Euclidean distance between a and b. It is
+// the hot loop of FPF clustering and score propagation.
+func SquaredL2(a, b []float64) float64 {
+	checkLen(a, b)
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Norm returns the Euclidean norm of a.
+func Norm(a []float64) float64 {
+	s := 0.0
+	for _, v := range a {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine distance 1 - <a,b>/(|a||b|). Zero vectors are
+// treated as maximally distant (distance 1).
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm(a), Norm(b)
+	if na == 0 || nb == 0 {
+		return 1
+	}
+	return 1 - Dot(a, b)/(na*nb)
+}
+
+// Add returns a+b as a new slice.
+func Add(a, b []float64) []float64 {
+	checkLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a-b as a new slice.
+func Sub(a, b []float64) []float64 {
+	checkLen(a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Scale returns s*a as a new slice.
+func Scale(a []float64, s float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = s * a[i]
+	}
+	return out
+}
+
+// AXPY computes dst += s*a in place.
+func AXPY(dst []float64, s float64, a []float64) {
+	checkLen(dst, a)
+	for i := range dst {
+		dst[i] += s * a[i]
+	}
+}
+
+// Clone returns a copy of a.
+func Clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// MatVec computes m*x where m is row-major with len(m) rows. The result has
+// one entry per row.
+func MatVec(m [][]float64, x []float64) []float64 {
+	out := make([]float64, len(m))
+	for i, row := range m {
+		out[i] = Dot(row, x)
+	}
+	return out
+}
+
+// MatTVec computes mᵀ*x where m is row-major. x must have len(m) entries and
+// the result has len(m[0]) entries.
+func MatTVec(m [][]float64, x []float64) []float64 {
+	if len(m) == 0 {
+		return nil
+	}
+	if len(x) != len(m) {
+		panic(fmt.Sprintf("vecmath: MatTVec length mismatch: %d rows vs %d entries", len(m), len(x)))
+	}
+	out := make([]float64, len(m[0]))
+	for i, row := range m {
+		AXPY(out, x[i], row)
+	}
+	return out
+}
+
+// Normalize scales a to unit Euclidean norm in place. A zero vector is left
+// unchanged.
+func Normalize(a []float64) {
+	n := Norm(a)
+	if n == 0 {
+		return
+	}
+	for i := range a {
+		a[i] /= n
+	}
+}
+
+// Mean returns the element-wise mean of the vectors. It panics if vs is empty
+// or the lengths differ.
+func Mean(vs [][]float64) []float64 {
+	if len(vs) == 0 {
+		panic("vecmath: mean of no vectors")
+	}
+	out := make([]float64, len(vs[0]))
+	for _, v := range vs {
+		AXPY(out, 1, v)
+	}
+	for i := range out {
+		out[i] /= float64(len(vs))
+	}
+	return out
+}
+
+// ArgMin returns the index of the smallest element, or -1 for an empty slice.
+func ArgMin(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range xs {
+		if v < xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMax returns the index of the largest element, or -1 for an empty slice.
+func ArgMax(xs []float64) int {
+	if len(xs) == 0 {
+		return -1
+	}
+	best := 0
+	for i, v := range xs {
+		if v > xs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+func checkLen(a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: length mismatch: %d vs %d", len(a), len(b)))
+	}
+}

@@ -1,0 +1,153 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Errorf("Dot = %v, want 32", got)
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on length mismatch")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestL2AndSquaredL2(t *testing.T) {
+	a := []float64{0, 3}
+	b := []float64{4, 0}
+	if got := SquaredL2(a, b); got != 25 {
+		t.Errorf("SquaredL2 = %v", got)
+	}
+	if got := L2(a, b); got != 5 {
+		t.Errorf("L2 = %v", got)
+	}
+}
+
+func TestL2TriangleInequality(t *testing.T) {
+	f := func(a, b, c [4]float64) bool {
+		ab := L2(a[:], b[:])
+		bc := L2(b[:], c[:])
+		ac := L2(a[:], c[:])
+		return ac <= ab+bc+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{1, 0}); !almostEqual(got, 0) {
+		t.Errorf("cosine of identical = %v", got)
+	}
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); !almostEqual(got, 1) {
+		t.Errorf("cosine of orthogonal = %v", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 0}); got != 1 {
+		t.Errorf("cosine with zero vector = %v", got)
+	}
+}
+
+func TestAddSubScaleClone(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{3, 5}
+	if got := Add(a, b); got[0] != 4 || got[1] != 7 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a); got[0] != 2 || got[1] != 3 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := Scale(a, 2); got[0] != 2 || got[1] != 4 {
+		t.Errorf("Scale = %v", got)
+	}
+	c := Clone(a)
+	c[0] = 99
+	if a[0] == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestAXPY(t *testing.T) {
+	dst := []float64{1, 1}
+	AXPY(dst, 2, []float64{3, 4})
+	if dst[0] != 7 || dst[1] != 9 {
+		t.Errorf("AXPY = %v", dst)
+	}
+}
+
+func TestMatVecAndTranspose(t *testing.T) {
+	m := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	x := []float64{1, 1}
+	got := MatVec(m, x)
+	if got[0] != 3 || got[1] != 7 || got[2] != 11 {
+		t.Errorf("MatVec = %v", got)
+	}
+	y := []float64{1, 0, 1}
+	gt := MatTVec(m, y)
+	if gt[0] != 6 || gt[1] != 8 {
+		t.Errorf("MatTVec = %v", gt)
+	}
+}
+
+func TestMatTVecPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on mismatch")
+		}
+	}()
+	MatTVec([][]float64{{1, 2}}, []float64{1, 2})
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{3, 4}
+	Normalize(v)
+	if !almostEqual(Norm(v), 1) {
+		t.Errorf("norm after normalize = %v", Norm(v))
+	}
+	z := []float64{0, 0}
+	Normalize(z)
+	if z[0] != 0 || z[1] != 0 {
+		t.Error("zero vector changed")
+	}
+}
+
+func TestMean(t *testing.T) {
+	got := Mean([][]float64{{1, 2}, {3, 4}})
+	if got[0] != 2 || got[1] != 3 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestMeanPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty input")
+		}
+	}()
+	Mean(nil)
+}
+
+func TestArgMinMax(t *testing.T) {
+	xs := []float64{3, 1, 4, 1, 5}
+	if got := ArgMin(xs); got != 1 {
+		t.Errorf("ArgMin = %d", got)
+	}
+	if got := ArgMax(xs); got != 4 {
+		t.Errorf("ArgMax = %d", got)
+	}
+	if ArgMin(nil) != -1 || ArgMax(nil) != -1 {
+		t.Error("empty slice should give -1")
+	}
+}

@@ -1,0 +1,175 @@
+// Package xrand provides deterministic random-number utilities used across
+// the repository: splittable seeded sources, sampling without replacement,
+// shuffles, and common distributions.
+//
+// All experiment code takes an explicit *rand.Rand (or a seed) so that every
+// table and figure regenerates identically run-to-run.
+package xrand
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// New returns a deterministic source for the given seed.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Split derives an independent deterministic source from a parent seed and a
+// label. Distinct labels yield decorrelated streams, so subsystems (dataset
+// generation, training, query sampling) can share one experiment seed without
+// consuming each other's state.
+func Split(seed int64, label string) *rand.Rand {
+	h := fnv.New64a()
+	var buf [8]byte
+	for i := 0; i < 8; i++ {
+		buf[i] = byte(seed >> (8 * i))
+	}
+	h.Write(buf[:])
+	h.Write([]byte(label))
+	return rand.New(rand.NewSource(int64(h.Sum64())))
+}
+
+// Perm returns a random permutation of [0, n).
+func Perm(r *rand.Rand, n int) []int {
+	return r.Perm(n)
+}
+
+// SampleWithoutReplacement returns k distinct indices drawn uniformly from
+// [0, n). It panics if k > n. For small k relative to n it uses rejection
+// sampling; otherwise it uses a partial Fisher-Yates shuffle.
+func SampleWithoutReplacement(r *rand.Rand, n, k int) []int {
+	if k > n {
+		panic("xrand: sample size exceeds population")
+	}
+	if k == 0 {
+		return nil
+	}
+	if k*4 < n {
+		seen := make(map[int]struct{}, k)
+		out := make([]int, 0, k)
+		for len(out) < k {
+			i := r.Intn(n)
+			if _, ok := seen[i]; ok {
+				continue
+			}
+			seen[i] = struct{}{}
+			out = append(out, i)
+		}
+		return out
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	return idx[:k]
+}
+
+// Shuffle shuffles ints in place.
+func Shuffle(r *rand.Rand, xs []int) {
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func Normal(r *rand.Rand, mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// Poisson returns a Poisson variate with mean lambda (Knuth's algorithm for
+// small lambda, normal approximation above 30).
+func Poisson(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := int(math.Round(Normal(r, lambda, math.Sqrt(lambda))))
+		if v < 0 {
+			v = 0
+		}
+		return v
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Categorical draws an index in [0, len(weights)) with probability
+// proportional to weights[i]. Non-positive weights are treated as zero. It
+// panics if all weights are zero or the slice is empty.
+func Categorical(r *rand.Rand, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("xrand: categorical distribution has no mass")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Bernoulli returns true with probability p.
+func Bernoulli(r *rand.Rand, p float64) bool {
+	return r.Float64() < p
+}
+
+// WeightedSampleWithoutReplacement draws k distinct indices with probability
+// proportional to weights, using the Efraimidis-Spirakis exponential-keys
+// method. Zero-weight items are never selected; it panics if fewer than k
+// items have positive weight.
+func WeightedSampleWithoutReplacement(r *rand.Rand, weights []float64, k int) []int {
+	type keyed struct {
+		idx int
+		key float64
+	}
+	pos := make([]keyed, 0, len(weights))
+	for i, w := range weights {
+		if w > 0 {
+			// key = u^(1/w); larger keys win. Using log keeps precision.
+			pos = append(pos, keyed{i, math.Log(r.Float64()) / w})
+		}
+	}
+	if len(pos) < k {
+		panic("xrand: not enough positive-weight items")
+	}
+	// Partial selection of the k largest keys.
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(pos); j++ {
+			if pos[j].key > pos[best].key {
+				best = j
+			}
+		}
+		pos[i], pos[best] = pos[best], pos[i]
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = pos[i].idx
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitLabelsDecorrelate(t *testing.T) {
+	a, b := Split(1, "alpha"), Split(1, "beta")
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Intn(2) == b.Intn(2) {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Error("distinct labels produced identical streams")
+	}
+	c, d := Split(1, "alpha"), Split(1, "alpha")
+	for i := 0; i < 64; i++ {
+		if c.Int63() != d.Int63() {
+			t.Fatal("same label diverged")
+		}
+	}
+}
+
+func TestSampleWithoutReplacementProperties(t *testing.T) {
+	f := func(seed int64, nRaw, kRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		k := int(kRaw) % (n + 1)
+		out := SampleWithoutReplacement(New(seed), n, k)
+		if len(out) != k {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleWithoutReplacementPanicsWhenTooLarge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for k > n")
+		}
+	}()
+	SampleWithoutReplacement(New(1), 3, 4)
+}
+
+func TestSampleWithoutReplacementUniform(t *testing.T) {
+	// Every element of a population of 10 should be selected roughly
+	// equally often across many size-3 samples.
+	r := New(7)
+	counts := make([]int, 10)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		for _, v := range SampleWithoutReplacement(r, 10, 3) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 3 / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.1 {
+			t.Errorf("element %d drawn %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := New(3)
+	for _, lambda := range []float64{0.5, 3, 50} {
+		sum := 0
+		const trials = 20000
+		for i := 0; i < trials; i++ {
+			sum += Poisson(r, lambda)
+		}
+		mean := float64(sum) / trials
+		if math.Abs(mean-lambda) > lambda*0.1+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+	if Poisson(r, 0) != 0 || Poisson(r, -1) != 0 {
+		t.Error("non-positive lambda should give 0")
+	}
+}
+
+func TestCategorical(t *testing.T) {
+	r := New(5)
+	weights := []float64{1, 0, 3}
+	counts := make([]int, 3)
+	const trials = 40000
+	for i := 0; i < trials; i++ {
+		counts[Categorical(r, weights)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.3 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestCategoricalPanicsOnNoMass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic for zero-mass distribution")
+		}
+	}()
+	Categorical(New(1), []float64{0, -1})
+}
+
+func TestBernoulli(t *testing.T) {
+	r := New(9)
+	hits := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if Bernoulli(r, 0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / trials
+	if math.Abs(p-0.3) > 0.02 {
+		t.Errorf("Bernoulli(0.3) rate = %v", p)
+	}
+}
+
+func TestWeightedSampleWithoutReplacement(t *testing.T) {
+	r := New(11)
+	weights := []float64{0, 1, 10, 1}
+	heavy := 0
+	const trials = 5000
+	for i := 0; i < trials; i++ {
+		out := WeightedSampleWithoutReplacement(r, weights, 2)
+		if len(out) != 2 || out[0] == out[1] {
+			t.Fatalf("bad sample %v", out)
+		}
+		for _, v := range out {
+			if v == 0 {
+				t.Fatal("zero-weight item selected")
+			}
+			if v == 2 {
+				heavy++
+			}
+		}
+	}
+	if float64(heavy)/trials < 0.9 {
+		t.Errorf("heavy item selected in only %.2f of samples", float64(heavy)/trials)
+	}
+}
+
+func TestWeightedSamplePanicsWithoutMass(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic when fewer than k positive weights")
+		}
+	}()
+	WeightedSampleWithoutReplacement(New(1), []float64{1, 0}, 2)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := New(13)
+	var sum, sumSq float64
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		v := Normal(r, 2, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / trials
+	sd := math.Sqrt(sumSq/trials - mean*mean)
+	if math.Abs(mean-2) > 0.1 || math.Abs(sd-3) > 0.1 {
+		t.Errorf("Normal(2,3): mean=%v sd=%v", mean, sd)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := New(17)
+	xs := []int{0, 1, 2, 3, 4, 5}
+	Shuffle(r, xs)
+	seen := map[int]bool{}
+	for _, v := range xs {
+		seen[v] = true
+	}
+	if len(seen) != 6 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}

@@ -1,0 +1,243 @@
+// Package tasti is the public API of this repository: trainable semantic
+// indexes (TASTI) for machine-learning-based queries over unstructured data,
+// after Kang et al., SIGMOD 2022.
+//
+// A TASTI index is built once per dataset from three ingredients: a target
+// labeler (the expensive model or human annotator that turns raw records
+// into structured annotations), a closeness heuristic over those annotations
+// (a BucketKey), and a labeling budget. The index trains an embedding with a
+// triplet loss so that records with close annotations embed close, annotates
+// a small set of cluster representatives chosen by furthest-point-first
+// clustering, and then answers arbitrary queries by propagating scores from
+// the representatives to every record — no per-query proxy model training.
+//
+// The typical flow:
+//
+//	ds, _ := tasti.GenerateDataset("night-street", 20000, 1)
+//	oracle := tasti.NewOracle(ds, "mask-rcnn", tasti.MaskRCNNCost)
+//	cfg := tasti.DefaultConfig(600, 900, tasti.VideoBucketKey(0.5), 1)
+//	index, _ := tasti.Build(cfg, ds, oracle)
+//
+//	// Aggregation: average cars per frame with an error guarantee.
+//	scores, _ := index.Propagate(tasti.CountScore("car"))
+//	res, _ := tasti.EstimateAggregate(tasti.AggregateOptions{ErrTarget: 0.05, Delta: 0.05, Seed: 2},
+//	    ds.Len(), scores, tasti.CountScore("car"), oracle)
+//
+// The same index serves selection queries with recall guarantees
+// (SelectWithRecall), limit queries over rare events (FindLimit), and
+// guarantee-free threshold selection (SelectByThreshold). Labels paid for
+// during query execution can be folded back into the index with Crack.
+package tasti
+
+import (
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+	"repro/internal/query/aggregation"
+	"repro/internal/query/limitq"
+	"repro/internal/query/predagg"
+	"repro/internal/query/selection"
+	"repro/internal/query/supg"
+	"repro/internal/triplet"
+)
+
+// Data model.
+type (
+	// Record is one unstructured data record.
+	Record = dataset.Record
+	// Dataset is a corpus of records with hidden ground truth.
+	Dataset = dataset.Dataset
+	// Annotation is a target labeler's structured output.
+	Annotation = dataset.Annotation
+	// Box is one detected object in a video annotation.
+	Box = dataset.Box
+	// VideoAnnotation is the object-detection schema.
+	VideoAnnotation = dataset.VideoAnnotation
+	// TextAnnotation is the question-to-SQL schema.
+	TextAnnotation = dataset.TextAnnotation
+	// SpeechAnnotation is the speaker-attribute schema.
+	SpeechAnnotation = dataset.SpeechAnnotation
+)
+
+// Labelers.
+type (
+	// Labeler produces annotations for record IDs; implementations meter
+	// and bill each invocation.
+	Labeler = labeler.Labeler
+	// CostModel is a labeler's per-invocation cost.
+	CostModel = labeler.CostModel
+)
+
+// Calibrated per-call labeler costs from the paper's Section 3.4.
+var (
+	// MaskRCNNCost bills ~1/3 s per frame (3 fps).
+	MaskRCNNCost = labeler.MaskRCNNCost
+	// SSDCost bills a cheap detector at ~150 fps.
+	SSDCost = labeler.SSDCost
+	// HumanCost bills crowd annotation at ~$0.07 per record.
+	HumanCost = labeler.HumanCost
+)
+
+// NewOracle wraps a dataset's ground truth as an exact target labeler.
+func NewOracle(ds *Dataset, name string, cost CostModel) Labeler {
+	return labeler.NewOracle(ds, name, cost)
+}
+
+// NewCountingLabeler wraps a labeler with invocation accounting; use it to
+// meter query costs.
+func NewCountingLabeler(inner Labeler) *labeler.Counting {
+	return labeler.NewCounting(inner)
+}
+
+// NewCachingLabeler wraps a labeler with a result cache. Run a query
+// through it, then read CachedIDs/Label to collect every annotation the
+// query paid for — the input to Index.CrackAll.
+func NewCachingLabeler(inner Labeler) *labeler.Cached {
+	return labeler.NewCached(inner)
+}
+
+// GenerateDataset builds one of the synthetic evaluation corpora:
+// "night-street", "taipei", "amsterdam", "wikisql", or "common-voice".
+func GenerateDataset(name string, size int, seed int64) (*Dataset, error) {
+	return dataset.Generate(name, size, seed)
+}
+
+// Index construction.
+type (
+	// Config parameterizes index construction.
+	Config = core.Config
+	// Index is a built TASTI index.
+	Index = core.Index
+	// ScoreFunc turns an annotation into a numeric query-specific score.
+	ScoreFunc = core.ScoreFunc
+	// BucketKey discretizes annotations into closeness buckets for triplet
+	// training.
+	BucketKey = triplet.BucketKey
+	// TrainConfig holds the triplet-training hyperparameters within Config.
+	TrainConfig = triplet.Config
+)
+
+// DefaultConfig returns the full TASTI-T configuration: trainingBudget
+// records labeled for triplet training, numReps cluster representatives
+// annotated, FPF mining and clustering on.
+func DefaultConfig(trainingBudget, numReps int, key BucketKey, seed int64) Config {
+	return core.DefaultConfig(trainingBudget, numReps, key, seed)
+}
+
+// PretrainedConfig returns the TASTI-PT variant, which skips triplet
+// training and spends no labels on a training set.
+func PretrainedConfig(numReps int, seed int64) Config {
+	return core.PretrainedConfig(numReps, seed)
+}
+
+// Build constructs an index over ds, spending target-labeler invocations
+// through lab.
+func Build(cfg Config, ds *Dataset, lab Labeler) (*Index, error) {
+	return core.Build(cfg, ds, lab)
+}
+
+// LoadIndex deserializes an index saved with Index.Save.
+var LoadIndex = core.Load
+
+// Closeness heuristics for the built-in schemas.
+var (
+	// VideoBucketKey groups frames by per-class object counts and coarse
+	// positions (cell is the position grid size in [0,1]).
+	VideoBucketKey = triplet.VideoBucketKey
+	// TextBucketKey groups questions by SQL operator and predicate count.
+	TextBucketKey = triplet.TextBucketKey
+	// SpeechBucketKey groups snippets by speaker gender and age decade.
+	SpeechBucketKey = triplet.SpeechBucketKey
+)
+
+// Built-in scoring functions.
+var (
+	// CountScore counts boxes of a class in a video annotation.
+	CountScore = core.CountScore
+	// MatchScore converts a predicate into a 0/1 selection score.
+	MatchScore = core.MatchScore
+	// AvgXScore scores a frame by its objects' mean x-position.
+	AvgXScore = core.AvgXScore
+)
+
+// Query processing.
+type (
+	// AggregateOptions configures EstimateAggregate.
+	AggregateOptions = aggregation.Options
+	// AggregateResult is EstimateAggregate's output.
+	AggregateResult = aggregation.Result
+	// SelectOptions configures SelectWithRecall and SelectWithPrecision.
+	SelectOptions = supg.Options
+	// SelectResult is the SUPG output.
+	SelectResult = supg.Result
+	// LimitResult is FindLimit's output.
+	LimitResult = limitq.Result
+	// ThresholdResult is SelectByThreshold's output.
+	ThresholdResult = selection.Result
+)
+
+// EstimateAggregate estimates the mean of score over n records with an
+// empirical-Bernstein error guarantee, using proxy as a control variate
+// (nil runs plain uniform sampling).
+func EstimateAggregate(opts AggregateOptions, n int, proxy []float64, score func(Annotation) float64, lab Labeler) (AggregateResult, error) {
+	return aggregation.Estimate(opts, n, proxy, score, lab)
+}
+
+// SelectWithRecall returns a record set containing at least a target
+// fraction of all records matching pred, with probability 1-Delta, spending
+// a fixed labeler budget (SUPG recall-target).
+func SelectWithRecall(opts SelectOptions, n int, proxy []float64, pred func(Annotation) bool, lab Labeler) (SelectResult, error) {
+	return supg.RecallTarget(opts, n, proxy, pred, lab)
+}
+
+// SelectWithPrecision returns the largest record set whose precision clears
+// the target with probability 1-Delta (SUPG precision-target).
+func SelectWithPrecision(opts SelectOptions, n int, proxy []float64, pred func(Annotation) bool, lab Labeler) (SelectResult, error) {
+	return supg.PrecisionTarget(opts, n, proxy, pred, lab)
+}
+
+// FindLimit scans records in descending proxy-score order (ties broken by
+// tieDist, then ID) until limit records matching pred are found.
+func FindLimit(limit int, proxy, tieDist []float64, pred func(Annotation) bool, lab Labeler) (LimitResult, error) {
+	return limitq.Run(limit, proxy, tieDist, pred, lab)
+}
+
+// SelectByThreshold answers a selection query without guarantees: it labels
+// a validation sample, picks the proxy threshold maximizing F1, and returns
+// every record above it.
+func SelectByThreshold(n int, proxy []float64, validationSize int, pred func(Annotation) bool, lab Labeler, seed int64) (ThresholdResult, error) {
+	return selection.Threshold(n, proxy, validationSize, pred, lab, seed)
+}
+
+// Grouped aggregation.
+type (
+	// GroupByOptions configures EstimateGroupedAggregate.
+	GroupByOptions = aggregation.GroupByOptions
+	// GroupByResult maps group keys to their estimates.
+	GroupByResult = aggregation.GroupByResult
+)
+
+// EstimateGroupedAggregate estimates the mean of score within each group at
+// a fixed labeler budget, stratifying the sample by predicted groups —
+// typically Index.PropagateVote output — to sharpen rare groups.
+func EstimateGroupedAggregate(opts GroupByOptions, n int, proxyGroups []string, groupOf func(Annotation) string, score func(Annotation) float64, lab Labeler) (GroupByResult, error) {
+	return aggregation.EstimateGroups(opts, n, proxyGroups, groupOf, score, lab)
+}
+
+// Predicate-aggregation queries (the extension the paper's Section 2.2
+// points to): estimate the mean of a score over only the records matching a
+// predicate, both requiring the target labeler.
+type (
+	// PredicateAggregateOptions configures EstimateAggregateWithPredicate.
+	PredicateAggregateOptions = predagg.Options
+	// PredicateAggregateResult is its output.
+	PredicateAggregateResult = predagg.Result
+)
+
+// EstimateAggregateWithPredicate estimates E[score | pred] with stratified
+// two-phase sampling driven by the proxy scores, at a fixed labeler budget.
+// Stratify by a proxy that carries the score's magnitude (e.g. propagated
+// counts), not just the predicate probability.
+func EstimateAggregateWithPredicate(opts PredicateAggregateOptions, n int, proxy []float64, pred func(Annotation) bool, score func(Annotation) float64, lab Labeler) (PredicateAggregateResult, error) {
+	return predagg.Estimate(opts, n, proxy, pred, score, lab)
+}
