@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -29,8 +30,17 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of text tables")
 		mdOut    = flag.Bool("markdown", false, "emit markdown tables instead of text tables")
 		replicas = flag.Int("replicas", 1, "run the experiment under this many seeds and report means with bootstrap CIs")
+		par      = flag.Int("parallelism", 0, "cap worker count for every pipeline phase via GOMAXPROCS (<= 0 uses all CPUs; results are identical at every value)")
 	)
 	flag.Parse()
+
+	// Experiments build indexes with the default Parallelism (all CPUs), so
+	// capping GOMAXPROCS bounds every parallel phase at once. Results are
+	// unchanged: the chunk grids the pipeline reduces over depend only on
+	// input sizes, never on the worker count.
+	if *par > 0 {
+		runtime.GOMAXPROCS(*par)
+	}
 
 	if *list {
 		desc := experiments.Describe()

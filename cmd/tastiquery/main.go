@@ -34,16 +34,17 @@ func main() {
 		errTgt = flag.Float64("err", 0.05, "aggregation error target")
 		recall = flag.Float64("recall", 0.9, "selection recall target")
 		useANN = flag.Bool("ann", false, "build the distance table with the IVF approximate-NN index")
+		par    = flag.Int("parallelism", 0, "worker count for index construction and propagation (<= 0 uses all CPUs; results are identical at every value)")
 	)
 	flag.Parse()
 
-	if err := run(*dsName, *size, *seed, *query, *class, *count, *k, *train, *reps, *budget, *save, *load, *errTgt, *recall, *useANN); err != nil {
+	if err := run(*dsName, *size, *seed, *query, *class, *count, *k, *train, *reps, *budget, *save, *load, *errTgt, *recall, *useANN, *par); err != nil {
 		fmt.Fprintf(os.Stderr, "tastiquery: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dsName string, size int, seed int64, query, class string, count, k, train, reps, budget int, save, load string, errTgt, recall float64, useANN bool) error {
+func run(dsName string, size int, seed int64, query, class string, count, k, train, reps, budget int, save, load string, errTgt, recall float64, useANN bool, parallelism int) error {
 	ds, err := tasti.GenerateDataset(dsName, size, seed)
 	if err != nil {
 		return err
@@ -65,10 +66,12 @@ func run(dsName string, size int, seed int64, query, class string, count, k, tra
 		if err != nil {
 			return err
 		}
+		index.SetParallelism(parallelism)
 		fmt.Printf("loaded index: %d records, %d representatives\n", index.NumRecords(), len(index.Table.Reps))
 	} else {
 		cfg := indexConfig(dsName, train, reps, seed)
 		cfg.ApproxTable = useANN
+		cfg.Parallelism = parallelism
 		index, err = tasti.Build(cfg, ds, oracle)
 		if err != nil {
 			return err

@@ -56,18 +56,18 @@ func TestRunSaveLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(dir, "idx.gob")
 
 	// Build + save.
-	if err := run("night-street", 1200, 1, "agg", "car", 5, 5, 200, 150, 100, path, "", 0.2, 0.9, false); err != nil {
+	if err := run("night-street", 1200, 1, "agg", "car", 5, 5, 200, 150, 100, path, "", 0.2, 0.9, false, 2); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("index not saved: %v", err)
 	}
 	// Load + query.
-	if err := run("night-street", 1200, 1, "limit", "car", 4, 3, 100, 150, 100, "", path, 0.2, 0.9, false); err != nil {
+	if err := run("night-street", 1200, 1, "limit", "car", 4, 3, 100, 150, 100, "", path, 0.2, 0.9, false, 2); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown query type errors.
-	if err := run("night-street", 300, 1, "nope", "car", 1, 1, 0, 50, 50, "", "", 0.2, 0.9, false); err == nil {
+	if err := run("night-street", 300, 1, "nope", "car", 1, 1, 0, 50, 50, "", "", 0.2, 0.9, false, 2); err == nil {
 		t.Error("unknown query should error")
 	}
 }

@@ -29,12 +29,13 @@ func main() {
 		train  = flag.Int("train", 600, "triplet-training label budget")
 		reps   = flag.Int("reps", 900, "cluster representatives to annotate")
 		addr   = flag.String("addr", ":8080", "listen address")
+		par    = flag.Int("parallelism", 0, "worker count for index construction, propagation, and cracking (<= 0 uses all CPUs)")
 	)
 	flag.Parse()
 
 	start := time.Now()
 	log.Printf("building index over %s (%d records)...", *dsName, *size)
-	srv, err := newServer(*dsName, *size, *train, *reps, *seed)
+	srv, err := newServer(*dsName, *size, *train, *reps, *seed, *par)
 	if err != nil {
 		log.Fatalf("tastiserve: %v", err)
 	}

@@ -11,7 +11,15 @@ import (
 )
 
 // server owns an index over one corpus and answers queries over HTTP. A
-// single lock serializes queries against cracking, which mutates the index.
+// single lock serializes queries against cracking: Index.Crack/CrackAll
+// mutate Annotations and the distance table with no internal
+// synchronization (see package core's concurrency contract), so every
+// handler that touches the index — including nominally read-only
+// propagation — takes mu for its full critical section. The lock is coarse
+// on purpose: queries spend their time in propagation and sampling, which
+// parallelize internally, so a finer-grained scheme would buy little until
+// multiple indexes are served. TestServeQueriesConcurrentWithCracking holds
+// this contract under the race detector.
 type server struct {
 	mu     sync.Mutex
 	ds     *tasti.Dataset
@@ -21,8 +29,9 @@ type server struct {
 	seed   int64
 }
 
-// newServer generates the corpus and builds the index.
-func newServer(dsName string, size, train, reps int, seed int64) (*server, error) {
+// newServer generates the corpus and builds the index with the given
+// parallelism level (<= 0 uses all CPUs).
+func newServer(dsName string, size, train, reps int, seed int64, parallelism int) (*server, error) {
 	ds, err := tasti.GenerateDataset(dsName, size, seed)
 	if err != nil {
 		return nil, err
@@ -41,7 +50,9 @@ func newServer(dsName string, size, train, reps int, seed int64) (*server, error
 	default:
 		key = tasti.VideoBucketKey(0.5)
 	}
-	index, err := tasti.Build(tasti.DefaultConfig(train, reps, key, seed), ds, oracle)
+	cfg := tasti.DefaultConfig(train, reps, key, seed)
+	cfg.Parallelism = parallelism
+	index, err := tasti.Build(cfg, ds, oracle)
 	if err != nil {
 		return nil, err
 	}

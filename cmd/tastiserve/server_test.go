@@ -10,7 +10,7 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv, err := newServer("night-street", 1500, 250, 200, 1)
+	srv, err := newServer("night-street", 1500, 250, 200, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

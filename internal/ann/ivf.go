@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/parallel"
 	"repro/internal/vecmath"
 	"repro/internal/xrand"
 )
@@ -21,6 +22,9 @@ type Config struct {
 	Cells int
 	// Iterations is the number of Lloyd iterations (default 10).
 	Iterations int
+	// Parallelism bounds the worker count for construction and table
+	// probing (<= 0 uses all CPUs); results are identical at every value.
+	Parallelism int
 	// Seed makes construction deterministic.
 	Seed int64
 }
@@ -59,7 +63,7 @@ func Build(cfg Config, vectors [][]float64) (*IVF, error) {
 
 	// FPF seeds the centroids with well-spread vectors, then Lloyd refines.
 	r := xrand.New(cfg.Seed)
-	seeds := cluster.FPF(vectors, cells, r.Intn(len(vectors)))
+	seeds := cluster.FPFPar(vectors, cells, r.Intn(len(vectors)), cfg.Parallelism)
 	centroids := make([][]float64, len(seeds))
 	for i, s := range seeds {
 		centroids[i] = vecmath.Clone(vectors[s])
@@ -67,23 +71,33 @@ func Build(cfg Config, vectors [][]float64) (*IVF, error) {
 
 	assign := make([]int, len(vectors))
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		changed := false
-		for i, v := range vectors {
-			best, bestD := 0, math.Inf(1)
-			for c, cent := range centroids {
-				if d := vecmath.SquaredL2(v, cent); d < bestD {
-					best, bestD = c, d
+		// The assignment sweep is the O(N·cells·D) hot loop; per-vector
+		// assignments are independent, so it shards cleanly.
+		changed := parallel.Reduce(cfg.Parallelism, len(vectors), false,
+			func(_ int, s parallel.Span) bool {
+				chunkChanged := false
+				for i := s.Lo; i < s.Hi; i++ {
+					best, bestD := 0, math.Inf(1)
+					for c, cent := range centroids {
+						if d := vecmath.SquaredL2(vectors[i], cent); d < bestD {
+							best, bestD = c, d
+						}
+					}
+					if assign[i] != best {
+						assign[i] = best
+						chunkChanged = true
+					}
 				}
-			}
-			if assign[i] != best {
-				assign[i] = best
-				changed = true
-			}
-		}
+				return chunkChanged
+			},
+			func(a, b bool) bool { return a || b })
 		if !changed && iter > 0 {
 			break
 		}
 		// Recompute centroids; empty cells keep their previous position.
+		// This accumulation stays serial: it is O(N·D) against the sweep's
+		// O(N·cells·D), and a record-order float sum keeps the centroids
+		// bit-identical to the pre-parallel implementation.
 		sums := make([][]float64, len(centroids))
 		counts := make([]int, len(centroids))
 		for i := range sums {
@@ -184,13 +198,14 @@ func BuildTableApprox(embeddings [][]float64, reps []int, k, nprobe int, cfg Con
 		Reps:      append([]int(nil), reps...),
 		Neighbors: make([][]cluster.Neighbor, len(embeddings)),
 	}
-	for i, emb := range embeddings {
-		found := ivf.Search(emb, k, nprobe)
+	// Per-record probes are independent reads of the immutable IVF.
+	parallel.For(cfg.Parallelism, len(embeddings), func(i int) {
+		found := ivf.Search(embeddings[i], k, nprobe)
 		nbrs := make([]cluster.Neighbor, len(found))
 		for j, f := range found {
 			nbrs[j] = cluster.Neighbor{Rep: reps[f.Index], Dist: f.Value}
 		}
 		t.Neighbors[i] = nbrs
-	}
+	})
 	return t, nil
 }

@@ -349,3 +349,52 @@ func TestFPFMatchesSequential(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestWorkerCountInvariance pins the parallel subsystem's contract at the
+// cluster layer: FPF selections, min-k tables, and incremental insertions
+// are bitwise identical at every parallelism level.
+func TestWorkerCountInvariance(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	emb := randomEmbeddings(r, 400, 6)
+
+	wantReps := FPFPar(emb, 37, 0, 1)
+	wantTable := BuildTablePar(emb, wantReps, 4, 1)
+	wantTable.AddRepresentativePar(emb, 399, 1)
+
+	for _, p := range []int{2, 3, 8} {
+		reps := FPFPar(emb, 37, 0, p)
+		if len(reps) != len(wantReps) {
+			t.Fatalf("p=%d: %d reps, want %d", p, len(reps), len(wantReps))
+		}
+		for i := range reps {
+			if reps[i] != wantReps[i] {
+				t.Fatalf("p=%d: rep[%d] = %d, want %d", p, i, reps[i], wantReps[i])
+			}
+		}
+		table := BuildTablePar(emb, reps, 4, p)
+		table.AddRepresentativePar(emb, 399, p)
+		for i := range wantTable.Neighbors {
+			for j, nb := range wantTable.Neighbors[i] {
+				if table.Neighbors[i][j] != nb {
+					t.Fatalf("p=%d: record %d neighbor %d = %+v, want %+v",
+						p, i, j, table.Neighbors[i][j], nb)
+				}
+			}
+		}
+	}
+}
+
+// TestFPFMixedWorkerCountInvariance checks that the random mix-in consumes
+// the RNG identically at every parallelism level.
+func TestFPFMixedWorkerCountInvariance(t *testing.T) {
+	emb := randomEmbeddings(rand.New(rand.NewSource(7)), 300, 4)
+	want := FPFMixedPar(rand.New(rand.NewSource(11)), emb, 50, 0.2, 1)
+	for _, p := range []int{2, 5} {
+		got := FPFMixedPar(rand.New(rand.NewSource(11)), emb, 50, 0.2, p)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: rep[%d] = %d, want %d", p, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -1,24 +1,44 @@
 // Package cluster implements the clustering side of the TASTI index:
 // furthest-point-first (FPF) representative selection and the per-record
 // min-k distance tables that score propagation reads.
+//
+// # Concurrency contract
+//
+// The package functions parallelize internally over internal/parallel and
+// return results that are bitwise identical at every worker count. The
+// functions themselves are safe to call concurrently on distinct inputs, but
+// a *Table is not internally synchronized: AddRepresentative mutates Reps
+// and the Neighbors lists in place, so callers must not run it concurrently
+// with reads of the same Table (Nearest, Validate, propagation) or with
+// another AddRepresentative. core.Index.Crack inherits this contract — see
+// cmd/tastiserve for the serialization a server needs.
 package cluster
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
-	"runtime"
 
+	"repro/internal/parallel"
 	"repro/internal/vecmath"
 )
 
 // FPF selects k representatives from the embeddings with the
 // furthest-point-first (Gonzalez, 1985) algorithm, starting from the record
-// with the given index. It returns representative indices in selection
-// order and runs in O(N·k) distance computations. FPF 2-approximates the
-// optimal maximum intra-cluster distance, the property the paper's analysis
-// relies on.
+// with the given index, using all CPUs. It returns representative indices in
+// selection order and runs in O(N·k) distance computations. FPF
+// 2-approximates the optimal maximum intra-cluster distance, the property
+// the paper's analysis relies on.
 func FPF(embeddings [][]float64, k, start int) []int {
+	return FPFPar(embeddings, k, start, 0)
+}
+
+// FPFPar is FPF with an explicit parallelism level p (p <= 0 uses all CPUs).
+// The selection is identical at every p: each iteration's distance sweep is
+// an argmax reduced over a fixed chunk grid with ties broken toward the
+// smaller record index, so the chosen representative never depends on the
+// worker count.
+func FPFPar(embeddings [][]float64, k, start, p int) []int {
 	n := len(embeddings)
 	if k <= 0 {
 		return nil
@@ -36,9 +56,7 @@ func FPF(embeddings [][]float64, k, start int) []int {
 	}
 	// Each iteration updates every record's distance to the newest
 	// representative and finds the global argmax — the dominant cost of
-	// index construction, so the scan is sharded across workers. Ties on
-	// the max distance break toward the smaller index, keeping the result
-	// identical to a sequential scan.
+	// index construction, so the sweep is the pipeline's hottest loop.
 	type candidate struct {
 		idx  int
 		dist float64
@@ -47,11 +65,9 @@ func FPF(embeddings [][]float64, k, start int) []int {
 	for len(reps) < k {
 		reps = append(reps, cur)
 		curEmb := embeddings[cur]
-		shards := shardBounds(n)
-		results := make([]candidate, len(shards))
-		parallelFor(len(shards), func(s int) {
+		parts := parallel.Map(p, n, func(_ int, s parallel.Span) candidate {
 			far, farDist := -1, -1.0
-			for i := shards[s].lo; i < shards[s].hi; i++ {
+			for i := s.Lo; i < s.Hi; i++ {
 				d := vecmath.SquaredL2(embeddings[i], curEmb)
 				if d < minDist[i] {
 					minDist[i] = d
@@ -60,10 +76,10 @@ func FPF(embeddings [][]float64, k, start int) []int {
 					far, farDist = i, minDist[i]
 				}
 			}
-			results[s] = candidate{far, farDist}
+			return candidate{far, farDist}
 		})
 		far, farDist := -1, -1.0
-		for _, c := range results {
+		for _, c := range parts {
 			if c.dist > farDist || (c.dist == farDist && c.idx < far) {
 				far, farDist = c.idx, c.dist
 			}
@@ -76,32 +92,18 @@ func FPF(embeddings [][]float64, k, start int) []int {
 	return reps
 }
 
-// shardBounds splits [0,n) into GOMAXPROCS-sized contiguous ranges.
-func shardBounds(n int) []struct{ lo, hi int } {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	chunk := (n + workers - 1) / workers
-	var out []struct{ lo, hi int }
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		out = append(out, struct{ lo, hi int }{lo, hi})
-	}
-	return out
+// FPFMixed selects k representatives, the first (1-randomFrac)·k by FPF and
+// the remainder uniformly at random from records not yet selected, using all
+// CPUs. The paper mixes in a small random fraction to help average-case
+// queries while FPF covers the outliers.
+func FPFMixed(r *rand.Rand, embeddings [][]float64, k int, randomFrac float64) []int {
+	return FPFMixedPar(r, embeddings, k, randomFrac, 0)
 }
 
-// FPFMixed selects k representatives, the first (1-randomFrac)·k by FPF and
-// the remainder uniformly at random from records not yet selected. The paper
-// mixes in a small random fraction to help average-case queries while FPF
-// covers the outliers.
-func FPFMixed(r *rand.Rand, embeddings [][]float64, k int, randomFrac float64) []int {
+// FPFMixedPar is FPFMixed with an explicit parallelism level p (p <= 0 uses
+// all CPUs). The random draws consume r identically at every p, so the full
+// selection depends only on r, never on the worker count.
+func FPFMixedPar(r *rand.Rand, embeddings [][]float64, k int, randomFrac float64, p int) []int {
 	n := len(embeddings)
 	if k > n {
 		k = n
@@ -117,7 +119,7 @@ func FPFMixed(r *rand.Rand, embeddings [][]float64, k int, randomFrac float64) [
 	var reps []int
 	selected := make(map[int]bool, k)
 	if numFPF > 0 {
-		reps = FPF(embeddings, numFPF, r.Intn(n))
+		reps = FPFPar(embeddings, numFPF, r.Intn(n), p)
 		for _, id := range reps {
 			selected[id] = true
 		}
@@ -151,18 +153,21 @@ func RandomReps(r *rand.Rand, n, k int) []int {
 // nearest representative — the clustering-density quantity bounded by the
 // paper's Theorems 1 and 2.
 func MaxMinDistance(embeddings [][]float64, reps []int) float64 {
-	worst := 0.0
-	for i := range embeddings {
-		best := math.Inf(1)
-		for _, rep := range reps {
-			d := vecmath.SquaredL2(embeddings[i], embeddings[rep])
-			if d < best {
-				best = d
+	worst := parallel.Reduce(0, len(embeddings), 0.0, func(_ int, s parallel.Span) float64 {
+		chunkWorst := 0.0
+		for i := s.Lo; i < s.Hi; i++ {
+			best := math.Inf(1)
+			for _, rep := range reps {
+				d := vecmath.SquaredL2(embeddings[i], embeddings[rep])
+				if d < best {
+					best = d
+				}
+			}
+			if best > chunkWorst {
+				chunkWorst = best
 			}
 		}
-		if best > worst {
-			worst = best
-		}
-	}
+		return chunkWorst
+	}, math.Max)
 	return math.Sqrt(worst)
 }

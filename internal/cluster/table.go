@@ -3,10 +3,9 @@ package cluster
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
-	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/vecmath"
 )
 
@@ -21,6 +20,10 @@ type Neighbor struct {
 // Table stores, for every record, its k nearest cluster representatives by
 // embedding distance — the MinKDistances of the paper's Algorithm 1. It
 // supports incremental representative insertion for index cracking.
+//
+// A Table is not internally synchronized: AddRepresentative mutates it, so
+// callers serialize it against reads and against other mutations (see the
+// package comment).
 type Table struct {
 	// K is the number of neighbors retained per record.
 	K int
@@ -32,8 +35,15 @@ type Table struct {
 }
 
 // BuildTable computes the min-k distance table from each embedding to the
-// representatives, in parallel across records.
+// representatives, in parallel across records on all CPUs.
 func BuildTable(embeddings [][]float64, reps []int, k int) *Table {
+	return BuildTablePar(embeddings, reps, k, 0)
+}
+
+// BuildTablePar is BuildTable with an explicit parallelism level p (p <= 0
+// uses all CPUs). Each record's neighbor list is an independent computation,
+// so the table is identical at every p.
+func BuildTablePar(embeddings [][]float64, reps []int, k, p int) *Table {
 	if k <= 0 {
 		panic(fmt.Sprintf("cluster: table needs k > 0, got %d", k))
 	}
@@ -50,25 +60,35 @@ func BuildTable(embeddings [][]float64, reps []int, k int) *Table {
 		Reps:      append([]int(nil), reps...),
 		Neighbors: make([][]Neighbor, len(embeddings)),
 	}
-	parallelFor(len(embeddings), func(i int) {
-		dists := make([]float64, len(reps))
-		for j, rep := range reps {
-			dists[j] = vecmath.SquaredL2(embeddings[i], embeddings[rep])
+	parallel.ForChunks(p, len(embeddings), func(_ int, s parallel.Span) {
+		dists := make([]float64, len(reps)) // per-chunk scratch, refilled per record
+		for i := s.Lo; i < s.Hi; i++ {
+			for j, rep := range reps {
+				dists[j] = vecmath.SquaredL2(embeddings[i], embeddings[rep])
+			}
+			top := vecmath.SmallestK(dists, k)
+			nbrs := make([]Neighbor, len(top))
+			for j, iv := range top {
+				nbrs[j] = Neighbor{Rep: reps[iv.Index], Dist: math.Sqrt(iv.Value)}
+			}
+			t.Neighbors[i] = nbrs
 		}
-		top := vecmath.SmallestK(dists, k)
-		nbrs := make([]Neighbor, len(top))
-		for j, iv := range top {
-			nbrs[j] = Neighbor{Rep: reps[iv.Index], Dist: math.Sqrt(iv.Value)}
-		}
-		t.Neighbors[i] = nbrs
 	})
 	return t
 }
 
-// AddRepresentative inserts a new representative (cracking): each record's
-// neighbor list is updated if the new representative is closer than its
-// current k-th neighbor. Adding an existing representative is a no-op.
+// AddRepresentative inserts a new representative (cracking) on all CPUs:
+// each record's neighbor list is updated if the new representative is closer
+// than its current k-th neighbor. Adding an existing representative is a
+// no-op. The caller must serialize it against all other Table use.
 func (t *Table) AddRepresentative(embeddings [][]float64, rep int) {
+	t.AddRepresentativePar(embeddings, rep, 0)
+}
+
+// AddRepresentativePar is AddRepresentative with an explicit parallelism
+// level p (p <= 0 uses all CPUs); per-record updates are independent, so the
+// result is identical at every p.
+func (t *Table) AddRepresentativePar(embeddings [][]float64, rep, p int) {
 	if rep < 0 || rep >= len(embeddings) {
 		panic(fmt.Sprintf("cluster: representative %d out of range [0,%d)", rep, len(embeddings)))
 	}
@@ -78,7 +98,7 @@ func (t *Table) AddRepresentative(embeddings [][]float64, rep int) {
 		}
 	}
 	t.Reps = append(t.Reps, rep)
-	parallelFor(len(embeddings), func(i int) {
+	parallel.For(p, len(embeddings), func(i int) {
 		d := vecmath.L2(embeddings[i], embeddings[rep])
 		nbrs := t.Neighbors[i]
 		if len(nbrs) >= t.K && d >= nbrs[len(nbrs)-1].Dist {
@@ -140,37 +160,4 @@ func (t *Table) Validate() error {
 		}
 	}
 	return nil
-}
-
-// parallelFor runs fn(i) for i in [0,n) across GOMAXPROCS workers.
-func parallelFor(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
 }

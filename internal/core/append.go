@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/cluster"
+	"repro/internal/parallel"
 	"repro/internal/vecmath"
 )
 
@@ -21,7 +22,10 @@ var ErrNoEmbedder = errors.New("core: index has no embedder; rebuild or keep the
 // caller must mirror in its dataset/labeler so the IDs stay aligned.
 //
 // Appended records are immediately covered by Propagate and friends, and
-// can later be cracked in as representatives like any other record.
+// can later be cracked in as representatives like any other record. Like
+// Crack, AppendRecords mutates the index and must be serialized against all
+// other index use; the per-record embedding and neighbor scans themselves
+// run across Config.Parallelism workers.
 func (ix *Index) AppendRecords(features [][]float64) ([]int, error) {
 	if ix.Embedder == nil {
 		return nil, ErrNoEmbedder
@@ -33,16 +37,31 @@ func (ix *Index) AppendRecords(features [][]float64) ([]int, error) {
 	if len(ix.Table.Reps) < k {
 		k = len(ix.Table.Reps)
 	}
-	ids := make([]int, len(features))
-	for i, f := range features {
-		emb := ix.Embedder.Embed(f)
-		nbrs, err := nearestReps(emb, ix.Embeddings, ix.Table.Reps, k)
-		if err != nil {
-			return nil, fmt.Errorf("core: appending record %d: %w", i, err)
+	// Embed and scan in parallel into per-record slots, then append in
+	// record order so IDs and table rows stay sequential.
+	embs := make([][]float64, len(features))
+	nbrLists := make([][]cluster.Neighbor, len(features))
+	scanErrs := parallel.Map(ix.cfg.Parallelism, len(features), func(_ int, s parallel.Span) error {
+		for i := s.Lo; i < s.Hi; i++ {
+			emb := ix.Embedder.Embed(features[i])
+			nbrs, err := nearestReps(emb, ix.Embeddings, ix.Table.Reps, k)
+			if err != nil {
+				return fmt.Errorf("core: appending record %d: %w", i, err)
+			}
+			embs[i], nbrLists[i] = emb, nbrs
 		}
+		return nil
+	})
+	for _, err := range scanErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	ids := make([]int, len(features))
+	for i := range features {
 		ids[i] = len(ix.Embeddings)
-		ix.Embeddings = append(ix.Embeddings, emb)
-		ix.Table.Neighbors = append(ix.Table.Neighbors, nbrs)
+		ix.Embeddings = append(ix.Embeddings, embs[i])
+		ix.Table.Neighbors = append(ix.Table.Neighbors, nbrLists[i])
 	}
 	return ids, nil
 }

@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+)
+
+// ExampleBuild runs Algorithm 1 end to end on a small synthetic corpus:
+// TASTI-PT (no triplet training) with 40 annotated representatives, then a
+// propagation answering "cars per frame" without touching the target
+// labeler again. Parallelism=2 demonstrates the knob; any value produces
+// the same index.
+func ExampleBuild() {
+	ds, err := dataset.Generate("night-street", 500, 1)
+	if err != nil {
+		panic(err)
+	}
+	oracle := labeler.NewOracle(ds, "mask-rcnn", labeler.MaskRCNNCost)
+
+	cfg := core.PretrainedConfig(40, 1)
+	cfg.Parallelism = 2
+	index, err := core.Build(cfg, ds, oracle)
+	if err != nil {
+		panic(err)
+	}
+
+	scores, err := index.Propagate(core.CountScore("car"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("records: %d\n", index.NumRecords())
+	fmt.Printf("representatives: %d\n", len(index.Table.Reps))
+	fmt.Printf("label calls: %d\n", index.Stats.TotalLabelCalls())
+	fmt.Printf("proxy scores: %d\n", len(scores))
+	// Output:
+	// records: 500
+	// representatives: 40
+	// label calls: 40
+	// proxy scores: 500
+}

@@ -3,6 +3,19 @@
 // training → FPF cluster-representative selection → min-k distance table),
 // score propagation from annotated representatives to every record, and
 // index cracking.
+//
+// # Concurrency contract
+//
+// Build parallelizes internally to Config.Parallelism workers through
+// internal/parallel, and the built index is bitwise identical at every
+// worker count for a fixed seed (see docs/ARCHITECTURE.md for how each
+// phase preserves that). On a built index, the Propagate* methods are
+// read-only and safe to call concurrently with each other. Crack and
+// CrackAll are NOT: they mutate Annotations and Table in place with no
+// internal synchronization, so callers must serialize them against every
+// other use of the index — cmd/tastiserve does this with one mutex across
+// all query handlers, and TestServeQueriesConcurrentWithCracking holds the
+// contract under the race detector.
 package core
 
 import (
@@ -16,6 +29,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/embed"
 	"repro/internal/labeler"
+	"repro/internal/parallel"
 	"repro/internal/triplet"
 	"repro/internal/xrand"
 )
@@ -59,6 +73,10 @@ type Config struct {
 	// ANNProbe is the number of IVF cells probed per record when
 	// ApproxTable is set (default 4).
 	ANNProbe int
+	// Parallelism bounds the worker count for construction and propagation
+	// (<= 0 uses all CPUs). Results are bitwise identical at every value;
+	// the knob only trades wall-clock time for CPU.
+	Parallelism int
 	// Seed makes construction deterministic.
 	Seed int64
 }
@@ -99,6 +117,10 @@ type BuildStats struct {
 	// TrainWall, EmbedWall, ClusterWall are measured wall-clock durations of
 	// the pipeline phases.
 	TrainWall, EmbedWall, ClusterWall time.Duration
+	// RepSelectWall, RepLabelWall, TableWall break ClusterWall down into
+	// its parallel sub-phases: FPF representative selection, representative
+	// annotation, and min-k distance-table construction.
+	RepSelectWall, RepLabelWall, TableWall time.Duration
 	// TripletSteps is the number of optimizer steps taken (0 for TASTI-PT).
 	TripletSteps int
 }
@@ -143,7 +165,7 @@ func Build(cfg Config, ds *dataset.Dataset, lab labeler.Labeler) (*Index, error)
 	// Phase 1: pre-trained embeddings over all records.
 	embedStart := time.Now()
 	pre := embed.NewPretrained(ds.FeatureDim(), cfg.EmbedDim, cfg.Seed)
-	preEmb := embed.All(pre, ds)
+	preEmb := embed.AllPar(pre, ds, cfg.Parallelism)
 	stats.EmbedWall += time.Since(embedStart)
 
 	// Phase 2: optional triplet training on a mined, labeled training set.
@@ -153,7 +175,7 @@ func Build(cfg Config, ds *dataset.Dataset, lab labeler.Labeler) (*Index, error)
 		miner := xrand.Split(cfg.Seed, "mining")
 		var trainIDs []int
 		if cfg.FPFMining {
-			trainIDs = triplet.MineFPF(miner, preEmb, cfg.TrainingBudget)
+			trainIDs = triplet.MineFPFPar(miner, preEmb, cfg.TrainingBudget, cfg.Parallelism)
 		} else {
 			trainIDs = triplet.MineRandom(miner, ds.Len(), cfg.TrainingBudget)
 		}
@@ -185,7 +207,7 @@ func Build(cfg Config, ds *dataset.Dataset, lab labeler.Labeler) (*Index, error)
 	embedStart = time.Now()
 	var embeddings [][]float64
 	if cfg.DoTrain {
-		embeddings = embed.All(embedder, ds)
+		embeddings = embed.AllPar(embedder, ds, cfg.Parallelism)
 	} else {
 		embeddings = preEmb
 	}
@@ -197,34 +219,59 @@ func Build(cfg Config, ds *dataset.Dataset, lab labeler.Labeler) (*Index, error)
 	repRand := xrand.Split(cfg.Seed, "reps")
 	var reps []int
 	if cfg.FPFCluster {
-		reps = cluster.FPFMixed(repRand, embeddings, cfg.NumReps, cfg.RandomRepFraction)
+		reps = cluster.FPFMixedPar(repRand, embeddings, cfg.NumReps, cfg.RandomRepFraction, cfg.Parallelism)
 	} else {
 		reps = cluster.RandomReps(repRand, ds.Len(), cfg.NumReps)
 	}
-	annotations := make(map[int]dataset.Annotation, len(reps))
+	stats.RepSelectWall = time.Since(clusterStart)
+
+	// Annotate the representatives concurrently: reps are distinct, the
+	// counting/caching wrappers are mutex-guarded, and each rep's annotation
+	// lands in its own slot, so the annotation map and the call count are
+	// the same at every worker count.
+	labelStart := time.Now()
 	before := counting.Calls()
-	for _, rep := range reps {
-		ann, err := counting.Label(rep)
-		if err != nil {
-			return nil, fmt.Errorf("core: labeling representative %d: %w", rep, err)
+	repAnns := make([]dataset.Annotation, len(reps))
+	labelErrs := parallel.Map(cfg.Parallelism, len(reps), func(_ int, s parallel.Span) error {
+		for i := s.Lo; i < s.Hi; i++ {
+			a, err := counting.Label(reps[i])
+			if err != nil {
+				return fmt.Errorf("core: labeling representative %d: %w", reps[i], err)
+			}
+			repAnns[i] = a
 		}
-		annotations[rep] = ann
+		return nil
+	})
+	for _, err := range labelErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	annotations := make(map[int]dataset.Annotation, len(reps))
+	for i, rep := range reps {
+		annotations[rep] = repAnns[i]
 	}
 	stats.RepLabelCalls = counting.Calls() - before
+	stats.RepLabelWall = time.Since(labelStart)
+
+	tableStart := time.Now()
 	var table *cluster.Table
 	if cfg.ApproxTable {
 		nprobe := cfg.ANNProbe
 		if nprobe <= 0 {
 			nprobe = 4
 		}
-		approx, err := ann.BuildTableApprox(embeddings, reps, cfg.K, nprobe, ann.DefaultConfig(len(reps), cfg.Seed))
+		annCfg := ann.DefaultConfig(len(reps), cfg.Seed)
+		annCfg.Parallelism = cfg.Parallelism
+		approx, err := ann.BuildTableApprox(embeddings, reps, cfg.K, nprobe, annCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: approximate distance table: %w", err)
 		}
 		table = approx
 	} else {
-		table = cluster.BuildTable(embeddings, reps, cfg.K)
+		table = cluster.BuildTablePar(embeddings, reps, cfg.K, cfg.Parallelism)
 	}
+	stats.TableWall = time.Since(tableStart)
 	stats.ClusterWall = time.Since(clusterStart)
 
 	return &Index{
@@ -264,21 +311,32 @@ func checkConfig(cfg Config, ds *dataset.Dataset) error {
 // Config returns the configuration the index was built with.
 func (ix *Index) Config() Config { return ix.cfg }
 
+// SetParallelism overrides the worker count used by Propagate* and Crack
+// (p <= 0 uses all CPUs). It is the knob for indexes restored with Load,
+// whose configuration is not persisted. It must not be called concurrently
+// with any other method.
+func (ix *Index) SetParallelism(p int) { ix.cfg.Parallelism = p }
+
 // NumRecords returns the number of indexed records.
 func (ix *Index) NumRecords() int { return len(ix.Embeddings) }
 
 // Crack adds a target-labeler result observed during query processing as a
 // new cluster representative, improving subsequent proxy scores (Section
 // 3.3). It is a no-op for records that are already representatives.
+//
+// Crack mutates Annotations and Table with no internal synchronization: the
+// caller must serialize it against every concurrent use of the index,
+// including the read-only Propagate* methods (see the package comment).
 func (ix *Index) Crack(id int, ann dataset.Annotation) {
 	if _, ok := ix.Annotations[id]; ok {
 		return
 	}
 	ix.Annotations[id] = ann
-	ix.Table.AddRepresentative(ix.Embeddings, id)
+	ix.Table.AddRepresentativePar(ix.Embeddings, id, ix.cfg.Parallelism)
 }
 
-// CrackAll cracks a batch of (id, annotation) observations.
+// CrackAll cracks a batch of (id, annotation) observations. It inherits
+// Crack's contract: callers serialize it against all other index use.
 func (ix *Index) CrackAll(anns map[int]dataset.Annotation) {
 	// Deterministic order keeps the table reproducible.
 	ids := make([]int, 0, len(anns))

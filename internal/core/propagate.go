@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/parallel"
 )
 
 // ScoreFunc turns a target-labeler output into a numeric query-specific
@@ -23,6 +24,12 @@ const invDistEps = 1e-9
 // Propagate computes a proxy score for every record: the exact score on
 // representatives and the inverse-distance-weighted mean of the k nearest
 // representatives' scores elsewhere (Section 4.3).
+//
+// All Propagate* methods shard the per-record loop across
+// Config.Parallelism workers (each record only reads the table and the
+// shared representative scores, so the output is identical at every worker
+// count) and are safe to call concurrently with each other — but not with
+// Crack.
 func (ix *Index) Propagate(score ScoreFunc) ([]float64, error) {
 	return ix.PropagateK(score, ix.Table.K)
 }
@@ -38,7 +45,8 @@ func (ix *Index) PropagateK(score ScoreFunc, k int) ([]float64, error) {
 		return nil, err
 	}
 	out := make([]float64, ix.NumRecords())
-	for i, nbrs := range ix.Table.Neighbors {
+	parallel.For(ix.cfg.Parallelism, ix.NumRecords(), func(i int) {
+		nbrs := ix.Table.Neighbors[i]
 		if len(nbrs) > k {
 			nbrs = nbrs[:k]
 		}
@@ -46,7 +54,7 @@ func (ix *Index) PropagateK(score ScoreFunc, k int) ([]float64, error) {
 		// gets the exact score.
 		if nbrs[0].Dist == 0 {
 			out[i] = repScores[nbrs[0].Rep]
-			continue
+			return
 		}
 		num, den := 0.0, 0.0
 		for _, nb := range nbrs {
@@ -55,7 +63,7 @@ func (ix *Index) PropagateK(score ScoreFunc, k int) ([]float64, error) {
 			den += w
 		}
 		out[i] = num / den
-	}
+	})
 	return out, nil
 }
 
@@ -69,11 +77,11 @@ func (ix *Index) PropagateNearest(score ScoreFunc) (scores, dists []float64, err
 	}
 	scores = make([]float64, ix.NumRecords())
 	dists = make([]float64, ix.NumRecords())
-	for i := range ix.Table.Neighbors {
+	parallel.For(ix.cfg.Parallelism, ix.NumRecords(), func(i int) {
 		nb := ix.Table.Nearest(i)
 		scores[i] = repScores[nb.Rep]
 		dists[i] = nb.Dist
-	}
+	})
 	return scores, dists, nil
 }
 
@@ -85,23 +93,27 @@ func (ix *Index) PropagateVote(label LabelFunc) ([]string, error) {
 		labels[id] = label(ann)
 	}
 	out := make([]string, ix.NumRecords())
-	for i, nbrs := range ix.Table.Neighbors {
-		if nbrs[0].Dist == 0 {
-			out[i] = labels[nbrs[0].Rep]
-			continue
-		}
-		votes := make(map[string]float64, len(nbrs))
-		for _, nb := range nbrs {
-			votes[labels[nb.Rep]] += 1 / (nb.Dist + invDistEps)
-		}
-		best, bestW := "", math.Inf(-1)
-		for l, w := range votes {
-			if w > bestW || (w == bestW && l < best) {
-				best, bestW = l, w
+	parallel.ForChunks(ix.cfg.Parallelism, ix.NumRecords(), func(_ int, s parallel.Span) {
+		votes := make(map[string]float64, ix.Table.K) // per-chunk scratch
+		for i := s.Lo; i < s.Hi; i++ {
+			nbrs := ix.Table.Neighbors[i]
+			if nbrs[0].Dist == 0 {
+				out[i] = labels[nbrs[0].Rep]
+				continue
 			}
+			clear(votes)
+			for _, nb := range nbrs {
+				votes[labels[nb.Rep]] += 1 / (nb.Dist + invDistEps)
+			}
+			best, bestW := "", math.Inf(-1)
+			for l, w := range votes {
+				if w > bestW || (w == bestW && l < best) {
+					best, bestW = l, w
+				}
+			}
+			out[i] = best
 		}
-		out[i] = best
-	}
+	})
 	return out, nil
 }
 

@@ -10,11 +10,10 @@ package embed
 import (
 	"fmt"
 	"math"
-	"runtime"
-	"sync"
 
 	"repro/internal/dataset"
 	"repro/internal/nn"
+	"repro/internal/parallel"
 	"repro/internal/xrand"
 )
 
@@ -98,36 +97,20 @@ func (t *Trained) Dim() int { return t.Net.OutputDim() }
 // Name implements Embedder.
 func (t *Trained) Name() string { return "triplet-trained" }
 
-// All embeds every record of ds in parallel and returns the embeddings in
-// record order.
+// All embeds every record of ds in parallel on all CPUs and returns the
+// embeddings in record order.
 func All(e Embedder, ds *dataset.Dataset) [][]float64 {
+	return AllPar(e, ds, 0)
+}
+
+// AllPar is All with an explicit parallelism level p (p <= 0 uses all CPUs).
+// Records embed independently, so the output is identical at every p. The
+// embedder must be safe for concurrent Embed calls; both implementations
+// here are (their forward passes only read model weights).
+func AllPar(e Embedder, ds *dataset.Dataset, p int) [][]float64 {
 	out := make([][]float64, ds.Len())
-	workers := runtime.GOMAXPROCS(0)
-	if workers > ds.Len() {
-		workers = ds.Len()
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	chunk := (ds.Len() + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > ds.Len() {
-			hi = ds.Len()
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				out[i] = e.Embed(ds.Records[i].Features)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
+	parallel.For(p, ds.Len(), func(i int) {
+		out[i] = e.Embed(ds.Records[i].Features)
+	})
 	return out
 }

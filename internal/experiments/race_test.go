@@ -1,0 +1,11 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether this test binary was built with the race
+// detector. TestRunAllTiny skips under -race: the detector's 10-20x
+// slowdown pushes the full experiment sweep past any reasonable test
+// timeout, and the concurrency it would exercise — the internal/parallel
+// pool — already has dedicated race coverage in internal/parallel,
+// internal/cluster, internal/core, and cmd/tastiserve.
+const raceEnabled = true

@@ -7,10 +7,15 @@ import (
 
 // TestRunAllTiny executes every registered experiment at TinyScale, checking
 // each produces rows and none errors. This is the integration test for the
-// whole harness; it takes a few minutes, so -short skips it.
+// whole harness; it takes a few minutes, so -short skips it, and the race
+// detector's slowdown makes it time out, so -race skips it too (the
+// parallel pool it would exercise has dedicated -race tests elsewhere).
 func TestRunAllTiny(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
+	}
+	if raceEnabled {
+		t.Skip("race detector: sweep exceeds test timeout; see race_test.go")
 	}
 	sc := TinyScale()
 	for _, id := range IDs() {

@@ -1,0 +1,141 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Errorf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Workers(-5) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+}
+
+func TestGridCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 16384, 100000} {
+		grid := Grid(n)
+		next := 0
+		for _, s := range grid {
+			if s.Lo != next {
+				t.Fatalf("n=%d: chunk starts at %d, want %d", n, s.Lo, next)
+			}
+			if s.Hi <= s.Lo {
+				t.Fatalf("n=%d: empty chunk [%d,%d)", n, s.Lo, s.Hi)
+			}
+			next = s.Hi
+		}
+		if next != n {
+			t.Fatalf("n=%d: grid covers [0,%d)", n, next)
+		}
+		if len(grid) > maxChunks {
+			t.Fatalf("n=%d: %d chunks exceeds maxChunks", n, len(grid))
+		}
+	}
+}
+
+func TestGridIndependentOfWorkerCount(t *testing.T) {
+	// The grid is a pure function of n — this is the determinism keystone,
+	// so pin it explicitly.
+	before := Grid(10000)
+	old := runtime.GOMAXPROCS(2)
+	defer runtime.GOMAXPROCS(old)
+	after := Grid(10000)
+	if len(before) != len(after) {
+		t.Fatalf("grid changed with GOMAXPROCS: %d vs %d chunks", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("chunk %d changed with GOMAXPROCS: %v vs %v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 7} {
+		const n = 5000
+		visits := make([]int32, n)
+		For(p, n, func(i int) {
+			atomic.AddInt32(&visits[i], 1)
+		})
+		for i, v := range visits {
+			if v != 1 {
+				t.Fatalf("p=%d: index %d visited %d times", p, i, v)
+			}
+		}
+	}
+}
+
+func TestForChunksGivesDisjointSpans(t *testing.T) {
+	const n = 777
+	visits := make([]int32, n)
+	ForChunks(4, n, func(_ int, s Span) {
+		for i := s.Lo; i < s.Hi; i++ {
+			atomic.AddInt32(&visits[i], 1)
+		}
+	})
+	for i, v := range visits {
+		if v != 1 {
+			t.Fatalf("index %d visited %d times", i, v)
+		}
+	}
+}
+
+func TestMapChunkOrder(t *testing.T) {
+	// Map's result slice is in chunk order regardless of execution order.
+	for _, p := range []int{1, 8} {
+		spans := Map(p, 50000, func(c int, s Span) Span { return s })
+		for i, s := range spans {
+			if i > 0 && spans[i-1].Hi != s.Lo {
+				t.Fatalf("p=%d: chunk %d out of order: %v after %v", p, i, s, spans[i-1])
+			}
+		}
+	}
+}
+
+func TestReduceDeterministicAcrossWorkerCounts(t *testing.T) {
+	// A float sum associates per the fixed grid, so every worker count must
+	// produce the same bits.
+	const n = 30000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = 1.0 / float64(i+3)
+	}
+	sum := func(p int) float64 {
+		return Reduce(p, n, 0.0, func(_ int, s Span) float64 {
+			acc := 0.0
+			for i := s.Lo; i < s.Hi; i++ {
+				acc += xs[i]
+			}
+			return acc
+		}, func(a, b float64) float64 { return a + b })
+	}
+	want := sum(1)
+	for _, p := range []int{2, 3, 4, 16} {
+		if got := sum(p); got != want {
+			t.Errorf("p=%d: sum %v, want %v (bitwise)", p, got, want)
+		}
+	}
+}
+
+func TestZeroAndTinyN(t *testing.T) {
+	ran := false
+	For(4, 0, func(int) { ran = true })
+	if ran {
+		t.Error("For ran a body for n=0")
+	}
+	if got := Grid(0); got != nil {
+		t.Errorf("Grid(0) = %v", got)
+	}
+	total := Reduce(4, 1, 0, func(_ int, s Span) int { return s.Hi - s.Lo },
+		func(a, b int) int { return a + b })
+	if total != 1 {
+		t.Errorf("Reduce over n=1 covered %d items", total)
+	}
+}

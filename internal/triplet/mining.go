@@ -14,10 +14,16 @@ import (
 // pre-trained embeddings, the paper's "FPF mining". Diverse training points
 // cover rare events that uniform sampling would miss.
 func MineFPF(r *rand.Rand, pretrained [][]float64, n int) []int {
+	return MineFPFPar(r, pretrained, n, 0)
+}
+
+// MineFPFPar is MineFPF with an explicit parallelism level p (p <= 0 uses
+// all CPUs); the mined set is identical at every p.
+func MineFPFPar(r *rand.Rand, pretrained [][]float64, n, p int) []int {
 	if len(pretrained) == 0 || n <= 0 {
 		return nil
 	}
-	return cluster.FPF(pretrained, n, r.Intn(len(pretrained)))
+	return cluster.FPFPar(pretrained, n, r.Intn(len(pretrained)), p)
 }
 
 // MineRandom selects n training records uniformly without replacement, the

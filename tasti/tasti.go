@@ -104,7 +104,12 @@ func GenerateDataset(name string, size int, seed int64) (*Dataset, error) {
 
 // Index construction.
 type (
-	// Config parameterizes index construction.
+	// Config parameterizes index construction. Config.Parallelism bounds
+	// the worker count for construction, propagation, and cracking (<= 0
+	// uses all CPUs); for a fixed Seed the built index is bitwise identical
+	// at every parallelism level, so the knob only trades wall-clock time
+	// for CPU. See docs/ARCHITECTURE.md for the pipeline's concurrency
+	// design.
 	Config = core.Config
 	// Index is a built TASTI index.
 	Index = core.Index
