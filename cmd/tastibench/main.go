@@ -29,8 +29,9 @@ func main() {
 		timings  = flag.Bool("timings", false, "print wall-clock time per experiment")
 		jsonOut  = flag.Bool("json", false, "emit JSON instead of text tables")
 		mdOut    = flag.Bool("markdown", false, "emit markdown tables instead of text tables")
-		replicas = flag.Int("replicas", 1, "run the experiment under this many seeds and report means with bootstrap CIs")
-		par      = flag.Int("parallelism", 0, "cap worker count for every pipeline phase via GOMAXPROCS (<= 0 uses all CPUs; results are identical at every value)")
+		replicas  = flag.Int("replicas", 1, "run the experiment under this many seeds and report means with bootstrap CIs")
+		par       = flag.Int("parallelism", 0, "cap worker count for every pipeline phase via GOMAXPROCS (<= 0 uses all CPUs; results are identical at every value)")
+		faultRate = flag.Float64("fault-rate", 0, "transient labeler fault rate for the 'faults' experiment (0 keeps its default)")
 	)
 	flag.Parse()
 
@@ -65,6 +66,9 @@ func main() {
 	}
 	if *frames != 0 {
 		sc.VideoFrames = *frames
+	}
+	if *faultRate > 0 {
+		sc.FaultRate = *faultRate
 	}
 
 	run := func(id string) error {

@@ -6,58 +6,106 @@
 //	tastiquery -dataset night-street -size 20000 -query agg -class car
 //	tastiquery -dataset taipei -query limit -class bus -count 2 -k 10
 //	tastiquery -dataset wikisql -query select -save /tmp/wikisql.idx
+//
+// Builds are fault tolerant: -retries and -label-timeout wrap the target
+// labeler with reliability middleware, -fault-rate injects chaos for
+// demonstration, -allow-degraded completes the index around permanently
+// unlabelable records, and -checkpoint makes an interrupted build resumable
+// without re-spending labeler budget (run the same command again to resume).
+// See docs/RELIABILITY.md.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/tasti"
 )
 
+// runOptions collects the flag values; one struct instead of a 20-parameter
+// run signature.
+type runOptions struct {
+	dsName string
+	size   int
+	seed   int64
+	query  string
+	class  string
+	count  int
+	k      int
+	train  int
+	reps   int
+	budget int
+	save   string
+	load   string
+	errTgt float64
+	recall float64
+	useANN bool
+	par    int
+
+	retries       int
+	labelTimeout  time.Duration
+	faultRate     float64
+	checkpoint    string
+	allowDegraded bool
+}
+
 func main() {
-	var (
-		dsName = flag.String("dataset", "night-street", "corpus: night-street, taipei, amsterdam, wikisql, common-voice")
-		size   = flag.Int("size", 10000, "corpus size")
-		seed   = flag.Int64("seed", 1, "generation and algorithm seed")
-		query  = flag.String("query", "agg", "query type: agg, select, limit")
-		class  = flag.String("class", "car", "object class for video queries")
-		count  = flag.Int("count", 5, "count threshold for limit queries")
-		k      = flag.Int("k", 10, "matches requested by limit queries")
-		train  = flag.Int("train", 600, "triplet-training label budget (0 builds TASTI-PT)")
-		reps   = flag.Int("reps", 900, "cluster representatives to annotate")
-		budget = flag.Int("budget", 300, "labeler budget for selection queries")
-		save   = flag.String("save", "", "path to persist the index to")
-		load   = flag.String("load", "", "path to load a previously saved index from")
-		errTgt = flag.Float64("err", 0.05, "aggregation error target")
-		recall = flag.Float64("recall", 0.9, "selection recall target")
-		useANN = flag.Bool("ann", false, "build the distance table with the IVF approximate-NN index")
-		par    = flag.Int("parallelism", 0, "worker count for index construction and propagation (<= 0 uses all CPUs; results are identical at every value)")
-	)
+	var o runOptions
+	flag.StringVar(&o.dsName, "dataset", "night-street", "corpus: night-street, taipei, amsterdam, wikisql, common-voice")
+	flag.IntVar(&o.size, "size", 10000, "corpus size")
+	flag.Int64Var(&o.seed, "seed", 1, "generation and algorithm seed")
+	flag.StringVar(&o.query, "query", "agg", "query type: agg, select, limit")
+	flag.StringVar(&o.class, "class", "car", "object class for video queries")
+	flag.IntVar(&o.count, "count", 5, "count threshold for limit queries")
+	flag.IntVar(&o.k, "k", 10, "matches requested by limit queries")
+	flag.IntVar(&o.train, "train", 600, "triplet-training label budget (0 builds TASTI-PT)")
+	flag.IntVar(&o.reps, "reps", 900, "cluster representatives to annotate")
+	flag.IntVar(&o.budget, "budget", 300, "labeler budget for selection queries")
+	flag.StringVar(&o.save, "save", "", "path to persist the index to")
+	flag.StringVar(&o.load, "load", "", "path to load a previously saved index from")
+	flag.Float64Var(&o.errTgt, "err", 0.05, "aggregation error target")
+	flag.Float64Var(&o.recall, "recall", 0.9, "selection recall target")
+	flag.BoolVar(&o.useANN, "ann", false, "build the distance table with the IVF approximate-NN index")
+	flag.IntVar(&o.par, "parallelism", 0, "worker count for index construction and propagation (<= 0 uses all CPUs; results are identical at every value)")
+	flag.IntVar(&o.retries, "retries", 1, "labeler attempts per call, including the first (<= 1 disables retrying)")
+	flag.DurationVar(&o.labelTimeout, "label-timeout", 0, "per-call target-labeler deadline (0 disables)")
+	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient labeler faults at this per-attempt probability")
+	flag.StringVar(&o.checkpoint, "checkpoint", "", "path to save build progress to on interruption, and resume from if present")
+	flag.BoolVar(&o.allowDegraded, "allow-degraded", false, "complete the index around permanently unlabelable records")
 	flag.Parse()
 
-	if err := run(*dsName, *size, *seed, *query, *class, *count, *k, *train, *reps, *budget, *save, *load, *errTgt, *recall, *useANN, *par); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintf(os.Stderr, "tastiquery: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(dsName string, size int, seed int64, query, class string, count, k, train, reps, budget int, save, load string, errTgt, recall float64, useANN bool, parallelism int) error {
-	ds, err := tasti.GenerateDataset(dsName, size, seed)
+func run(o runOptions) error {
+	ds, err := tasti.GenerateDataset(o.dsName, o.size, o.seed)
 	if err != nil {
 		return err
 	}
 	cost := tasti.MaskRCNNCost
-	if dsName == "wikisql" || dsName == "common-voice" {
+	if o.dsName == "wikisql" || o.dsName == "common-voice" {
 		cost = tasti.HumanCost
 	}
 	oracle := tasti.NewOracle(ds, "target", cost)
+	target := oracle
+	if o.faultRate > 0 {
+		target = tasti.NewFlakyLabeler(oracle, tasti.FlakyConfig{
+			Seed:           o.seed,
+			TransientRate:  o.faultRate,
+			MaxConsecutive: 3,
+		})
+	}
 
 	var index *tasti.Index
-	if load != "" {
-		f, err := os.Open(load)
+	if o.load != "" {
+		f, err := os.Open(o.load)
 		if err != nil {
 			return err
 		}
@@ -66,21 +114,30 @@ func run(dsName string, size int, seed int64, query, class string, count, k, tra
 		if err != nil {
 			return err
 		}
-		index.SetParallelism(parallelism)
+		index.SetParallelism(o.par)
 		fmt.Printf("loaded index: %d records, %d representatives\n", index.NumRecords(), len(index.Table.Reps))
 	} else {
-		cfg := indexConfig(dsName, train, reps, seed)
-		cfg.ApproxTable = useANN
-		cfg.Parallelism = parallelism
-		index, err = tasti.Build(cfg, ds, oracle)
+		index, err = buildIndex(o, ds, target)
 		if err != nil {
 			return err
 		}
+		st := index.Stats
 		fmt.Printf("built index: %d label calls (%d train + %d reps)\n",
-			index.Stats.TotalLabelCalls(), index.Stats.TrainLabelCalls, index.Stats.RepLabelCalls)
+			st.TotalLabelCalls(), st.TrainLabelCalls, st.RepLabelCalls)
+		if st.LabelRetries > 0 || st.LabelTimeouts > 0 {
+			fmt.Printf("reliability: %d retries (%s backoff), %d per-call timeouts\n",
+				st.LabelRetries, st.RetryWait.Round(time.Millisecond), st.LabelTimeouts)
+		}
+		if st.ResumedLabels > 0 {
+			fmt.Printf("resumed: %d labels restored from checkpoint, spent nothing re-labeling them\n", st.ResumedLabels)
+		}
+		if st.Degraded() {
+			fmt.Printf("degraded: built without %d representatives and %d training records (permanently unlabelable)\n",
+				len(st.DegradedReps), len(st.DegradedTrain))
+		}
 	}
-	if save != "" {
-		f, err := os.Create(save)
+	if o.save != "" {
+		f, err := os.Create(o.save)
 		if err != nil {
 			return err
 		}
@@ -88,20 +145,20 @@ func run(dsName string, size int, seed int64, query, class string, count, k, tra
 		if err := index.Save(f); err != nil {
 			return err
 		}
-		fmt.Printf("saved index to %s\n", save)
+		fmt.Printf("saved index to %s\n", o.save)
 	}
 
-	score, pred := querySpec(dsName, class, count)
+	score, pred := querySpec(o.dsName, o.class, o.count)
 	counting := tasti.NewCountingLabeler(oracle)
 
-	switch query {
+	switch o.query {
 	case "agg":
 		scores, err := index.Propagate(score)
 		if err != nil {
 			return err
 		}
 		res, err := tasti.EstimateAggregate(tasti.AggregateOptions{
-			ErrTarget: errTgt, Delta: 0.05, MinSamples: 100, Seed: seed + 1,
+			ErrTarget: o.errTgt, Delta: 0.05, MinSamples: 100, Seed: o.seed + 1,
 		}, ds.Len(), scores, score, counting)
 		if err != nil {
 			return err
@@ -113,7 +170,7 @@ func run(dsName string, size int, seed int64, query, class string, count, k, tra
 			return err
 		}
 		res, err := tasti.SelectWithRecall(tasti.SelectOptions{
-			Budget: budget, Target: recall, Delta: 0.05, Seed: seed + 2,
+			Budget: o.budget, Target: o.recall, Delta: 0.05, Seed: o.seed + 2,
 		}, ds.Len(), scores, pred, counting)
 		if err != nil {
 			return err
@@ -125,15 +182,71 @@ func run(dsName string, size int, seed int64, query, class string, count, k, tra
 		if err != nil {
 			return err
 		}
-		res, err := tasti.FindLimit(k, scores, dists, pred, counting)
+		res, err := tasti.FindLimit(o.k, scores, dists, pred, counting)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("found %d matches in %d target calls: %v\n", len(res.Found), res.OracleCalls, res.Found)
 	default:
-		return fmt.Errorf("unknown query %q (want agg, select, or limit)", query)
+		return fmt.Errorf("unknown query %q (want agg, select, or limit)", o.query)
 	}
 	return nil
+}
+
+// buildIndex constructs the index with the configured reliability policy,
+// resuming from -checkpoint when the file exists and saving a checkpoint
+// there when the build is interrupted.
+func buildIndex(o runOptions, ds *tasti.Dataset, target tasti.Labeler) (*tasti.Index, error) {
+	cfg := indexConfig(o.dsName, o.train, o.reps, o.seed)
+	cfg.ApproxTable = o.useANN
+	cfg.Parallelism = o.par
+	cfg.LabelTimeout = o.labelTimeout
+	cfg.AllowDegraded = o.allowDegraded
+	if o.retries > 1 {
+		cfg.Retry = tasti.DefaultRetryPolicy(o.seed)
+		cfg.Retry.MaxAttempts = o.retries
+	}
+
+	var ckpt *tasti.Checkpoint
+	if o.checkpoint != "" {
+		f, err := os.Open(o.checkpoint)
+		switch {
+		case err == nil:
+			ckpt, err = tasti.LoadCheckpoint(f)
+			f.Close()
+			if err != nil {
+				return nil, err
+			}
+			fmt.Printf("resuming from %s: %d labels already paid for\n", o.checkpoint, len(ckpt.Labeled))
+		case !os.IsNotExist(err):
+			return nil, err
+		}
+	}
+
+	index, err := tasti.BuildResumable(cfg, ds, target, ckpt)
+	if err != nil {
+		var bie *tasti.BuildInterruptedError
+		if errors.As(err, &bie) && o.checkpoint != "" {
+			if serr := saveCheckpoint(o.checkpoint, bie.Checkpoint); serr != nil {
+				return nil, fmt.Errorf("%w (and saving checkpoint failed: %v)", err, serr)
+			}
+			return nil, fmt.Errorf("%w\ncheckpoint saved to %s; re-run the same command to resume", err, o.checkpoint)
+		}
+		return nil, err
+	}
+	return index, nil
+}
+
+func saveCheckpoint(path string, ckpt *tasti.Checkpoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := ckpt.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // indexConfig picks the bucket key for the corpus and assembles the build

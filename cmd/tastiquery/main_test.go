@@ -48,6 +48,15 @@ func TestIndexConfig(t *testing.T) {
 	}
 }
 
+// testOptions returns a fast baseline configuration tests tweak per case.
+func testOptions() runOptions {
+	return runOptions{
+		dsName: "night-street", size: 1200, seed: 1, query: "agg", class: "car",
+		count: 5, k: 5, train: 200, reps: 150, budget: 100,
+		errTgt: 0.2, recall: 0.9, par: 2, retries: 1,
+	}
+}
+
 func TestRunSaveLoadRoundTrip(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -56,18 +65,78 @@ func TestRunSaveLoadRoundTrip(t *testing.T) {
 	path := filepath.Join(dir, "idx.gob")
 
 	// Build + save.
-	if err := run("night-street", 1200, 1, "agg", "car", 5, 5, 200, 150, 100, path, "", 0.2, 0.9, false, 2); err != nil {
+	o := testOptions()
+	o.save = path
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(path); err != nil {
 		t.Fatalf("index not saved: %v", err)
 	}
 	// Load + query.
-	if err := run("night-street", 1200, 1, "limit", "car", 4, 3, 100, 150, 100, "", path, 0.2, 0.9, false, 2); err != nil {
+	o = testOptions()
+	o.query, o.count, o.k, o.train, o.load = "limit", 4, 3, 100, path
+	if err := run(o); err != nil {
 		t.Fatal(err)
 	}
 	// Unknown query type errors.
-	if err := run("night-street", 300, 1, "nope", "car", 1, 1, 0, 50, 50, "", "", 0.2, 0.9, false, 2); err == nil {
+	o = testOptions()
+	o.size, o.query, o.count, o.k, o.train, o.reps, o.budget = 300, "nope", 1, 1, 0, 50, 50
+	if err := run(o); err == nil {
 		t.Error("unknown query should error")
+	}
+}
+
+// TestRunChaosBuild: a build through an injected-fault labeler with retries
+// on completes and answers queries.
+func TestRunChaosBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := testOptions()
+	o.size, o.train, o.reps = 800, 100, 80
+	o.faultRate = 0.3
+	o.retries = 5
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildIndexCheckpointResume exercises the CLI checkpoint flow: an
+// interrupted build writes the checkpoint to -checkpoint, and re-running
+// resumes from it without re-spending labeler budget.
+func TestBuildIndexCheckpointResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	o := testOptions()
+	o.size, o.train, o.reps = 800, 0, 80 // TASTI-PT: labels go to reps only
+	o.checkpoint = filepath.Join(t.TempDir(), "build.ckpt")
+	o.par = 1
+
+	ds, err := tasti.GenerateDataset(o.dsName, o.size, o.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := tasti.NewOracle(ds, "target", tasti.MaskRCNNCost)
+
+	// First run hits a spent budget mid-representative-labeling.
+	if _, err := buildIndex(o, ds, tasti.NewBudgetedLabeler(oracle, 30)); err == nil {
+		t.Fatal("budgeted build succeeded, want interruption")
+	}
+	if _, err := os.Stat(o.checkpoint); err != nil {
+		t.Fatalf("checkpoint not saved: %v", err)
+	}
+
+	// Second run resumes; the remaining budget is exactly enough.
+	ix, err := buildIndex(o, ds, tasti.NewBudgetedLabeler(oracle, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Stats.ResumedLabels != 30 {
+		t.Errorf("ResumedLabels = %d, want 30", ix.Stats.ResumedLabels)
+	}
+	if ix.Stats.RepLabelCalls != 50 {
+		t.Errorf("resumed RepLabelCalls = %d, want 50", ix.Stats.RepLabelCalls)
 	}
 }

@@ -1,5 +1,7 @@
 // Command tastiserve builds a TASTI index over a synthetic corpus and serves
-// queries over HTTP with a JSON API.
+// queries over HTTP with a JSON API. The index builds in the background: the
+// server comes up immediately, /healthz reports liveness, and /readyz flips
+// to 200 once queries can be served.
 //
 // Usage:
 //
@@ -8,17 +10,27 @@
 // Endpoints:
 //
 //	GET  /healthz          liveness
+//	GET  /readyz           readiness + labeler circuit-breaker state
 //	GET  /index            index statistics
 //	POST /query/aggregate  {"class":"car","err":0.05}
 //	POST /query/select     {"class":"car","count":1,"budget":300,"recall":0.9}
 //	POST /query/limit      {"class":"car","count":5,"k":10,"crack":true}
+//
+// SIGINT/SIGTERM drain in-flight queries before exiting. See
+// docs/RELIABILITY.md for the fault-tolerance knobs.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
 	"time"
+
+	"repro/tasti"
 )
 
 func main() {
@@ -30,17 +42,35 @@ func main() {
 		reps   = flag.Int("reps", 900, "cluster representatives to annotate")
 		addr   = flag.String("addr", ":8080", "listen address")
 		par    = flag.Int("parallelism", 0, "worker count for index construction, propagation, and cracking (<= 0 uses all CPUs)")
+
+		queryTimeout  = flag.Duration("query-timeout", 60*time.Second, "per-request budget for /query/ endpoints (0 disables)")
+		labelTimeout  = flag.Duration("label-timeout", 0, "per-call target-labeler deadline (0 disables)")
+		retries       = flag.Int("retries", 3, "labeler attempts per call, including the first (<= 1 disables retrying)")
+		allowDegraded = flag.Bool("allow-degraded", false, "complete the index around permanently unlabelable records")
+		faultRate     = flag.Float64("fault-rate", 0, "inject transient labeler faults at this per-attempt probability (chaos serving)")
 	)
 	flag.Parse()
 
-	start := time.Now()
-	log.Printf("building index over %s (%d records)...", *dsName, *size)
-	srv, err := newServer(*dsName, *size, *train, *reps, *seed, *par)
-	if err != nil {
-		log.Fatalf("tastiserve: %v", err)
+	opts := serverOptions{
+		dataset:       *dsName,
+		size:          *size,
+		train:         *train,
+		reps:          *reps,
+		seed:          *seed,
+		parallelism:   *par,
+		queryTimeout:  *queryTimeout,
+		labelTimeout:  *labelTimeout,
+		allowDegraded: *allowDegraded,
+		faultRate:     *faultRate,
 	}
-	log.Printf("index ready in %s (%d label calls); listening on %s",
-		time.Since(start).Round(time.Millisecond), srv.index.Stats.TotalLabelCalls(), *addr)
+	if *retries > 1 {
+		opts.retry = tasti.DefaultRetryPolicy(*seed)
+		opts.retry.MaxAttempts = *retries
+	}
+
+	srv := newServerShell(opts)
+	log.Printf("building index over %s (%d records) in the background...", *dsName, *size)
+	srv.buildAsync()
 
 	httpServer := &http.Server{
 		Addr:         *addr,
@@ -48,5 +78,25 @@ func main() {
 		ReadTimeout:  30 * time.Second,
 		WriteTimeout: 120 * time.Second,
 	}
-	log.Fatal(httpServer.ListenAndServe())
+
+	// Drain in-flight queries on SIGINT/SIGTERM before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	done := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		log.Printf("shutting down, draining in-flight queries...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		done <- httpServer.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("listening on %s", *addr)
+	if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("tastiserve: %v", err)
+	}
+	if err := <-done; err != nil {
+		log.Fatalf("tastiserve: shutdown: %v", err)
+	}
+	log.Printf("bye")
 }

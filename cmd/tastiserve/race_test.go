@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -17,7 +18,9 @@ import (
 // fails if the coarse server mutex ever stops covering a handler that
 // touches the index.
 func TestServeQueriesConcurrentWithCracking(t *testing.T) {
-	srv, err := newServer("night-street", 400, 30, 40, 1, 2)
+	srv, err := newServer(serverOptions{
+		dataset: "night-street", size: 400, train: 30, reps: 40, seed: 1, parallelism: 2,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -83,8 +86,10 @@ func TestServeQueriesConcurrentWithCracking(t *testing.T) {
 
 	// Cracking must have grown the representative set; the table must still
 	// satisfy its invariants after concurrent traffic.
-	srv.mu.Lock()
-	defer srv.mu.Unlock()
+	if err := srv.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.release()
 	if got := len(srv.index.Table.Reps); got <= 40 {
 		t.Errorf("expected cracking to add representatives, still %d", got)
 	}

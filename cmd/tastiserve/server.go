@@ -1,48 +1,143 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
-	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/tasti"
 )
 
-// server owns an index over one corpus and answers queries over HTTP. A
-// single lock serializes queries against cracking: Index.Crack/CrackAll
-// mutate Annotations and the distance table with no internal
-// synchronization (see package core's concurrency contract), so every
-// handler that touches the index — including nominally read-only
-// propagation — takes mu for its full critical section. The lock is coarse
-// on purpose: queries spend their time in propagation and sampling, which
-// parallelize internally, so a finer-grained scheme would buy little until
-// multiple indexes are served. TestServeQueriesConcurrentWithCracking holds
-// this contract under the race detector.
-type server struct {
-	mu     sync.Mutex
-	ds     *tasti.Dataset
-	oracle tasti.Labeler
-	index  *tasti.Index
-	name   string
-	seed   int64
+// serverOptions configures a query server. The zero value of every
+// reliability knob disables it, reproducing the pre-hardening behavior.
+type serverOptions struct {
+	dataset     string
+	size        int
+	train       int
+	reps        int
+	seed        int64
+	parallelism int
+
+	// queryTimeout bounds each /query/ request end to end (0 = unbounded).
+	queryTimeout time.Duration
+	// labelTimeout bounds each target-labeler invocation, during both index
+	// construction and query sampling (0 = unbounded).
+	labelTimeout time.Duration
+	// retry retries transient labeler faults during construction and
+	// queries; the zero value disables retrying.
+	retry tasti.RetryPolicy
+	// allowDegraded lets index construction complete around permanently
+	// unlabelable records instead of failing.
+	allowDegraded bool
+	// faultRate injects seeded transient labeler faults at this per-attempt
+	// probability — the chaos-serving knob (0 = healthy labeler).
+	faultRate float64
+	// breaker parameterizes the circuit breaker guarding the serve-path
+	// labeler; the zero value uses the defaults.
+	breaker tasti.BreakerPolicy
 }
 
-// newServer generates the corpus and builds the index with the given
-// parallelism level (<= 0 uses all CPUs).
-func newServer(dsName string, size, train, reps int, seed int64, parallelism int) (*server, error) {
-	ds, err := tasti.GenerateDataset(dsName, size, seed)
-	if err != nil {
+// server owns an index over one corpus and answers queries over HTTP. A
+// single semaphore (sem, capacity 1) serializes queries against cracking:
+// Index.Crack/CrackAll mutate Annotations and the distance table with no
+// internal synchronization (see package core's concurrency contract), so
+// every handler that touches the index — including nominally read-only
+// propagation — holds the semaphore for its full critical section. A channel
+// rather than a mutex so acquisition is context-aware: a client that
+// disconnects or times out while queued stops waiting instead of taking the
+// lock for a response nobody reads. The lock is coarse on purpose: queries
+// spend their time in propagation and sampling, which parallelize
+// internally, so a finer-grained scheme would buy little until multiple
+// indexes are served. TestServeQueriesConcurrentWithCracking holds this
+// contract under the race detector.
+type server struct {
+	sem  chan struct{}
+	opts serverOptions
+	name string
+	seed int64
+
+	// ready flips to true once build() has published ds/target/breaker/
+	// index below; handlers must observe ready before touching them.
+	ready    atomic.Bool
+	buildErr atomic.Value // string
+	started  time.Time
+
+	ds      *tasti.Dataset
+	target  tasti.Labeler // serve-path labeler: retry(breaker(deadline(base)))
+	breaker *tasti.Breaker
+	index   *tasti.Index
+}
+
+// newServerShell returns a server that is alive (serves /healthz and
+// /readyz) but not ready: call build, or buildAsync, to construct the index.
+func newServerShell(opts serverOptions) *server {
+	return &server{
+		sem:     make(chan struct{}, 1),
+		opts:    opts,
+		name:    opts.dataset,
+		seed:    opts.seed,
+		started: time.Now(),
+	}
+}
+
+// newServer generates the corpus and builds the index synchronously.
+func newServer(opts serverOptions) (*server, error) {
+	s := newServerShell(opts)
+	if err := s.build(); err != nil {
 		return nil, err
 	}
+	return s, nil
+}
+
+// build constructs the corpus, labeler chain, and index, then marks the
+// server ready. On failure the error is also published to /readyz.
+func (s *server) build() error {
+	err := s.buildIndex()
+	if err != nil {
+		s.buildErr.Store(err.Error())
+	}
+	return err
+}
+
+// buildAsync runs build in the background so the HTTP listener can come up
+// — and report liveness and build progress — while the index constructs.
+func (s *server) buildAsync() {
+	go func() {
+		if err := s.build(); err != nil {
+			log.Printf("tastiserve: index build failed: %v", err)
+		}
+	}()
+}
+
+func (s *server) buildIndex() error {
+	opts := s.opts
+	ds, err := tasti.GenerateDataset(opts.dataset, opts.size, opts.seed)
+	if err != nil {
+		return err
+	}
 	cost := tasti.MaskRCNNCost
-	if dsName == "wikisql" || dsName == "common-voice" {
+	if opts.dataset == "wikisql" || opts.dataset == "common-voice" {
 		cost = tasti.HumanCost
 	}
-	oracle := tasti.NewOracle(ds, "target", cost)
+	// base is the (possibly chaos-injected) target labeler tier shared by
+	// construction and serving.
+	base := tasti.NewOracle(ds, "target", cost)
+	if opts.faultRate > 0 {
+		base = tasti.NewFlakyLabeler(base, tasti.FlakyConfig{
+			Seed:           opts.seed,
+			TransientRate:  opts.faultRate,
+			MaxConsecutive: 3,
+		})
+	}
+
 	var key tasti.BucketKey
-	switch dsName {
+	switch opts.dataset {
 	case "wikisql":
 		key = tasti.TextBucketKey()
 	case "common-voice":
@@ -50,28 +145,137 @@ func newServer(dsName string, size, train, reps int, seed int64, parallelism int
 	default:
 		key = tasti.VideoBucketKey(0.5)
 	}
-	cfg := tasti.DefaultConfig(train, reps, key, seed)
-	cfg.Parallelism = parallelism
-	index, err := tasti.Build(cfg, ds, oracle)
+	cfg := tasti.DefaultConfig(opts.train, opts.reps, key, opts.seed)
+	cfg.Parallelism = opts.parallelism
+	cfg.Retry = opts.retry
+	cfg.LabelTimeout = opts.labelTimeout
+	cfg.AllowDegraded = opts.allowDegraded
+	index, err := tasti.Build(cfg, ds, base)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return &server{ds: ds, oracle: oracle, index: index, name: dsName, seed: seed}, nil
+
+	// Serve-path chain, outermost first: retries recover transient faults,
+	// the breaker fails fast while the tier is unhealthy (and feeds
+	// /readyz), the deadline bounds each call's latency.
+	var serveLab tasti.Labeler = base
+	if opts.labelTimeout > 0 {
+		serveLab = tasti.NewDeadlineLabeler(serveLab, opts.labelTimeout)
+	}
+	breaker := tasti.NewBreakerLabeler(serveLab, opts.breaker)
+	serveLab = breaker
+	if opts.retry.Enabled() {
+		serveLab = tasti.NewRetryLabeler(serveLab, opts.retry)
+	}
+
+	s.ds = ds
+	s.target = serveLab
+	s.breaker = breaker
+	s.index = index
+	s.ready.Store(true)
+	return nil
 }
 
-// handler wires the routes.
+// acquire takes the index lock, giving up when ctx is canceled — a
+// disconnected client or an expired per-request timeout stops queueing.
+func (s *server) acquire(ctx context.Context) error {
+	// Checked first: a select with an expired context and a free semaphore
+	// picks a case at random, and an already-canceled request must never
+	// take the lock.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *server) release() { <-s.sem }
+
+// handler wires the routes behind the hardening middleware: panic recovery
+// outermost, then the per-request query timeout.
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/index", s.handleIndex)
 	mux.HandleFunc("/query/aggregate", s.handleAggregate)
 	mux.HandleFunc("/query/select", s.handleSelect)
 	mux.HandleFunc("/query/limit", s.handleLimit)
-	return mux
+	return s.recoverPanics(s.withQueryTimeout(mux))
+}
+
+// recoverPanics turns a panicking handler into a 500 instead of killing the
+// connection (and, for handlers run outside http.Server, the process).
+func (s *server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				log.Printf("tastiserve: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				httpError(w, http.StatusInternalServerError, "internal error")
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// withQueryTimeout derives a deadline-bound context for /query/ requests, so
+// lock waits, propagation, and sampling all stop at the budget.
+func (s *server) withQueryTimeout(next http.Handler) http.Handler {
+	if s.opts.queryTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasPrefix(r.URL.Path, "/query/") {
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.queryTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.started).Seconds(),
+	})
+}
+
+// handleReady reports whether queries can be served, and the health of the
+// labeler tier behind them: 200 once the index is built, 503 while it is
+// still building or after the build failed.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		body := map[string]interface{}{"status": "building"}
+		if err, ok := s.buildErr.Load().(string); ok {
+			body["status"] = "build failed"
+			body["error"] = err
+		}
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":           "ready",
+		"dataset":          s.name,
+		"records":          s.index.NumRecords(),
+		"degraded":         s.index.Stats.Degraded(),
+		"breaker_state":    s.breaker.State().String(),
+		"breaker_trips":    s.breaker.Trips(),
+		"breaker_rejected": s.breaker.Rejected(),
+	})
+}
+
+// notReady rejects a query while the index is still building.
+func (s *server) notReady(w http.ResponseWriter) bool {
+	if s.ready.Load() {
+		return false
+	}
+	httpError(w, http.StatusServiceUnavailable, "index not ready")
+	return true
 }
 
 // indexInfo is the /index response.
@@ -80,6 +284,8 @@ type indexInfo struct {
 	Records         int    `json:"records"`
 	Representatives int    `json:"representatives"`
 	LabelCalls      int64  `json:"index_label_calls"`
+	DegradedReps    int    `json:"degraded_reps"`
+	LabelRetries    int64  `json:"build_label_retries"`
 }
 
 func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
@@ -87,13 +293,21 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "use GET")
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	if s.notReady(w) {
+		return
+	}
+	if err := s.acquire(r.Context()); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "canceled waiting for the index")
+		return
+	}
+	defer s.release()
 	writeJSON(w, http.StatusOK, indexInfo{
 		Dataset:         s.name,
 		Records:         s.index.NumRecords(),
 		Representatives: len(s.index.Table.Reps),
 		LabelCalls:      s.index.Stats.TotalLabelCalls(),
+		DegradedReps:    len(s.index.Stats.DegradedReps),
+		LabelRetries:    s.index.Stats.LabelRetries,
 	})
 }
 
@@ -163,26 +377,49 @@ func (s *server) spec(req queryRequest) (tasti.ScoreFunc, func(tasti.Annotation)
 	}
 }
 
+// queryError maps a failed query to a response: cancellations and breaker
+// rejections are the caller's problem or a temporary outage (503), anything
+// else is a server error (500).
+func (s *server) queryError(w http.ResponseWriter, ctx context.Context, err error) {
+	switch {
+	case ctx.Err() != nil:
+		httpError(w, http.StatusServiceUnavailable, "query canceled or timed out")
+	case errors.Is(err, tasti.ErrBreakerOpen):
+		httpError(w, http.StatusServiceUnavailable, "labeler circuit open: "+err.Error())
+	default:
+		httpError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
 func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	var req queryRequest
 	if err := s.decode(r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ctx := r.Context()
+	if err := s.acquire(ctx); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "canceled waiting for the index")
+		return
+	}
+	defer s.release()
 	score, _ := s.spec(req)
 	scores, err := s.index.Propagate(score)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.queryError(w, ctx, err)
 		return
 	}
-	counting := tasti.NewCountingLabeler(s.oracle)
+	// Bind the sampling labeler to the request context: a disconnected
+	// client cancels the labeling loop instead of burning budget.
+	counting := tasti.NewCountingLabeler(tasti.LabelerWithContext(ctx, s.target))
 	res, err := tasti.EstimateAggregate(tasti.AggregateOptions{
 		ErrTarget: req.Err, Delta: 0.05, MinSamples: 100, Seed: s.seed + 1,
 	}, s.ds.Len(), scores, score, counting)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.queryError(w, ctx, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
@@ -193,24 +430,31 @@ func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	var req queryRequest
 	if err := s.decode(r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ctx := r.Context()
+	if err := s.acquire(ctx); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "canceled waiting for the index")
+		return
+	}
+	defer s.release()
 	_, pred := s.spec(req)
 	scores, err := s.index.Propagate(tasti.MatchScore(pred))
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.queryError(w, ctx, err)
 		return
 	}
 	res, err := tasti.SelectWithRecall(tasti.SelectOptions{
 		Budget: req.Budget, Target: req.Recall, Delta: 0.05, Seed: s.seed + 2,
-	}, s.ds.Len(), scores, pred, s.oracle)
+	}, s.ds.Len(), scores, pred, tasti.LabelerWithContext(ctx, s.target))
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.queryError(w, ctx, err)
 		return
 	}
 	sample := res.Returned
@@ -226,22 +470,29 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleLimit(w http.ResponseWriter, r *http.Request) {
+	if s.notReady(w) {
+		return
+	}
 	var req queryRequest
 	if err := s.decode(r, &req); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	ctx := r.Context()
+	if err := s.acquire(ctx); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "canceled waiting for the index")
+		return
+	}
+	defer s.release()
 	score, pred := s.spec(req)
 	scores, dists, err := s.index.PropagateNearest(score)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.queryError(w, ctx, err)
 		return
 	}
-	res, err := tasti.FindLimit(req.K, scores, dists, pred, s.oracle)
+	res, err := tasti.FindLimit(req.K, scores, dists, pred, tasti.LabelerWithContext(ctx, s.target))
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, err.Error())
+		s.queryError(w, ctx, err)
 		return
 	}
 	cracked := 0

@@ -10,7 +10,9 @@ import (
 
 func testServer(t *testing.T) *httptest.Server {
 	t.Helper()
-	srv, err := newServer("night-street", 1500, 250, 200, 1, 0)
+	srv, err := newServer(serverOptions{
+		dataset: "night-street", size: 1500, train: 250, reps: 200, seed: 1,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}

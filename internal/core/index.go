@@ -77,6 +77,22 @@ type Config struct {
 	// (<= 0 uses all CPUs). Results are bitwise identical at every value;
 	// the knob only trades wall-clock time for CPU.
 	Parallelism int
+	// Retry, when enabled, wraps the target labeler with retry middleware
+	// (exponential backoff, seeded jitter) for the whole build, so transient
+	// labeler faults cost retries instead of aborting the build. The built
+	// index is bitwise identical to a fault-free build; the overhead lands
+	// in BuildStats.LabelRetries.
+	Retry labeler.RetryPolicy
+	// LabelTimeout, when positive, bounds every target-labeler invocation;
+	// calls over the limit fail with labeler.ErrLabelTimeout (retryable).
+	LabelTimeout time.Duration
+	// AllowDegraded lets the build complete when some records are
+	// permanently unlabelable (labeler.ErrPermanent): failed training
+	// records are dropped from the triplet set and failed representatives
+	// from the min-k table, so propagation re-weights over the labeled
+	// representatives only. The degraded sets are reported in
+	// BuildStats.DegradedReps/DegradedTrain.
+	AllowDegraded bool
 	// Seed makes construction deterministic.
 	Seed int64
 }
@@ -123,6 +139,34 @@ type BuildStats struct {
 	RepSelectWall, RepLabelWall, TableWall time.Duration
 	// TripletSteps is the number of optimizer steps taken (0 for TASTI-PT).
 	TripletSteps int
+
+	// Reliability accounting (zero for a fault-free, un-resumed build):
+
+	// LabelRetries is the extra labeler attempts the Config.Retry
+	// middleware spent recovering transient faults; each one invoked the
+	// target labeler, so it bills at the full per-call cost.
+	LabelRetries int64
+	// RetryWait is the total backoff time slept between retries.
+	RetryWait time.Duration
+	// LabelTimeouts is the number of invocations cut off by
+	// Config.LabelTimeout.
+	LabelTimeouts int64
+	// ResumedLabels is the number of annotations restored from a build
+	// checkpoint instead of being paid for again.
+	ResumedLabels int
+	// DegradedReps lists representatives dropped as permanently
+	// unlabelable (ascending); the min-k table re-weights over the
+	// remaining representatives.
+	DegradedReps []int
+	// DegradedTrain lists training records dropped as permanently
+	// unlabelable (ascending).
+	DegradedTrain []int
+}
+
+// Degraded reports whether the index was built without some of its planned
+// labels (see Config.AllowDegraded).
+func (s BuildStats) Degraded() bool {
+	return len(s.DegradedReps) > 0 || len(s.DegradedTrain) > 0
 }
 
 // TotalLabelCalls returns all target-labeler invocations spent building the
@@ -154,13 +198,59 @@ var ErrNoAnnotation = errors.New("core: representative missing annotation")
 // Labeler invocations are cached and counted; the counts land in
 // Index.Stats.
 func Build(cfg Config, ds *dataset.Dataset, lab labeler.Labeler) (*Index, error) {
+	return BuildResumable(cfg, ds, lab, nil)
+}
+
+// BuildResumable is Build with checkpointed labeling: successful labels are
+// recorded into ckpt as the build progresses, and a failure that survives
+// the configured retry/degradation policy returns a *BuildInterruptedError
+// carrying the checkpoint. Re-invoking with that checkpoint (or one restored
+// with LoadCheckpoint) resumes the build, spending zero labeler invocations
+// on already-labeled records — everything else in the pipeline is cheap and
+// deterministic, so it is simply recomputed. A nil ckpt starts fresh.
+func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *Checkpoint) (*Index, error) {
 	if err := checkConfig(cfg, ds); err != nil {
 		return nil, err
 	}
-	cached := labeler.NewCached(lab)
-	counting := labeler.NewCounting(cached)
+	if ckpt == nil {
+		ckpt = NewCheckpoint(cfg, ds)
+	} else if err := ckpt.compatible(cfg, ds); err != nil {
+		return nil, err
+	}
+
+	// Assemble the reliability chain inside-out: per-call deadline closest
+	// to the labeler, retries above it (so a timed-out attempt is retried),
+	// then invocation counting, then the cache — counting below the cache
+	// keeps cache hits (training/representative overlaps and
+	// checkpoint-restored labels) free, matching the BuildStats field docs.
+	base := lab
+	var deadline *labeler.Deadline
+	if cfg.LabelTimeout > 0 {
+		deadline = labeler.NewDeadline(base, cfg.LabelTimeout)
+		base = deadline
+	}
+	var retry *labeler.Retry
+	if cfg.Retry.Enabled() {
+		retry = labeler.NewRetry(base, cfg.Retry)
+		base = retry
+	}
+	counting := labeler.NewCounting(base)
+	cached := labeler.NewCached(counting)
+	cached.Warm(ckpt.Labeled)
 
 	var stats BuildStats
+	stats.ResumedLabels = len(ckpt.Labeled)
+	// finishStats folds the middleware counters in on every return path
+	// that carries stats (including the interrupted one, via the error).
+	finishStats := func() {
+		if retry != nil {
+			stats.LabelRetries = retry.Retries()
+			stats.RetryWait = retry.Waited()
+		}
+		if deadline != nil {
+			stats.LabelTimeouts = deadline.Timeouts()
+		}
+	}
 
 	// Phase 1: pre-trained embeddings over all records.
 	embedStart := time.Now()
@@ -179,14 +269,41 @@ func Build(cfg Config, ds *dataset.Dataset, lab labeler.Labeler) (*Index, error)
 		} else {
 			trainIDs = triplet.MineRandom(miner, ds.Len(), cfg.TrainingBudget)
 		}
-		anns := make([]dataset.Annotation, len(trainIDs))
+		keptIDs := make([]int, 0, len(trainIDs))
+		keptAnns := make([]dataset.Annotation, 0, len(trainIDs))
 		for i, id := range trainIDs {
-			ann, err := counting.Label(id)
-			if err != nil {
-				return nil, fmt.Errorf("core: labeling training record %d: %w", id, err)
+			if _, failed := ckpt.Failed[id]; failed && cfg.AllowDegraded {
+				stats.DegradedTrain = append(stats.DegradedTrain, id)
+				continue
 			}
-			anns[i] = ann
+			ann, err := cached.Label(id)
+			if err != nil {
+				if errors.Is(err, labeler.ErrPermanent) {
+					if _, known := ckpt.Failed[id]; !known {
+						ckpt.Failed[id] = err.Error()
+					}
+					if cfg.AllowDegraded {
+						stats.DegradedTrain = append(stats.DegradedTrain, id)
+						continue
+					}
+				}
+				finishStats()
+				pending := append([]int(nil), trainIDs[i:]...)
+				sort.Ints(pending)
+				return nil, &BuildInterruptedError{
+					Phase:      "training",
+					Labeled:    ckpt.LabeledIDs(),
+					Pending:    pending,
+					LabelCalls: counting.Calls(),
+					Checkpoint: ckpt,
+					Err:        fmt.Errorf("core: labeling training record %d: %w", id, err),
+				}
+			}
+			ckpt.Labeled[id] = ann
+			keptIDs = append(keptIDs, id)
+			keptAnns = append(keptAnns, ann)
 		}
+		sort.Ints(stats.DegradedTrain)
 		stats.TrainLabelCalls = counting.Calls()
 
 		tcfg := cfg.Train
@@ -194,7 +311,7 @@ func Build(cfg Config, ds *dataset.Dataset, lab labeler.Labeler) (*Index, error)
 			tcfg = triplet.DefaultConfig(cfg.EmbedDim, cfg.Seed)
 		}
 		tcfg.EmbedDim = cfg.EmbedDim
-		trained, err := triplet.Train(tcfg, ds, trainIDs, anns, cfg.BucketKey)
+		trained, err := triplet.Train(tcfg, ds, keptIDs, keptAnns, cfg.BucketKey)
 		if err != nil {
 			return nil, fmt.Errorf("core: triplet training: %w", err)
 		}
@@ -227,52 +344,107 @@ func Build(cfg Config, ds *dataset.Dataset, lab labeler.Labeler) (*Index, error)
 
 	// Annotate the representatives concurrently: reps are distinct, the
 	// counting/caching wrappers are mutex-guarded, and each rep's annotation
-	// lands in its own slot, so the annotation map and the call count are
-	// the same at every worker count.
+	// (or error) lands in its own slot, so the outcome is the same at every
+	// worker count. ckpt.Failed is read-only during the loop; checkpoint
+	// writes happen serially afterwards.
 	labelStart := time.Now()
 	before := counting.Calls()
 	repAnns := make([]dataset.Annotation, len(reps))
-	labelErrs := parallel.Map(cfg.Parallelism, len(reps), func(_ int, s parallel.Span) error {
-		for i := s.Lo; i < s.Hi; i++ {
-			a, err := counting.Label(reps[i])
-			if err != nil {
-				return fmt.Errorf("core: labeling representative %d: %w", reps[i], err)
-			}
-			repAnns[i] = a
+	repErrs := make([]error, len(reps))
+	parallel.For(cfg.Parallelism, len(reps), func(i int) {
+		id := reps[i]
+		if msg, failed := ckpt.Failed[id]; failed && cfg.AllowDegraded {
+			repErrs[i] = fmt.Errorf("core: representative %d failed in a previous run (%s): %w", id, msg, labeler.ErrPermanent)
+			return
 		}
-		return nil
-	})
-	for _, err := range labelErrs {
+		a, err := cached.Label(id)
 		if err != nil {
-			return nil, err
+			repErrs[i] = fmt.Errorf("core: labeling representative %d: %w", id, err)
+			return
+		}
+		repAnns[i] = a
+	})
+	// Resolve outcomes serially in selection order: record every success in
+	// the checkpoint first, then either degrade around permanent failures or
+	// return a resumable interruption.
+	annotations := make(map[int]dataset.Annotation, len(reps))
+	var pending []int
+	var firstErr error
+	for i, rep := range reps {
+		if repErrs[i] == nil {
+			annotations[rep] = repAnns[i]
+			ckpt.Labeled[rep] = repAnns[i]
+			continue
+		}
+		err := repErrs[i]
+		if errors.Is(err, labeler.ErrPermanent) {
+			if _, known := ckpt.Failed[rep]; !known {
+				ckpt.Failed[rep] = err.Error()
+			}
+			if cfg.AllowDegraded {
+				stats.DegradedReps = append(stats.DegradedReps, rep)
+				continue
+			}
+		}
+		pending = append(pending, rep)
+		if firstErr == nil {
+			firstErr = err
 		}
 	}
-	annotations := make(map[int]dataset.Annotation, len(reps))
-	for i, rep := range reps {
-		annotations[rep] = repAnns[i]
+	if firstErr != nil {
+		finishStats()
+		sort.Ints(pending)
+		return nil, &BuildInterruptedError{
+			Phase:      "representatives",
+			Labeled:    ckpt.LabeledIDs(),
+			Pending:    pending,
+			LabelCalls: counting.Calls(),
+			Checkpoint: ckpt,
+			Err:        firstErr,
+		}
+	}
+	// Degraded mode: drop the unlabelable representatives so the min-k table
+	// — and with it all propagation weights — covers labeled reps only.
+	liveReps := reps
+	if len(stats.DegradedReps) > 0 {
+		sort.Ints(stats.DegradedReps)
+		liveReps = make([]int, 0, len(reps)-len(stats.DegradedReps))
+		for _, rep := range reps {
+			if _, ok := annotations[rep]; ok {
+				liveReps = append(liveReps, rep)
+			}
+		}
+		if len(liveReps) == 0 {
+			return nil, fmt.Errorf("core: degraded build has no labelable representatives: %w", labeler.ErrPermanent)
+		}
 	}
 	stats.RepLabelCalls = counting.Calls() - before
 	stats.RepLabelWall = time.Since(labelStart)
 
 	tableStart := time.Now()
+	tableK := cfg.K
+	if tableK > len(liveReps) {
+		tableK = len(liveReps)
+	}
 	var table *cluster.Table
 	if cfg.ApproxTable {
 		nprobe := cfg.ANNProbe
 		if nprobe <= 0 {
 			nprobe = 4
 		}
-		annCfg := ann.DefaultConfig(len(reps), cfg.Seed)
+		annCfg := ann.DefaultConfig(len(liveReps), cfg.Seed)
 		annCfg.Parallelism = cfg.Parallelism
-		approx, err := ann.BuildTableApprox(embeddings, reps, cfg.K, nprobe, annCfg)
+		approx, err := ann.BuildTableApprox(embeddings, liveReps, tableK, nprobe, annCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: approximate distance table: %w", err)
 		}
 		table = approx
 	} else {
-		table = cluster.BuildTablePar(embeddings, reps, cfg.K, cfg.Parallelism)
+		table = cluster.BuildTablePar(embeddings, liveReps, tableK, cfg.Parallelism)
 	}
 	stats.TableWall = time.Since(tableStart)
 	stats.ClusterWall = time.Since(clusterStart)
+	finishStats()
 
 	return &Index{
 		Embedder:    embedder,

@@ -36,6 +36,7 @@ var registry = []struct {
 	{"extra-predagg", "extension (not in paper): aggregation with expensive predicates", RunExtraPredAgg},
 	{"extra-prec", "extension (not in paper): precision-target SUPG selection", RunExtraPrecision},
 	{"extra-groupby", "extension (not in paper): grouped aggregation via vote propagation", RunExtraGroupBy},
+	{"faults", "robustness (not in paper): construction cost inflation under labeler faults", RunFaults},
 }
 
 // IDs returns the experiment identifiers in the paper's order.

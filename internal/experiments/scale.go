@@ -33,6 +33,9 @@ type Scale struct {
 	// (0 keeps the library default); TinyScale shrinks it so the whole
 	// suite fits in test budgets.
 	TripletSteps int
+	// FaultRate is the transient-fault probability the "faults" experiment
+	// injects into the target labeler (0 uses that experiment's default).
+	FaultRate float64
 	// Seed seeds data generation and every algorithm.
 	Seed int64
 }

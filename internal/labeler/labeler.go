@@ -8,6 +8,7 @@
 package labeler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -189,7 +190,13 @@ func NewCounting(inner Labeler) *Counting {
 
 // Label implements Labeler.
 func (c *Counting) Label(id int) (dataset.Annotation, error) {
-	ann, err := c.inner.Label(id)
+	return c.LabelContext(context.Background(), id)
+}
+
+// LabelContext implements ContextLabeler, forwarding ctx to context-aware
+// inner labelers so cancellation passes through the accounting layer.
+func (c *Counting) LabelContext(ctx context.Context, id int) (dataset.Annotation, error) {
+	ann, err := labelWithContext(ctx, c.inner, id)
 	if err != nil {
 		return nil, err
 	}
@@ -251,13 +258,18 @@ func NewCached(inner Labeler) *Cached {
 
 // Label implements Labeler.
 func (c *Cached) Label(id int) (dataset.Annotation, error) {
+	return c.LabelContext(context.Background(), id)
+}
+
+// LabelContext implements ContextLabeler.
+func (c *Cached) LabelContext(ctx context.Context, id int) (dataset.Annotation, error) {
 	c.mu.Lock()
 	if ann, ok := c.cache[id]; ok {
 		c.mu.Unlock()
 		return ann, nil
 	}
 	c.mu.Unlock()
-	ann, err := c.inner.Label(id)
+	ann, err := labelWithContext(ctx, c.inner, id)
 	if err != nil {
 		return nil, err
 	}
@@ -265,6 +277,17 @@ func (c *Cached) Label(id int) (dataset.Annotation, error) {
 	c.cache[id] = ann
 	c.mu.Unlock()
 	return ann, nil
+}
+
+// Warm seeds the cache with already-known annotations — the resume path of
+// index construction feeds a build checkpoint through it so re-labeling a
+// checkpointed record costs nothing.
+func (c *Cached) Warm(anns map[int]dataset.Annotation) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for id, ann := range anns {
+		c.cache[id] = ann
+	}
 }
 
 // Name implements Labeler.
@@ -300,6 +323,13 @@ func NewBudgeted(inner Labeler, n int64) *Budgeted {
 
 // Label implements Labeler.
 func (b *Budgeted) Label(id int) (dataset.Annotation, error) {
+	return b.LabelContext(context.Background(), id)
+}
+
+// LabelContext implements ContextLabeler. Note ErrBudgetExhausted is
+// terminal, not retryable: retry middleware passes it through, and the build
+// pipeline turns it into a resumable BuildInterruptedError.
+func (b *Budgeted) LabelContext(ctx context.Context, id int) (dataset.Annotation, error) {
 	b.mu.Lock()
 	if b.remaining <= 0 {
 		b.mu.Unlock()
@@ -307,7 +337,7 @@ func (b *Budgeted) Label(id int) (dataset.Annotation, error) {
 	}
 	b.remaining--
 	b.mu.Unlock()
-	return b.inner.Label(id)
+	return labelWithContext(ctx, b.inner, id)
 }
 
 // Name implements Labeler.

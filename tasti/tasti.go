@@ -30,6 +30,9 @@
 package tasti
 
 import (
+	"context"
+	"time"
+
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/labeler"
@@ -66,6 +69,10 @@ type (
 	Labeler = labeler.Labeler
 	// CostModel is a labeler's per-invocation cost.
 	CostModel = labeler.CostModel
+	// ContextLabeler is the optional context-aware extension of Labeler;
+	// the reliability middleware implements it so cancellation reaches
+	// retries, backoff sleeps, and in-flight calls.
+	ContextLabeler = labeler.ContextLabeler
 )
 
 // Calibrated per-call labeler costs from the paper's Section 3.4.
@@ -96,10 +103,115 @@ func NewCachingLabeler(inner Labeler) *labeler.Cached {
 	return labeler.NewCached(inner)
 }
 
+// NewBudgetedLabeler wraps a labeler with a hard invocation budget; once
+// spent, calls fail with ErrBudgetExhausted (terminal but resumable — see
+// BuildResumable).
+func NewBudgetedLabeler(inner Labeler, n int64) *labeler.Budgeted {
+	return labeler.NewBudgeted(inner, n)
+}
+
 // GenerateDataset builds one of the synthetic evaluation corpora:
 // "night-street", "taipei", "amsterdam", "wikisql", or "common-voice".
 func GenerateDataset(name string, size int, seed int64) (*Dataset, error) {
 	return dataset.Generate(name, size, seed)
+}
+
+// Reliability: fault injection, retry/backoff, per-call deadlines, and
+// circuit breaking for labeler tiers, plus resumable builds. See
+// docs/RELIABILITY.md for the failure model and composition order.
+type (
+	// RetryPolicy parameterizes retry middleware: exponential backoff with
+	// seeded jitter and a hard attempt budget. Set Config.Retry to retry
+	// transient labeler faults during index construction.
+	RetryPolicy = labeler.RetryPolicy
+	// BreakerPolicy parameterizes a circuit breaker over a labeler tier.
+	BreakerPolicy = labeler.BreakerPolicy
+	// BreakerState is a circuit breaker's position: closed, open, or
+	// half-open.
+	BreakerState = labeler.BreakerState
+	// Breaker is a circuit-breaking labeler wrapper; its State/Trips/
+	// Rejected methods feed health endpoints.
+	Breaker = labeler.Breaker
+	// FlakyConfig parameterizes deterministic fault injection for chaos
+	// testing.
+	FlakyConfig = labeler.FlakyConfig
+	// FaultStats counts the faults a flaky labeler injected.
+	FaultStats = labeler.FaultStats
+	// Checkpoint captures a build's labeling progress for resumption.
+	Checkpoint = core.Checkpoint
+	// BuildInterruptedError reports a build stopped by an unrecoverable
+	// labeler failure; it carries the checkpoint that resumes it.
+	BuildInterruptedError = core.BuildInterruptedError
+)
+
+// Labeler failure taxonomy. Transient faults, per-call timeouts, and breaker
+// rejections are retryable; permanent per-record failures and exhausted
+// budgets are terminal.
+var (
+	// ErrTransient marks a retryable labeler fault.
+	ErrTransient = labeler.ErrTransient
+	// ErrPermanent marks a record the labeler can never annotate.
+	ErrPermanent = labeler.ErrPermanent
+	// ErrLabelTimeout marks a call cut off by a per-call deadline.
+	ErrLabelTimeout = labeler.ErrLabelTimeout
+	// ErrBreakerOpen marks a call rejected by an open circuit breaker.
+	ErrBreakerOpen = labeler.ErrBreakerOpen
+	// ErrBudgetExhausted marks a spent invocation budget (terminal but
+	// resumable: see BuildResumable).
+	ErrBudgetExhausted = labeler.ErrBudgetExhausted
+	// IsRetryable classifies a labeler error as worth retrying.
+	IsRetryable = labeler.IsRetryable
+	// DefaultRetryPolicy is a retry policy tuned for the simulated tier.
+	DefaultRetryPolicy = labeler.DefaultRetryPolicy
+)
+
+// NewFlakyLabeler wraps a labeler with deterministic fault injection: seeded
+// transient errors, latency spikes, and permanently unlabelable records.
+func NewFlakyLabeler(inner Labeler, cfg FlakyConfig) *labeler.Flaky {
+	return labeler.NewFlaky(inner, cfg)
+}
+
+// NewRetryLabeler wraps a labeler with budgeted, jittered-backoff retries of
+// retryable errors.
+func NewRetryLabeler(inner Labeler, pol RetryPolicy) *labeler.Retry {
+	return labeler.NewRetry(inner, pol)
+}
+
+// NewDeadlineLabeler wraps a labeler with a per-call timeout; calls over the
+// limit fail with ErrLabelTimeout (retryable).
+func NewDeadlineLabeler(inner Labeler, timeout time.Duration) *labeler.Deadline {
+	return labeler.NewDeadline(inner, timeout)
+}
+
+// NewBreakerLabeler wraps a labeler with a circuit breaker that fails fast
+// while the tier is unhealthy.
+func NewBreakerLabeler(inner Labeler, pol BreakerPolicy) *Breaker {
+	return labeler.NewBreaker(inner, pol)
+}
+
+// LabelerWithContext binds a labeler to a context, so a canceled caller —
+// e.g. a disconnected HTTP client — stops the labeling loops inside query
+// processors that know nothing about contexts.
+func LabelerWithContext(ctx context.Context, inner Labeler) Labeler {
+	return labeler.WithContext(ctx, inner)
+}
+
+// NewCheckpoint returns an empty build checkpoint bound to a configuration;
+// BuildResumable fills it as labeling progresses.
+func NewCheckpoint(cfg Config, ds *Dataset) *Checkpoint {
+	return core.NewCheckpoint(cfg, ds)
+}
+
+// LoadCheckpoint deserializes a checkpoint saved with Checkpoint.Save.
+var LoadCheckpoint = core.LoadCheckpoint
+
+// BuildResumable is Build with checkpointed labeling: a failure that
+// survives the configured retry/degradation policy returns a
+// *BuildInterruptedError carrying a checkpoint, and re-invoking with that
+// checkpoint resumes the build, spending zero labeler invocations on
+// already-labeled records. A nil checkpoint starts fresh.
+func BuildResumable(cfg Config, ds *Dataset, lab Labeler, ckpt *Checkpoint) (*Index, error) {
+	return core.BuildResumable(cfg, ds, lab, ckpt)
 }
 
 // Index construction.
