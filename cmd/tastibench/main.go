@@ -17,21 +17,23 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/tasti"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment id (fig2..fig13, table1..table3) or 'all'")
-		scale    = flag.String("scale", "default", "experiment scale: 'default' or 'small'")
-		seed     = flag.Int64("seed", 0, "override the experiment seed (0 keeps the scale's default)")
-		frames   = flag.Int("frames", 0, "override the video corpus size (0 keeps the scale's default)")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		timings  = flag.Bool("timings", false, "print wall-clock time per experiment")
-		jsonOut  = flag.Bool("json", false, "emit JSON instead of text tables")
-		mdOut    = flag.Bool("markdown", false, "emit markdown tables instead of text tables")
+		exp       = flag.String("exp", "all", "experiment id (fig2..fig13, table1..table3) or 'all'")
+		scale     = flag.String("scale", "default", "experiment scale: 'default' or 'small'")
+		seed      = flag.Int64("seed", 0, "override the experiment seed (0 keeps the scale's default)")
+		frames    = flag.Int("frames", 0, "override the video corpus size (0 keeps the scale's default)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		timings   = flag.Bool("timings", false, "print wall-clock time per experiment")
+		jsonOut   = flag.Bool("json", false, "emit JSON instead of text tables")
+		mdOut     = flag.Bool("markdown", false, "emit markdown tables instead of text tables")
 		replicas  = flag.Int("replicas", 1, "run the experiment under this many seeds and report means with bootstrap CIs")
 		par       = flag.Int("parallelism", 0, "cap worker count for every pipeline phase via GOMAXPROCS (<= 0 uses all CPUs; results are identical at every value)")
 		faultRate = flag.Float64("fault-rate", 0, "transient labeler fault rate for the 'faults' experiment (0 keeps its default)")
+		traceOut  = flag.String("trace-out", "", "write a span-tree JSON trace (one span per experiment) here and print a phase-timing summary")
 	)
 	flag.Parse()
 
@@ -71,7 +73,17 @@ func main() {
 		sc.FaultRate = *faultRate
 	}
 
+	// A nil trace (no -trace-out) makes every span call below a no-op.
+	var tr *tasti.Trace
+	if *traceOut != "" {
+		tr = tasti.NewTrace("tastibench")
+		tr.Root().SetAttr("scale", *scale)
+	}
+
 	run := func(id string) error {
+		sp := tr.Root().Child("exp/" + id)
+		defer sp.End()
+		sp.SetAttr("replicas", *replicas)
 		start := time.Now()
 		var sink io.Writer
 		if !*jsonOut && !*mdOut {
@@ -114,10 +126,34 @@ func main() {
 				os.Exit(1)
 			}
 		}
-		return
-	}
-	if err := run(*exp); err != nil {
+	} else if err := run(*exp); err != nil {
 		fmt.Fprintf(os.Stderr, "tastibench: %v\n", err)
 		os.Exit(1)
 	}
+	if err := writeTrace(tr, *traceOut); err != nil {
+		fmt.Fprintf(os.Stderr, "tastibench: writing trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeTrace finishes the trace, dumps the span tree as JSON to path, and
+// prints the phase-timing summary. A nil trace is a no-op.
+func writeTrace(tr *tasti.Trace, path string) error {
+	if tr == nil {
+		return nil
+	}
+	tr.Finish()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace written to %s\n%s", path, tr.Summary())
+	return nil
 }

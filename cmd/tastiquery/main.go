@@ -51,6 +51,8 @@ type runOptions struct {
 	faultRate     float64
 	checkpoint    string
 	allowDegraded bool
+
+	traceOut string
 }
 
 func main() {
@@ -76,6 +78,7 @@ func main() {
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient labeler faults at this per-attempt probability")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "path to save build progress to on interruption, and resume from if present")
 	flag.BoolVar(&o.allowDegraded, "allow-degraded", false, "complete the index around permanently unlabelable records")
+	flag.StringVar(&o.traceOut, "trace-out", "", "write a span-tree JSON trace of the run here and print a phase-timing summary")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -85,7 +88,15 @@ func main() {
 }
 
 func run(o runOptions) error {
+	// A nil trace (no -trace-out) makes every span call below a no-op.
+	var tr *tasti.Trace
+	if o.traceOut != "" {
+		tr = tasti.NewTrace("tastiquery")
+	}
+
+	sp := tr.Root().Child("generate")
 	ds, err := tasti.GenerateDataset(o.dsName, o.size, o.seed)
+	sp.End()
 	if err != nil {
 		return err
 	}
@@ -117,24 +128,11 @@ func run(o runOptions) error {
 		index.SetParallelism(o.par)
 		fmt.Printf("loaded index: %d records, %d representatives\n", index.NumRecords(), len(index.Table.Reps))
 	} else {
-		index, err = buildIndex(o, ds, target)
+		index, err = buildIndex(o, ds, target, tr.Root())
 		if err != nil {
 			return err
 		}
-		st := index.Stats
-		fmt.Printf("built index: %d label calls (%d train + %d reps)\n",
-			st.TotalLabelCalls(), st.TrainLabelCalls, st.RepLabelCalls)
-		if st.LabelRetries > 0 || st.LabelTimeouts > 0 {
-			fmt.Printf("reliability: %d retries (%s backoff), %d per-call timeouts\n",
-				st.LabelRetries, st.RetryWait.Round(time.Millisecond), st.LabelTimeouts)
-		}
-		if st.ResumedLabels > 0 {
-			fmt.Printf("resumed: %d labels restored from checkpoint, spent nothing re-labeling them\n", st.ResumedLabels)
-		}
-		if st.Degraded() {
-			fmt.Printf("degraded: built without %d representatives and %d training records (permanently unlabelable)\n",
-				len(st.DegradedReps), len(st.DegradedTrain))
-		}
+		fmt.Println(index.Stats.String())
 	}
 	if o.save != "" {
 		f, err := os.Create(o.save)
@@ -151,57 +149,100 @@ func run(o runOptions) error {
 	score, pred := querySpec(o.dsName, o.class, o.count)
 	counting := tasti.NewCountingLabeler(oracle)
 
+	qs := tr.Root().Child("query/" + o.query)
 	switch o.query {
 	case "agg":
+		ps := qs.Child("propagate")
 		scores, err := index.Propagate(score)
+		ps.End()
 		if err != nil {
 			return err
 		}
+		ss := qs.Child("sample")
 		res, err := tasti.EstimateAggregate(tasti.AggregateOptions{
 			ErrTarget: o.errTgt, Delta: 0.05, MinSamples: 100, Seed: o.seed + 1,
 		}, ds.Len(), scores, score, counting)
+		ss.End()
 		if err != nil {
 			return err
 		}
+		qs.SetAttr("label_calls", res.LabelerCalls)
 		fmt.Printf("aggregate = %.4f ± %.4f (%d target calls)\n", res.Estimate, res.HalfWidth, res.LabelerCalls)
 	case "select":
+		ps := qs.Child("propagate")
 		scores, err := index.Propagate(tasti.MatchScore(pred))
+		ps.End()
 		if err != nil {
 			return err
 		}
+		ss := qs.Child("sample")
 		res, err := tasti.SelectWithRecall(tasti.SelectOptions{
 			Budget: o.budget, Target: o.recall, Delta: 0.05, Seed: o.seed + 2,
 		}, ds.Len(), scores, pred, counting)
+		ss.End()
 		if err != nil {
 			return err
 		}
+		qs.SetAttr("label_calls", res.OracleCalls)
 		fmt.Printf("selected %d records at threshold %.3f (%d target calls)\n",
 			len(res.Returned), res.Threshold, res.OracleCalls)
 	case "limit":
+		ps := qs.Child("propagate")
 		scores, dists, err := index.PropagateNearest(score)
+		ps.End()
 		if err != nil {
 			return err
 		}
+		ss := qs.Child("scan")
 		res, err := tasti.FindLimit(o.k, scores, dists, pred, counting)
+		ss.End()
 		if err != nil {
 			return err
 		}
+		qs.SetAttr("label_calls", res.OracleCalls)
 		fmt.Printf("found %d matches in %d target calls: %v\n", len(res.Found), res.OracleCalls, res.Found)
 	default:
 		return fmt.Errorf("unknown query %q (want agg, select, or limit)", o.query)
 	}
+	qs.End()
+	return writeTrace(tr, o.traceOut)
+}
+
+// writeTrace finishes the trace, dumps the span tree as JSON to path, and
+// prints the phase-timing summary. A nil trace is a no-op.
+func writeTrace(tr *tasti.Trace, path string) error {
+	if tr == nil {
+		return nil
+	}
+	tr.Finish()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\ntrace written to %s\n%s", path, tr.Summary())
 	return nil
 }
 
 // buildIndex constructs the index with the configured reliability policy,
 // resuming from -checkpoint when the file exists and saving a checkpoint
-// there when the build is interrupted.
-func buildIndex(o runOptions, ds *tasti.Dataset, target tasti.Labeler) (*tasti.Index, error) {
+// there when the build is interrupted. Per-phase build spans nest under a
+// "build" child of parent (nil disables tracing).
+func buildIndex(o runOptions, ds *tasti.Dataset, target tasti.Labeler, parent *tasti.Span) (*tasti.Index, error) {
 	cfg := indexConfig(o.dsName, o.train, o.reps, o.seed)
 	cfg.ApproxTable = o.useANN
 	cfg.Parallelism = o.par
 	cfg.LabelTimeout = o.labelTimeout
 	cfg.AllowDegraded = o.allowDegraded
+	buildSpan := parent.Child("build")
+	defer buildSpan.End()
+	cfg.TraceSpan = buildSpan
 	if o.retries > 1 {
 		cfg.Retry = tasti.DefaultRetryPolicy(o.seed)
 		cfg.Retry.MaxAttempts = o.retries

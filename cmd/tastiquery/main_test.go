@@ -121,7 +121,7 @@ func TestBuildIndexCheckpointResume(t *testing.T) {
 	oracle := tasti.NewOracle(ds, "target", tasti.MaskRCNNCost)
 
 	// First run hits a spent budget mid-representative-labeling.
-	if _, err := buildIndex(o, ds, tasti.NewBudgetedLabeler(oracle, 30)); err == nil {
+	if _, err := buildIndex(o, ds, tasti.NewBudgetedLabeler(oracle, 30), nil); err == nil {
 		t.Fatal("budgeted build succeeded, want interruption")
 	}
 	if _, err := os.Stat(o.checkpoint); err != nil {
@@ -129,7 +129,7 @@ func TestBuildIndexCheckpointResume(t *testing.T) {
 	}
 
 	// Second run resumes; the remaining budget is exactly enough.
-	ix, err := buildIndex(o, ds, tasti.NewBudgetedLabeler(oracle, 50))
+	ix, err := buildIndex(o, ds, tasti.NewBudgetedLabeler(oracle, 50), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

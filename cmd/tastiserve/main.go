@@ -12,20 +12,26 @@
 //	GET  /healthz          liveness
 //	GET  /readyz           readiness + labeler circuit-breaker state
 //	GET  /index            index statistics
+//	GET  /metrics          Prometheus text-format metrics
 //	POST /query/aggregate  {"class":"car","err":0.05}
 //	POST /query/select     {"class":"car","count":1,"budget":300,"recall":0.9}
 //	POST /query/limit      {"class":"car","count":5,"k":10,"crack":true}
 //
+// -pprof-addr serves net/http/pprof on a second listener (keep it off
+// public interfaces); -log-format selects text or JSON structured logs.
 // SIGINT/SIGTERM drain in-flight queries before exiting. See
-// docs/RELIABILITY.md for the fault-tolerance knobs.
+// docs/RELIABILITY.md for the fault-tolerance knobs and
+// docs/OBSERVABILITY.md for the metric catalogue.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"log/slog"
 	"net/http"
+	_ "net/http/pprof" // registered on the -pprof-addr listener only
+	"os"
 	"os/signal"
 	"syscall"
 	"time"
@@ -48,8 +54,24 @@ func main() {
 		retries       = flag.Int("retries", 3, "labeler attempts per call, including the first (<= 1 disables retrying)")
 		allowDegraded = flag.Bool("allow-degraded", false, "complete the index around permanently unlabelable records")
 		faultRate     = flag.Float64("fault-rate", 0, "inject transient labeler faults at this per-attempt probability (chaos serving)")
+
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
 	flag.Parse()
+
+	var handler slog.Handler
+	switch *logFormat {
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	default:
+		slog.New(slog.NewTextHandler(os.Stderr, nil)).
+			Error("unknown -log-format", "format", *logFormat)
+		os.Exit(2)
+	}
+	logger := slog.New(handler)
 
 	opts := serverOptions{
 		dataset:       *dsName,
@@ -62,6 +84,7 @@ func main() {
 		labelTimeout:  *labelTimeout,
 		allowDegraded: *allowDegraded,
 		faultRate:     *faultRate,
+		logger:        logger,
 	}
 	if *retries > 1 {
 		opts.retry = tasti.DefaultRetryPolicy(*seed)
@@ -69,8 +92,22 @@ func main() {
 	}
 
 	srv := newServerShell(opts)
-	log.Printf("building index over %s (%d records) in the background...", *dsName, *size)
+	// Worker-pool utilization flows into the same registry /metrics renders.
+	tasti.SetPoolTelemetry(srv.reg)
+	logger.Info("building index in the background", "dataset", *dsName, "records", *size)
 	srv.buildAsync()
+
+	if *pprofAddr != "" {
+		// The blank net/http/pprof import registers its handlers on
+		// http.DefaultServeMux, which only this listener serves — the query
+		// listener uses its own mux, so profiling stays off the public port.
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "err", err.Error())
+			}
+		}()
+	}
 
 	httpServer := &http.Server{
 		Addr:         *addr,
@@ -85,18 +122,20 @@ func main() {
 	done := make(chan error, 1)
 	go func() {
 		<-ctx.Done()
-		log.Printf("shutting down, draining in-flight queries...")
+		logger.Info("shutting down, draining in-flight queries")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		defer cancel()
 		done <- httpServer.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("listening on %s", *addr)
+	logger.Info("listening", "addr", *addr)
 	if err := httpServer.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatalf("tastiserve: %v", err)
+		logger.Error("listener failed", "err", err.Error())
+		os.Exit(1)
 	}
 	if err := <-done; err != nil {
-		log.Fatalf("tastiserve: shutdown: %v", err)
+		logger.Error("shutdown failed", "err", err.Error())
+		os.Exit(1)
 	}
-	log.Printf("bye")
+	logger.Info("bye")
 }

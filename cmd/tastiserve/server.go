@@ -5,8 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"os"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,9 @@ type serverOptions struct {
 	// breaker parameterizes the circuit breaker guarding the serve-path
 	// labeler; the zero value uses the defaults.
 	breaker tasti.BreakerPolicy
+	// logger receives the server's structured logs; nil selects a text
+	// handler on stderr (main wires -log-format=json here).
+	logger *slog.Logger
 }
 
 // server owns an index over one corpus and answers queries over HTTP. A
@@ -62,6 +66,13 @@ type server struct {
 	name string
 	seed int64
 
+	// log is the structured logger; reg owns every metric the server emits
+	// and renders them at GET /metrics. inFlight tracks requests currently
+	// being served, across all routes.
+	log      *slog.Logger
+	reg      *tasti.MetricsRegistry
+	inFlight *tasti.MetricGauge
+
 	// ready flips to true once build() has published ds/target/breaker/
 	// index below; handlers must observe ready before touching them.
 	ready    atomic.Bool
@@ -77,12 +88,24 @@ type server struct {
 // newServerShell returns a server that is alive (serves /healthz and
 // /readyz) but not ready: call build, or buildAsync, to construct the index.
 func newServerShell(opts serverOptions) *server {
+	lg := opts.logger
+	if lg == nil {
+		lg = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
+	reg := tasti.NewMetricsRegistry()
+	reg.Help("tasti_http_in_flight", "Requests currently being served, across all routes.")
+	reg.Help("tasti_http_requests_total", "HTTP requests served, by route and status code.")
+	reg.Help("tasti_http_errors_total", "HTTP 5xx responses, by route.")
+	reg.Help("tasti_http_request_seconds", "End-to-end request latency in seconds, by route.")
 	return &server{
-		sem:     make(chan struct{}, 1),
-		opts:    opts,
-		name:    opts.dataset,
-		seed:    opts.seed,
-		started: time.Now(),
+		sem:      make(chan struct{}, 1),
+		opts:     opts,
+		name:     opts.dataset,
+		seed:     opts.seed,
+		started:  time.Now(),
+		log:      lg,
+		reg:      reg,
+		inFlight: reg.Gauge("tasti_http_in_flight"),
 	}
 }
 
@@ -110,7 +133,7 @@ func (s *server) build() error {
 func (s *server) buildAsync() {
 	go func() {
 		if err := s.build(); err != nil {
-			log.Printf("tastiserve: index build failed: %v", err)
+			s.log.Error("index build failed", "dataset", s.name, "err", err.Error())
 		}
 	}()
 }
@@ -150,6 +173,7 @@ func (s *server) buildIndex() error {
 	cfg.Retry = opts.retry
 	cfg.LabelTimeout = opts.labelTimeout
 	cfg.AllowDegraded = opts.allowDegraded
+	cfg.Telemetry = s.reg
 	index, err := tasti.Build(cfg, ds, base)
 	if err != nil {
 		return err
@@ -157,15 +181,21 @@ func (s *server) buildIndex() error {
 
 	// Serve-path chain, outermost first: retries recover transient faults,
 	// the breaker fails fast while the tier is unhealthy (and feeds
-	// /readyz), the deadline bounds each call's latency.
+	// /readyz), the deadline bounds each call's latency. Each layer reports
+	// its outcomes into the server's registry.
 	var serveLab tasti.Labeler = base
 	if opts.labelTimeout > 0 {
-		serveLab = tasti.NewDeadlineLabeler(serveLab, opts.labelTimeout)
+		dl := tasti.NewDeadlineLabeler(serveLab, opts.labelTimeout)
+		dl.SetTelemetry(s.reg)
+		serveLab = dl
 	}
 	breaker := tasti.NewBreakerLabeler(serveLab, opts.breaker)
+	breaker.SetTelemetry(s.reg)
 	serveLab = breaker
 	if opts.retry.Enabled() {
-		serveLab = tasti.NewRetryLabeler(serveLab, opts.retry)
+		rt := tasti.NewRetryLabeler(serveLab, opts.retry)
+		rt.SetTelemetry(s.reg)
+		serveLab = rt
 	}
 
 	s.ds = ds
@@ -173,6 +203,12 @@ func (s *server) buildIndex() error {
 	s.breaker = breaker
 	s.index = index
 	s.ready.Store(true)
+	s.log.Info("index built",
+		"dataset", s.name,
+		"records", ds.Len(),
+		"representatives", len(index.Table.Reps),
+		"label_calls", index.Stats.TotalLabelCalls(),
+		"stats", index.Stats.String())
 	return nil
 }
 
@@ -202,10 +238,84 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
 	mux.HandleFunc("/index", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/query/aggregate", s.handleAggregate)
 	mux.HandleFunc("/query/select", s.handleSelect)
 	mux.HandleFunc("/query/limit", s.handleLimit)
-	return s.recoverPanics(s.withQueryTimeout(mux))
+	return s.recoverPanics(s.instrument(s.withQueryTimeout(mux)))
+}
+
+// handleMetrics renders every registered metric in the Prometheus text
+// exposition format. The breaker-state gauge is refreshed at scrape time so
+// a tier that went unhealthy between requests still reads correctly.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	if s.ready.Load() {
+		s.reg.Gauge("tasti_breaker_state").Set(float64(s.breaker.State()))
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w) //nolint:errcheck // best-effort response write
+}
+
+// statusRecorder captures the response status code for metrics and logs.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// routeLabel normalizes a request path to a bounded metric label, so an
+// attacker probing random paths cannot mint unbounded series.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/readyz", "/index", "/metrics",
+		"/query/aggregate", "/query/select", "/query/limit":
+		return path
+	}
+	return "other"
+}
+
+// instrument wraps every request with metrics — request/error counters by
+// route, a latency histogram, the in-flight gauge — and one structured log
+// line carrying route, method, status, latency, and query type. Probe
+// routes log at debug so scrapes don't drown the query log.
+func (s *server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		route := routeLabel(r.URL.Path)
+		s.inFlight.Inc()
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		elapsed := time.Since(start)
+		s.inFlight.Dec()
+		s.reg.Counter(fmt.Sprintf(`tasti_http_requests_total{route=%q,code="%d"}`, route, rec.code)).Inc()
+		if rec.code >= 500 {
+			s.reg.Counter(fmt.Sprintf(`tasti_http_errors_total{route=%q}`, route)).Inc()
+		}
+		s.reg.Histogram(fmt.Sprintf(`tasti_http_request_seconds{route=%q}`, route), tasti.DefLatencyBuckets).Observe(elapsed.Seconds())
+
+		attrs := []any{
+			"method", r.Method,
+			"route", route,
+			"status", rec.code,
+			"latency_ms", float64(elapsed.Microseconds()) / 1000,
+		}
+		if qt, ok := strings.CutPrefix(route, "/query/"); ok {
+			attrs = append(attrs, "query_type", qt)
+		}
+		level := slog.LevelInfo
+		if route == "/healthz" || route == "/readyz" || route == "/metrics" {
+			level = slog.LevelDebug
+		}
+		s.log.Log(r.Context(), level, "request", attrs...)
+	})
 }
 
 // recoverPanics turns a panicking handler into a 500 instead of killing the
@@ -214,7 +324,8 @@ func (s *server) recoverPanics(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if p := recover(); p != nil {
-				log.Printf("tastiserve: panic serving %s %s: %v", r.Method, r.URL.Path, p)
+				s.log.Error("panic serving request",
+					"method", r.Method, "path", r.URL.Path, "panic", fmt.Sprint(p))
 				httpError(w, http.StatusInternalServerError, "internal error")
 			}
 		}()
@@ -417,6 +528,7 @@ func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	counting := tasti.NewCountingLabeler(tasti.LabelerWithContext(ctx, s.target))
 	res, err := tasti.EstimateAggregate(tasti.AggregateOptions{
 		ErrTarget: req.Err, Delta: 0.05, MinSamples: 100, Seed: s.seed + 1,
+		Telemetry: s.reg,
 	}, s.ds.Len(), scores, score, counting)
 	if err != nil {
 		s.queryError(w, ctx, err)
@@ -452,6 +564,7 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := tasti.SelectWithRecall(tasti.SelectOptions{
 		Budget: req.Budget, Target: req.Recall, Delta: 0.05, Seed: s.seed + 2,
+		Telemetry: s.reg,
 	}, s.ds.Len(), scores, pred, tasti.LabelerWithContext(ctx, s.target))
 	if err != nil {
 		s.queryError(w, ctx, err)
@@ -490,7 +603,8 @@ func (s *server) handleLimit(w http.ResponseWriter, r *http.Request) {
 		s.queryError(w, ctx, err)
 		return
 	}
-	res, err := tasti.FindLimit(req.K, scores, dists, pred, tasti.LabelerWithContext(ctx, s.target))
+	res, err := tasti.FindLimitOpts(tasti.LimitOptions{Telemetry: s.reg},
+		req.K, scores, dists, pred, tasti.LabelerWithContext(ctx, s.target))
 	if err != nil {
 		s.queryError(w, ctx, err)
 		return
@@ -517,11 +631,4 @@ func writeJSON(w http.ResponseWriter, code int, v interface{}) {
 
 func httpError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

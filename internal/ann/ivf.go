@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 	"repro/internal/vecmath"
 	"repro/internal/xrand"
 )
@@ -27,6 +28,10 @@ type Config struct {
 	Parallelism int
 	// Seed makes construction deterministic.
 	Seed int64
+	// Telemetry, when non-nil, receives probe accounting from every Search:
+	// searches run, cells probed, and candidate vectors scanned. Disabled
+	// telemetry costs one branch per Search.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultConfig sizes the cell count to the square root of the vector count.
@@ -45,6 +50,12 @@ type IVF struct {
 	vectors   [][]float64
 	centroids [][]float64
 	lists     [][]int
+
+	// Probe accounting (nil-safe counters; see Config.Telemetry). Search is
+	// called from parallel hot loops, so these are atomic.
+	searches *telemetry.Counter
+	probed   *telemetry.Counter
+	scanned  *telemetry.Counter
 }
 
 // Build constructs the index with k-means coarse quantization (FPF
@@ -122,7 +133,14 @@ func Build(cfg Config, vectors [][]float64) (*IVF, error) {
 	for i := range vectors {
 		lists[assign[i]] = append(lists[assign[i]], i)
 	}
-	return &IVF{vectors: vectors, centroids: centroids, lists: lists}, nil
+	return &IVF{
+		vectors:   vectors,
+		centroids: centroids,
+		lists:     lists,
+		searches:  cfg.Telemetry.Counter("tasti_ann_searches_total"),
+		probed:    cfg.Telemetry.Counter("tasti_ann_probed_cells_total"),
+		scanned:   cfg.Telemetry.Counter("tasti_ann_scanned_candidates_total"),
+	}, nil
 }
 
 // NumCells returns the number of coarse cells.
@@ -157,6 +175,9 @@ func (ix *IVF) Search(q []float64, k, nprobe int) []vecmath.IndexedValue {
 			cands = append(cands, cand{id, vecmath.SquaredL2(q, ix.vectors[id])})
 		}
 	}
+	ix.searches.Inc()
+	ix.probed.Add(int64(len(cells)))
+	ix.scanned.Add(int64(len(cands)))
 	sort.Slice(cands, func(a, b int) bool {
 		if cands[a].dist != cands[b].dist {
 			return cands[a].dist < cands[b].dist

@@ -30,6 +30,7 @@ import (
 	"repro/internal/embed"
 	"repro/internal/labeler"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 	"repro/internal/triplet"
 	"repro/internal/xrand"
 )
@@ -86,6 +87,19 @@ type Config struct {
 	// LabelTimeout, when positive, bounds every target-labeler invocation;
 	// calls over the limit fail with labeler.ErrLabelTimeout (retryable).
 	LabelTimeout time.Duration
+	// Telemetry, when non-nil, receives build metrics: phase walls, label
+	// calls per phase, per-attempt retry/timeout outcomes from the
+	// reliability middleware, ANN probe counts, and degraded/resumed
+	// accounting (metric catalogue in docs/OBSERVABILITY.md). Instruments
+	// only record — they never feed back into the pipeline — so a build is
+	// bitwise identical with telemetry on or off; disabled telemetry costs
+	// one branch per instrumentation point. Not persisted by Save.
+	Telemetry *telemetry.Registry
+	// TraceSpan, when non-nil, becomes the parent of the build's per-phase
+	// spans (embed, train/mine, train/label, train/fit, cluster/select,
+	// cluster/label, cluster/table). Like Telemetry it is record-only and
+	// nil-safe.
+	TraceSpan *telemetry.Span
 	// AllowDegraded lets the build complete when some records are
 	// permanently unlabelable (labeler.ErrPermanent): failed training
 	// records are dropped from the triplet set and failed representatives
@@ -227,11 +241,13 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	var deadline *labeler.Deadline
 	if cfg.LabelTimeout > 0 {
 		deadline = labeler.NewDeadline(base, cfg.LabelTimeout)
+		deadline.SetTelemetry(cfg.Telemetry)
 		base = deadline
 	}
 	var retry *labeler.Retry
 	if cfg.Retry.Enabled() {
 		retry = labeler.NewRetry(base, cfg.Retry)
+		retry.SetTelemetry(cfg.Telemetry)
 		base = retry
 	}
 	counting := labeler.NewCounting(base)
@@ -254,14 +270,18 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 
 	// Phase 1: pre-trained embeddings over all records.
 	embedStart := time.Now()
+	sp := cfg.TraceSpan.Child("embed/pretrained")
 	pre := embed.NewPretrained(ds.FeatureDim(), cfg.EmbedDim, cfg.Seed)
 	preEmb := embed.AllPar(pre, ds, cfg.Parallelism)
+	sp.End()
 	stats.EmbedWall += time.Since(embedStart)
 
 	// Phase 2: optional triplet training on a mined, labeled training set.
 	var embedder embed.Embedder = pre
 	if cfg.DoTrain {
 		trainStart := time.Now()
+		trainSpan := cfg.TraceSpan.Child("train")
+		mineSpan := trainSpan.Child("train/mine")
 		miner := xrand.Split(cfg.Seed, "mining")
 		var trainIDs []int
 		if cfg.FPFMining {
@@ -269,6 +289,8 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 		} else {
 			trainIDs = triplet.MineRandom(miner, ds.Len(), cfg.TrainingBudget)
 		}
+		mineSpan.End()
+		labelSpan := trainSpan.Child("train/label")
 		keptIDs := make([]int, 0, len(trainIDs))
 		keptAnns := make([]dataset.Annotation, 0, len(trainIDs))
 		for i, id := range trainIDs {
@@ -305,34 +327,43 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 		}
 		sort.Ints(stats.DegradedTrain)
 		stats.TrainLabelCalls = counting.Calls()
+		labelSpan.SetAttr("label_calls", stats.TrainLabelCalls)
+		labelSpan.End()
 
 		tcfg := cfg.Train
 		if tcfg.Steps == 0 {
 			tcfg = triplet.DefaultConfig(cfg.EmbedDim, cfg.Seed)
 		}
 		tcfg.EmbedDim = cfg.EmbedDim
+		fitSpan := trainSpan.Child("train/fit")
+		fitSpan.SetAttr("steps", tcfg.Steps)
 		trained, err := triplet.Train(tcfg, ds, keptIDs, keptAnns, cfg.BucketKey)
 		if err != nil {
 			return nil, fmt.Errorf("core: triplet training: %w", err)
 		}
+		fitSpan.End()
 		embedder = trained
 		stats.TripletSteps = tcfg.Steps
 		stats.TrainWall = time.Since(trainStart)
+		trainSpan.End()
 	}
 
 	// Phase 3: final embeddings.
 	embedStart = time.Now()
+	sp = cfg.TraceSpan.Child("embed/final")
 	var embeddings [][]float64
 	if cfg.DoTrain {
 		embeddings = embed.AllPar(embedder, ds, cfg.Parallelism)
 	} else {
 		embeddings = preEmb
 	}
+	sp.End()
 	stats.EmbedWall += time.Since(embedStart)
 
 	// Phase 4: representative selection and annotation, then the distance
 	// table.
 	clusterStart := time.Now()
+	sp = cfg.TraceSpan.Child("cluster/select")
 	repRand := xrand.Split(cfg.Seed, "reps")
 	var reps []int
 	if cfg.FPFCluster {
@@ -340,6 +371,8 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	} else {
 		reps = cluster.RandomReps(repRand, ds.Len(), cfg.NumReps)
 	}
+	sp.SetAttr("reps", len(reps))
+	sp.End()
 	stats.RepSelectWall = time.Since(clusterStart)
 
 	// Annotate the representatives concurrently: reps are distinct, the
@@ -348,6 +381,7 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	// worker count. ckpt.Failed is read-only during the loop; checkpoint
 	// writes happen serially afterwards.
 	labelStart := time.Now()
+	sp = cfg.TraceSpan.Child("cluster/label")
 	before := counting.Calls()
 	repAnns := make([]dataset.Annotation, len(reps))
 	repErrs := make([]error, len(reps))
@@ -420,8 +454,11 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	}
 	stats.RepLabelCalls = counting.Calls() - before
 	stats.RepLabelWall = time.Since(labelStart)
+	sp.SetAttr("label_calls", stats.RepLabelCalls)
+	sp.End()
 
 	tableStart := time.Now()
+	sp = cfg.TraceSpan.Child("cluster/table")
 	tableK := cfg.K
 	if tableK > len(liveReps) {
 		tableK = len(liveReps)
@@ -434,17 +471,22 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 		}
 		annCfg := ann.DefaultConfig(len(liveReps), cfg.Seed)
 		annCfg.Parallelism = cfg.Parallelism
+		annCfg.Telemetry = cfg.Telemetry
 		approx, err := ann.BuildTableApprox(embeddings, liveReps, tableK, nprobe, annCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: approximate distance table: %w", err)
 		}
 		table = approx
+		sp.SetAttr("mode", "ivf")
 	} else {
 		table = cluster.BuildTablePar(embeddings, liveReps, tableK, cfg.Parallelism)
+		sp.SetAttr("mode", "exact")
 	}
+	sp.End()
 	stats.TableWall = time.Since(tableStart)
 	stats.ClusterWall = time.Since(clusterStart)
 	finishStats()
+	publishBuildMetrics(cfg.Telemetry, stats)
 
 	return &Index{
 		Embedder:    embedder,

@@ -3,10 +3,23 @@ package core
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/parallel"
 )
+
+// observePropagate records one propagation pass (kind: weighted, nearest,
+// or vote) into the index's registry — a count and a latency observation
+// per call, nothing per record. No-op without Config.Telemetry.
+func (ix *Index) observePropagate(kind string, start time.Time) {
+	reg := ix.cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	reg.Counter(`tasti_propagate_total{kind="` + kind + `"}`).Inc()
+	reg.Histogram("tasti_propagate_seconds", nil).Observe(time.Since(start).Seconds())
+}
 
 // ScoreFunc turns a target-labeler output into a numeric query-specific
 // score — the paper's Section 4.2 developer API. Examples: count of "car"
@@ -40,6 +53,7 @@ func (ix *Index) PropagateK(score ScoreFunc, k int) ([]float64, error) {
 	if k <= 0 || k > ix.Table.K {
 		return nil, fmt.Errorf("core: propagation k=%d outside [1,%d]", k, ix.Table.K)
 	}
+	defer ix.observePropagate("weighted", time.Now())
 	repScores, err := ix.repScores(score)
 	if err != nil {
 		return nil, err
@@ -71,6 +85,7 @@ func (ix *Index) PropagateK(score ScoreFunc, k int) ([]float64, error) {
 // score along with the distance to it, the k=1 scoring with distance
 // tie-breaking that the paper's limit queries use (Section 6.3).
 func (ix *Index) PropagateNearest(score ScoreFunc) (scores, dists []float64, err error) {
+	defer ix.observePropagate("nearest", time.Now())
 	repScores, err := ix.repScores(score)
 	if err != nil {
 		return nil, nil, err
@@ -88,6 +103,7 @@ func (ix *Index) PropagateNearest(score ScoreFunc) (scores, dists []float64, err
 // PropagateVote computes a categorical label per record by
 // distance-weighted majority vote over the k nearest representatives.
 func (ix *Index) PropagateVote(label LabelFunc) ([]string, error) {
+	defer ix.observePropagate("vote", time.Now())
 	labels := make(map[int]string, len(ix.Annotations))
 	for id, ann := range ix.Annotations {
 		labels[id] = label(ann)

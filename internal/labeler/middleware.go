@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -128,11 +129,29 @@ type Retry struct {
 	retries atomic.Int64
 	giveUps atomic.Int64
 	waited  atomic.Int64 // nanoseconds spent in backoff
+
+	// Per-attempt telemetry (nil-safe; see SetTelemetry).
+	mRetries, mGiveUps         *telemetry.Counter
+	mOK, mRetryable, mTerminal *telemetry.Counter
 }
 
 // NewRetry wraps inner with the given retry policy.
 func NewRetry(inner Labeler, pol RetryPolicy) *Retry {
 	return &Retry{inner: inner, pol: pol}
+}
+
+// SetTelemetry points the wrapper's per-attempt accounting at reg:
+// tasti_labeler_attempts_total{outcome="ok"|"retryable"|"terminal"} counts
+// every inner invocation by how it ended, tasti_labeler_retries_total the
+// extra attempts spent, and tasti_labeler_retry_giveups_total the logical
+// calls that failed with the budget exhausted. Call it before the wrapper
+// sees traffic.
+func (rt *Retry) SetTelemetry(reg *telemetry.Registry) {
+	rt.mRetries = reg.Counter("tasti_labeler_retries_total")
+	rt.mGiveUps = reg.Counter("tasti_labeler_retry_giveups_total")
+	rt.mOK = reg.Counter(`tasti_labeler_attempts_total{outcome="ok"}`)
+	rt.mRetryable = reg.Counter(`tasti_labeler_attempts_total{outcome="retryable"}`)
+	rt.mTerminal = reg.Counter(`tasti_labeler_attempts_total{outcome="terminal"}`)
 }
 
 // Label implements Labeler.
@@ -156,17 +175,22 @@ func (rt *Retry) LabelContext(ctx context.Context, id int) (dataset.Annotation, 
 				return nil, err
 			}
 			rt.retries.Add(1)
+			rt.mRetries.Inc()
 		}
 		ann, err := labelWithContext(ctx, rt.inner, id)
 		if err == nil {
+			rt.mOK.Inc()
 			return ann, nil
 		}
 		lastErr = err
 		if !IsRetryable(err) || ctx.Err() != nil {
+			rt.mTerminal.Inc()
 			return nil, err
 		}
+		rt.mRetryable.Inc()
 	}
 	rt.giveUps.Add(1)
+	rt.mGiveUps.Inc()
 	return nil, fmt.Errorf("labeler: %d attempts exhausted for record %d: %w", attempts, id, lastErr)
 }
 
@@ -197,11 +221,19 @@ type Deadline struct {
 	inner    Labeler
 	timeout  time.Duration
 	timeouts atomic.Int64
+
+	mTimeouts *telemetry.Counter // nil-safe; see SetTelemetry
 }
 
 // NewDeadline wraps inner with a per-call timeout.
 func NewDeadline(inner Labeler, timeout time.Duration) *Deadline {
 	return &Deadline{inner: inner, timeout: timeout}
+}
+
+// SetTelemetry counts per-call deadline expirations into reg as
+// tasti_labeler_timeouts_total. Call it before the wrapper sees traffic.
+func (d *Deadline) SetTelemetry(reg *telemetry.Registry) {
+	d.mTimeouts = reg.Counter("tasti_labeler_timeouts_total")
 }
 
 // Label implements Labeler.
@@ -239,6 +271,7 @@ func (d *Deadline) LabelContext(ctx context.Context, id int) (dataset.Annotation
 		// The per-call deadline fired (not the caller's context): translate
 		// to the retryable timeout error.
 		d.timeouts.Add(1)
+		d.mTimeouts.Inc()
 		return nil, fmt.Errorf("labeler %s: record %d after %v: %w", d.inner.Name(), id, d.timeout, ErrLabelTimeout)
 	}
 	return ann, err
@@ -329,11 +362,27 @@ type Breaker struct {
 	probeHits     int
 	trips         int64
 	rejected      int64
+
+	// Telemetry (nil-safe; see SetTelemetry).
+	mTrips, mRejected *telemetry.Counter
+	mState            *telemetry.Gauge
 }
 
 // NewBreaker wraps inner with a circuit breaker.
 func NewBreaker(inner Labeler, pol BreakerPolicy) *Breaker {
 	return &Breaker{inner: inner, pol: pol.withDefaults(), now: time.Now}
+}
+
+// SetTelemetry publishes the breaker's behavior into reg:
+// tasti_breaker_trips_total, tasti_breaker_rejected_total, and a
+// tasti_breaker_state gauge holding the numeric BreakerState (0 closed,
+// 1 open, 2 half-open), updated on every transition. Call it before the
+// wrapper sees traffic.
+func (b *Breaker) SetTelemetry(reg *telemetry.Registry) {
+	b.mTrips = reg.Counter("tasti_breaker_trips_total")
+	b.mRejected = reg.Counter("tasti_breaker_rejected_total")
+	b.mState = reg.Gauge("tasti_breaker_state")
+	b.mState.Set(float64(b.State()))
 }
 
 // Label implements Labeler.
@@ -364,15 +413,18 @@ func (b *Breaker) admit() (probe bool, err error) {
 	case BreakerOpen:
 		if b.now().Sub(b.openedAt) < b.pol.Cooldown {
 			b.rejected++
+			b.mRejected.Inc()
 			return false, ErrBreakerOpen
 		}
 		b.state = BreakerHalfOpen
+		b.mState.Set(float64(BreakerHalfOpen))
 		b.probeHits = 0
 		b.probeInFlight = true
 		return true, nil
 	default: // BreakerHalfOpen
 		if b.probeInFlight {
 			b.rejected++
+			b.mRejected.Inc()
 			return false, ErrBreakerOpen
 		}
 		b.probeInFlight = true
@@ -397,6 +449,7 @@ func (b *Breaker) record(probe bool, err error) {
 		b.probeHits++
 		if b.probeHits >= b.pol.HalfOpenProbes {
 			b.state = BreakerClosed
+			b.mState.Set(float64(BreakerClosed))
 			b.consecFails = 0
 		}
 		return
@@ -420,6 +473,8 @@ func (b *Breaker) trip() {
 	b.openedAt = b.now()
 	b.consecFails = 0
 	b.trips++
+	b.mTrips.Inc()
+	b.mState.Set(float64(BreakerOpen))
 }
 
 // Name implements Labeler.

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/labeler"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -34,6 +35,11 @@ type Options struct {
 	MaxSamples int
 	// Seed makes sampling deterministic.
 	Seed int64
+	// Telemetry, when non-nil, counts query runs and per-sample labeler
+	// spend (tasti_query_runs_total / tasti_query_label_calls_total with
+	// type="aggregate") and observes the final sample size. Record-only:
+	// sampling order and stopping are unaffected.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions mirrors the paper's aggregation setup: error 0.01 with 95%
@@ -88,6 +94,9 @@ func Estimate(opts Options, n int, proxy []float64, score ScoreFunc, lab labeler
 		proxyMean = stats.Mean(proxy)
 	}
 
+	opts.Telemetry.Counter(`tasti_query_runs_total{type="aggregate"}`).Inc()
+	mCalls := opts.Telemetry.Counter(`tasti_query_label_calls_total{type="aggregate"}`)
+
 	r := xrand.New(opts.Seed)
 	var (
 		fs, ps []float64 // raw labeler scores and matched proxy scores
@@ -100,6 +109,7 @@ func Estimate(opts Options, n int, proxy []float64, score ScoreFunc, lab labeler
 			return fmt.Errorf("aggregation: labeling record %d: %w", id, err)
 		}
 		calls++
+		mCalls.Inc()
 		fs = append(fs, score(ann))
 		if proxy != nil {
 			ps = append(ps, proxy[id])

@@ -12,10 +12,20 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/labeler"
+	"repro/internal/telemetry"
 )
 
 // Predicate reports whether a target-labeler output matches the query.
 type Predicate func(ann dataset.Annotation) bool
+
+// Options configures a limit query beyond its required arguments. The zero
+// value reproduces Run.
+type Options struct {
+	// Telemetry, when non-nil, counts query runs and per-record labeler
+	// spend (tasti_query_runs_total / tasti_query_label_calls_total with
+	// type="limit"). Record-only: scan order is unaffected.
+	Telemetry *telemetry.Registry
+}
 
 // Result is the limit-query output.
 type Result struct {
@@ -37,6 +47,11 @@ type Result struct {
 // the paper's Section 6.3 custom scoring), then by ID — labeling each until
 // limit matches are found. tieDist may be nil.
 func Run(limit int, proxy, tieDist []float64, pred Predicate, lab labeler.Labeler) (Result, error) {
+	return RunOpts(Options{}, limit, proxy, tieDist, pred, lab)
+}
+
+// RunOpts is Run with instrumentation options.
+func RunOpts(opts Options, limit int, proxy, tieDist []float64, pred Predicate, lab labeler.Labeler) (Result, error) {
 	n := len(proxy)
 	if n == 0 {
 		return Result{}, errors.New("limitq: empty dataset")
@@ -63,6 +78,9 @@ func Run(limit int, proxy, tieDist []float64, pred Predicate, lab labeler.Labele
 		return i < j
 	})
 
+	opts.Telemetry.Counter(`tasti_query_runs_total{type="limit"}`).Inc()
+	mCalls := opts.Telemetry.Counter(`tasti_query_label_calls_total{type="limit"}`)
+
 	res := Result{Labeled: make(map[int]dataset.Annotation)}
 	for _, id := range order {
 		ann, err := lab.Label(id)
@@ -70,6 +88,7 @@ func Run(limit int, proxy, tieDist []float64, pred Predicate, lab labeler.Labele
 			return Result{}, fmt.Errorf("limitq: labeling record %d: %w", id, err)
 		}
 		res.OracleCalls++
+		mCalls.Inc()
 		res.Labeled[id] = ann
 		if pred(ann) {
 			res.Found = append(res.Found, id)

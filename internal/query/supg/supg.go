@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/labeler"
+	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
 
@@ -31,6 +32,10 @@ type Options struct {
 	Delta float64
 	// Seed makes sampling deterministic.
 	Seed int64
+	// Telemetry, when non-nil, counts query runs and per-sample labeler
+	// spend (tasti_query_runs_total / tasti_query_label_calls_total with
+	// type="select"). Record-only: the sampling design is unaffected.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultOptions mirrors the paper's SUPG setup: recall target 0.9 with 95%
@@ -239,12 +244,15 @@ func drawSample(opts Options, n int, proxy []float64, pred Predicate, lab labele
 		labels:  make([]bool, 0, budget),
 		weights: make([]float64, 0, budget),
 	}
+	opts.Telemetry.Counter(`tasti_query_runs_total{type="select"}`).Inc()
+	mCalls := opts.Telemetry.Counter(`tasti_query_label_calls_total{type="select"}`)
 	for len(s.ids) < budget {
 		id := xrand.Categorical(r, weights)
 		ann, err := lab.Label(id)
 		if err != nil {
 			return nil, fmt.Errorf("supg: labeling record %d: %w", id, err)
 		}
+		mCalls.Inc()
 		q := weights[id] / total
 		s.ids = append(s.ids, id)
 		s.labels = append(s.labels, pred(ann))

@@ -1,0 +1,250 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("tasti_test_total")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	// Negative adds are ignored: counters only go up.
+	c.Add(-5)
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter after negative add = %d, want %d", got, goroutines*perG)
+	}
+}
+
+func TestRegistrySameHandle(t *testing.T) {
+	reg := NewRegistry()
+	if reg.Counter("a_total") != reg.Counter("a_total") {
+		t.Error("same counter name returned different handles")
+	}
+	if reg.Gauge("g") != reg.Gauge("g") {
+		t.Error("same gauge name returned different handles")
+	}
+	if reg.Histogram("h", nil) != reg.Histogram("h", []float64{1, 2}) {
+		t.Error("same histogram name returned different handles")
+	}
+}
+
+func TestGaugeConcurrentAdd(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("tasti_test_gauge")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				g.Inc()
+				g.Dec()
+			}
+			g.Add(0.5)
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %v, want 4", got)
+	}
+	g.Set(-3.25)
+	if got := g.Value(); got != -3.25 {
+		t.Fatalf("gauge after set = %v, want -3.25", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("tasti_test_seconds", []float64{1, 2, 5})
+	// An observation exactly on a bound lands in that bound's bucket
+	// (le is an inclusive upper bound, the Prometheus convention).
+	for _, v := range []float64{0.5, 1, 1.5, 2, 4.9, 5, 100} {
+		h.Observe(v)
+	}
+	wantCounts := []int64{2, 2, 2, 1} // le=1, le=2, le=5, +Inf
+	for i, want := range wantCounts {
+		if got := h.counts[i].Load(); got != want {
+			t.Errorf("bucket %d = %d, want %d", i, got, want)
+		}
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.5+1+1.5+2+4.9+5+100; math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q_seconds", []float64{1, 2, 4})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	// 10 observations in [0,1], 10 in (1,2].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+	}
+	// Median sits exactly at the first bucket's upper bound.
+	if got := h.Quantile(0.5); math.Abs(got-1) > 1e-9 {
+		t.Errorf("p50 = %v, want 1", got)
+	}
+	// p75 is halfway through the (1,2] bucket.
+	if got := h.Quantile(0.75); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("p75 = %v, want 1.5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-2) > 1e-9 {
+		t.Errorf("p100 = %v, want 2", got)
+	}
+	// +Inf observations clamp to the last finite bound.
+	h2 := reg.Histogram("q2_seconds", []float64{1})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Errorf("overflow quantile = %v, want clamp to 1", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("c_seconds", []float64{0.5})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-2000) > 1e-6 {
+		t.Fatalf("sum = %v, want 2000", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	if reg.Enabled() {
+		t.Error("nil registry reports enabled")
+	}
+	// Every call below must no-op rather than panic.
+	c := reg.Counter("x_total")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	g := reg.Gauge("x")
+	g.Set(1)
+	g.Add(1)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	h := reg.Histogram("x_seconds", nil)
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("nil histogram recorded something")
+	}
+	reg.Help("x", "help")
+	if err := reg.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Errorf("nil WritePrometheus: %v", err)
+	}
+
+	var tr *Trace
+	tr.Finish()
+	sp := tr.Root().Child("a")
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.Name() != "" || sp.Parent() != nil || sp.Children() != nil || sp.Duration() != 0 {
+		t.Error("nil span leaked state")
+	}
+	if tr.Summary() != "" || tr.FindSpans("a") != nil || tr.SpanNames() != nil {
+		t.Error("nil trace leaked state")
+	}
+	if err := tr.WriteJSON(&strings.Builder{}); err != nil {
+		t.Errorf("nil WriteJSON: %v", err)
+	}
+}
+
+// TestWritePrometheusFormat checks the text exposition output line by line:
+// HELP/TYPE blocks per base name, label merging on histogram buckets,
+// cumulative bucket counts, and sorted families.
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("tasti_requests_total", "Requests served.")
+	reg.Counter(`tasti_requests_total{route="/index"}`).Add(3)
+	reg.Counter(`tasti_requests_total{route="/query"}`).Add(5)
+	reg.Gauge("tasti_in_flight").Set(2)
+	h := reg.Histogram(`tasti_latency_seconds{route="/query"}`, []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(10)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP tasti_requests_total Requests served.\n",
+		"# TYPE tasti_requests_total counter\n",
+		`tasti_requests_total{route="/index"} 3` + "\n",
+		`tasti_requests_total{route="/query"} 5` + "\n",
+		"# TYPE tasti_in_flight gauge\n",
+		"tasti_in_flight 2\n",
+		"# TYPE tasti_latency_seconds histogram\n",
+		`tasti_latency_seconds_bucket{route="/query",le="0.1"} 1` + "\n",
+		`tasti_latency_seconds_bucket{route="/query",le="1"} 2` + "\n",
+		`tasti_latency_seconds_bucket{route="/query",le="+Inf"} 3` + "\n",
+		`tasti_latency_seconds_count{route="/query"} 3` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// Every non-comment line is "name[{labels}] value" — the shape every
+	// Prometheus text parser requires.
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Errorf("malformed metric line %q", line)
+		}
+	}
+
+	// Families render in sorted base-name order.
+	iIn := strings.Index(out, "tasti_in_flight")
+	iLat := strings.Index(out, "tasti_latency_seconds")
+	iReq := strings.Index(out, "tasti_requests_total")
+	if !(iIn < iLat && iLat < iReq) {
+		t.Errorf("families not sorted: in_flight@%d latency@%d requests@%d", iIn, iLat, iReq)
+	}
+}

@@ -1,0 +1,282 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is a tree of timed spans rooted at one operation (a build, a query,
+// a benchmark run). Spans are created with Root().Child(...), carry ordered
+// attributes, and may be started from multiple goroutines: the tree is
+// guarded by one mutex, which spans only touch at start/end/attr time —
+// never inside the work they measure. A nil *Trace (and the nil *Span it
+// hands out) no-ops, so tracing costs one branch when disabled.
+type Trace struct {
+	mu   sync.Mutex
+	root *Span
+}
+
+// Span is one named, timed node of a Trace. Exported fields are read-only
+// for callers; mutate through Child/SetAttr/End.
+type Span struct {
+	tr *Trace
+
+	name     string
+	start    time.Time
+	end      time.Time // zero while running
+	attrs    []Attr
+	parent   *Span
+	children []*Span
+}
+
+// Attr is one span attribute, rendered in insertion order.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// NewTrace starts a trace whose root span begins now.
+func NewTrace(name string) *Trace {
+	t := &Trace{}
+	t.root = &Span{tr: t, name: name, start: time.Now()}
+	return t
+}
+
+// Root returns the root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span (and any still-running descendants) at now.
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	var closeAll func(s *Span)
+	closeAll = func(s *Span) {
+		for _, c := range s.children {
+			closeAll(c)
+		}
+		if s.end.IsZero() {
+			s.end = now
+		}
+	}
+	closeAll(t.root)
+}
+
+// Child starts a sub-span under s beginning now. Safe to call from
+// concurrent goroutines; sibling order is creation order under the trace
+// lock. Returns nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{tr: s.tr, name: name, parent: s, start: time.Now()}
+	s.tr.mu.Lock()
+	s.children = append(s.children, c)
+	s.tr.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches a key/value attribute; the value is rendered with
+// fmt.Sprint. Re-setting a key overwrites in place, keeping order.
+func (s *Span) SetAttr(key string, value any) {
+	if s == nil {
+		return
+	}
+	v := fmt.Sprint(value)
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].Key == key {
+			s.attrs[i].Value = v
+			return
+		}
+	}
+	s.attrs = append(s.attrs, Attr{Key: key, Value: v})
+}
+
+// End stops the span's clock. Ending twice keeps the first end time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Parent returns the parent span (nil for the root or a nil receiver).
+func (s *Span) Parent() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.parent
+}
+
+// Children returns a snapshot of the direct sub-spans in creation order.
+func (s *Span) Children() []*Span {
+	if s == nil {
+		return nil
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return append([]*Span(nil), s.children...)
+}
+
+// Duration returns the span's elapsed time — up to now if still running.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.tr.mu.Lock()
+	defer s.tr.mu.Unlock()
+	return s.durationLocked()
+}
+
+func (s *Span) durationLocked() time.Duration {
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// spanJSON is the -trace-out serialization of one span: times are offsets
+// from the trace start so dumps from different runs diff cleanly.
+type spanJSON struct {
+	Name       string     `json:"name"`
+	StartUsec  int64      `json:"start_us"`
+	DurationNS int64      `json:"duration_ns"`
+	Duration   string     `json:"duration"`
+	Attrs      []Attr     `json:"attrs,omitempty"`
+	Children   []spanJSON `json:"children,omitempty"`
+}
+
+func (s *Span) toJSON(origin time.Time) spanJSON {
+	out := spanJSON{
+		Name:       s.name,
+		StartUsec:  s.start.Sub(origin).Microseconds(),
+		DurationNS: s.durationLocked().Nanoseconds(),
+		Duration:   s.durationLocked().Round(time.Microsecond).String(),
+		Attrs:      append([]Attr(nil), s.attrs...),
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.toJSON(origin))
+	}
+	return out
+}
+
+// WriteJSON dumps the whole span tree as indented JSON (the -trace-out
+// format). Call Finish first to close running spans.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tree := t.root.toJSON(t.root.start)
+	t.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(tree)
+}
+
+// Summary renders a human-readable phase-timing table: one line per span,
+// indented by depth, with its share of the parent's wall time and any
+// attributes. An empty string on a nil trace.
+func (t *Trace) Summary() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var b strings.Builder
+	var walk func(s *Span, depth int, parentDur time.Duration)
+	walk = func(s *Span, depth int, parentDur time.Duration) {
+		dur := s.durationLocked()
+		name := strings.Repeat("  ", depth) + s.name
+		fmt.Fprintf(&b, "%-40s %12s", name, dur.Round(time.Microsecond))
+		if depth > 0 && parentDur > 0 {
+			fmt.Fprintf(&b, "  %5.1f%%", 100*float64(dur)/float64(parentDur))
+		}
+		if len(s.attrs) > 0 {
+			parts := make([]string, len(s.attrs))
+			for i, a := range s.attrs {
+				parts[i] = a.Key + "=" + a.Value
+			}
+			b.WriteString("  " + strings.Join(parts, " "))
+		}
+		b.WriteByte('\n')
+		for _, c := range s.children {
+			walk(c, depth+1, dur)
+		}
+	}
+	walk(t.root, 0, 0)
+	return b.String()
+}
+
+// FindSpans returns every span in the trace whose name matches, in
+// depth-first order — a test and tooling convenience.
+func (t *Trace) FindSpans(name string) []*Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []*Span
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		if s.name == name {
+			out = append(out, s)
+		}
+		for _, c := range s.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	return out
+}
+
+// SpanNames returns the sorted distinct span names in the trace.
+func (t *Trace) SpanNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	seen := map[string]bool{}
+	var walk func(s *Span)
+	walk = func(s *Span) {
+		seen[s.name] = true
+		for _, c := range s.children {
+			walk(c)
+		}
+	}
+	walk(t.root)
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanTreeLinkage(t *testing.T) {
+	tr := NewTrace("root")
+	build := tr.Root().Child("build")
+	embed := build.Child("embed")
+	train := build.Child("train")
+	embed.End()
+	train.End()
+	build.End()
+	tr.Finish()
+
+	if build.Parent() != tr.Root() {
+		t.Error("build's parent is not root")
+	}
+	if embed.Parent() != build || train.Parent() != build {
+		t.Error("phase spans not parented under build")
+	}
+	kids := build.Children()
+	if len(kids) != 2 || kids[0] != embed || kids[1] != train {
+		t.Errorf("children = %v, want [embed train] in creation order", kids)
+	}
+	if got := tr.SpanNames(); strings.Join(got, ",") != "build,embed,root,train" {
+		t.Errorf("span names = %v", got)
+	}
+	if len(tr.FindSpans("embed")) != 1 || len(tr.FindSpans("missing")) != 0 {
+		t.Error("FindSpans miscounted")
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	tr := NewTrace("root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sp := tr.Root().Child("worker")
+			sp.SetAttr("k", "v")
+			sp.End()
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := len(tr.FindSpans("worker")); got != 16 {
+		t.Fatalf("worker spans = %d, want 16", got)
+	}
+	for _, sp := range tr.FindSpans("worker") {
+		if sp.Parent() != tr.Root() {
+			t.Fatal("worker span not parented under root")
+		}
+	}
+}
+
+func TestFinishClosesRunningSpans(t *testing.T) {
+	tr := NewTrace("root")
+	open := tr.Root().Child("never-ended")
+	tr.Finish()
+	if open.Duration() <= 0 {
+		t.Error("unfinished span has no duration after Finish")
+	}
+	d := open.Duration()
+	if open.Duration() != d {
+		t.Error("duration still running after Finish")
+	}
+}
+
+func TestTraceWriteJSON(t *testing.T) {
+	tr := NewTrace("root")
+	child := tr.Root().Child("phase")
+	child.SetAttr("label_calls", 42)
+	child.SetAttr("label_calls", 43) // overwrite keeps one attr
+	child.End()
+	tr.Finish()
+
+	var b strings.Builder
+	if err := tr.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var tree struct {
+		Name     string `json:"name"`
+		Children []struct {
+			Name  string `json:"name"`
+			Attrs []Attr `json:"attrs"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &tree); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, b.String())
+	}
+	if tree.Name != "root" || len(tree.Children) != 1 || tree.Children[0].Name != "phase" {
+		t.Fatalf("tree = %+v", tree)
+	}
+	attrs := tree.Children[0].Attrs
+	if len(attrs) != 1 || attrs[0].Key != "label_calls" || attrs[0].Value != "43" {
+		t.Errorf("attrs = %v, want single label_calls=43", attrs)
+	}
+}
+
+func TestTraceSummary(t *testing.T) {
+	tr := NewTrace("root")
+	tr.Root().Child("a").End()
+	tr.Finish()
+	sum := tr.Summary()
+	if !strings.Contains(sum, "root") || !strings.Contains(sum, "  a") {
+		t.Errorf("summary missing spans:\n%s", sum)
+	}
+	if !strings.Contains(sum, "%") {
+		t.Errorf("summary missing parent share:\n%s", sum)
+	}
+}

@@ -36,11 +36,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/labeler"
+	"repro/internal/parallel"
 	"repro/internal/query/aggregation"
 	"repro/internal/query/limitq"
 	"repro/internal/query/predagg"
 	"repro/internal/query/selection"
 	"repro/internal/query/supg"
+	"repro/internal/telemetry"
 	"repro/internal/triplet"
 )
 
@@ -318,6 +320,54 @@ func SelectWithPrecision(opts SelectOptions, n int, proxy []float64, pred func(A
 func FindLimit(limit int, proxy, tieDist []float64, pred func(Annotation) bool, lab Labeler) (LimitResult, error) {
 	return limitq.Run(limit, proxy, tieDist, pred, lab)
 }
+
+// FindLimitOpts is FindLimit with instrumentation options.
+func FindLimitOpts(opts LimitOptions, limit int, proxy, tieDist []float64, pred func(Annotation) bool, lab Labeler) (LimitResult, error) {
+	return limitq.RunOpts(opts, limit, proxy, tieDist, pred, lab)
+}
+
+// Observability: a dependency-free metrics registry and span tracer that
+// every layer is instrumented against — build phases, reliability
+// middleware, ANN probes, the worker pool, and query execution. All
+// instruments are nil-safe (a disabled registry costs one branch) and
+// record-only (telemetry-on builds are bitwise identical to telemetry-off).
+// See docs/OBSERVABILITY.md for the metric catalogue and span taxonomy.
+type (
+	// MetricsRegistry owns a process's counters, gauges, and histograms and
+	// renders them in Prometheus text format (cmd/tastiserve's /metrics).
+	MetricsRegistry = telemetry.Registry
+	// Trace is a tree of timed spans; cmd/tastiquery and cmd/tastibench
+	// dump it with -trace-out.
+	Trace = telemetry.Trace
+	// Span is one named, timed node of a Trace; Config.TraceSpan parents
+	// the build's per-phase spans.
+	Span = telemetry.Span
+	// LimitOptions carries FindLimitOpts instrumentation.
+	LimitOptions = limitq.Options
+	// MetricCounter is a monotonically-increasing atomic counter.
+	MetricCounter = telemetry.Counter
+	// MetricGauge is an atomic float gauge.
+	MetricGauge = telemetry.Gauge
+	// MetricHistogram is a fixed-bucket histogram with quantile readout.
+	MetricHistogram = telemetry.Histogram
+)
+
+// NewMetricsRegistry returns an empty enabled metrics registry. Pass it via
+// Config.Telemetry, query Options.Telemetry, and the SetTelemetry methods
+// on the reliability middleware; a nil *MetricsRegistry everywhere disables
+// collection.
+func NewMetricsRegistry() *MetricsRegistry { return telemetry.NewRegistry() }
+
+// DefLatencyBuckets is the default histogram bucket layout for latencies,
+// spanning 100µs to 30s roughly logarithmically.
+var DefLatencyBuckets = telemetry.DefLatencyBuckets
+
+// NewTrace starts a span tree rooted at a span named name.
+func NewTrace(name string) *Trace { return telemetry.NewTrace(name) }
+
+// SetPoolTelemetry points the shared worker pool's utilization metrics at
+// reg (nil disables them). The pool is process-wide, so this is too.
+func SetPoolTelemetry(reg *MetricsRegistry) { parallel.SetTelemetry(reg) }
 
 // SelectByThreshold answers a selection query without guarantees: it labels
 // a validation sample, picks the proxy threshold maximizing F1, and returns
