@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/snapshot"
 )
 
 func main() {
@@ -69,12 +70,7 @@ func summarize(name string, size int, seed int64, out string) error {
 	}
 	describe(ds)
 	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := ds.Save(f); err != nil {
+		if err := snapshot.WriteFile(out, ds.Save); err != nil {
 			return err
 		}
 		fmt.Printf("saved to %s\n", out)

@@ -143,15 +143,7 @@ func writeTrace(tr *tasti.Trace, path string) error {
 		return nil
 	}
 	tr.Finish()
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := tasti.WriteFileAtomic(path, tr.WriteJSON); err != nil {
 		return err
 	}
 	fmt.Printf("\ntrace written to %s\n%s", path, tr.Summary())

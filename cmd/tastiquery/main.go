@@ -12,7 +12,10 @@
 // demonstration, -allow-degraded completes the index around permanently
 // unlabelable records, and -checkpoint makes an interrupted build resumable
 // without re-spending labeler budget (run the same command again to resume).
-// See docs/RELIABILITY.md.
+// With -checkpoint set, -checkpoint-interval flushes progress to disk every N
+// paid-for labels, so even a hard kill (power loss, OOM killer) loses at most
+// N labels. All files are written atomically: a crash mid-write leaves the
+// previous file intact. See docs/RELIABILITY.md.
 package main
 
 import (
@@ -46,11 +49,12 @@ type runOptions struct {
 	useANN bool
 	par    int
 
-	retries       int
-	labelTimeout  time.Duration
-	faultRate     float64
-	checkpoint    string
-	allowDegraded bool
+	retries        int
+	labelTimeout   time.Duration
+	faultRate      float64
+	checkpoint     string
+	checkpointIval int
+	allowDegraded  bool
 
 	traceOut string
 }
@@ -77,6 +81,7 @@ func main() {
 	flag.DurationVar(&o.labelTimeout, "label-timeout", 0, "per-call target-labeler deadline (0 disables)")
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient labeler faults at this per-attempt probability")
 	flag.StringVar(&o.checkpoint, "checkpoint", "", "path to save build progress to on interruption, and resume from if present")
+	flag.IntVar(&o.checkpointIval, "checkpoint-interval", 100, "with -checkpoint, also flush progress after every N paid-for labels, so a hard kill loses at most N labels (0 saves only on interruption)")
 	flag.BoolVar(&o.allowDegraded, "allow-degraded", false, "complete the index around permanently unlabelable records")
 	flag.StringVar(&o.traceOut, "trace-out", "", "write a span-tree JSON trace of the run here and print a phase-timing summary")
 	flag.Parse()
@@ -135,12 +140,7 @@ func run(o runOptions) error {
 		fmt.Println(index.Stats.String())
 	}
 	if o.save != "" {
-		f, err := os.Create(o.save)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := index.Save(f); err != nil {
+		if err := tasti.WriteFileAtomic(o.save, index.Save); err != nil {
 			return err
 		}
 		fmt.Printf("saved index to %s\n", o.save)
@@ -215,15 +215,7 @@ func writeTrace(tr *tasti.Trace, path string) error {
 		return nil
 	}
 	tr.Finish()
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := tr.WriteJSON(f); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if err := tasti.WriteFileAtomic(path, tr.WriteJSON); err != nil {
 		return err
 	}
 	fmt.Printf("\ntrace written to %s\n%s", path, tr.Summary())
@@ -246,6 +238,12 @@ func buildIndex(o runOptions, ds *tasti.Dataset, target tasti.Labeler, parent *t
 	if o.retries > 1 {
 		cfg.Retry = tasti.DefaultRetryPolicy(o.seed)
 		cfg.Retry.MaxAttempts = o.retries
+	}
+	if o.checkpoint != "" && o.checkpointIval > 0 {
+		cfg.CheckpointEvery = o.checkpointIval
+		cfg.CheckpointSink = func(c *tasti.Checkpoint) error {
+			return saveCheckpoint(o.checkpoint, c)
+		}
 	}
 
 	var ckpt *tasti.Checkpoint
@@ -278,16 +276,10 @@ func buildIndex(o runOptions, ds *tasti.Dataset, target tasti.Labeler, parent *t
 	return index, nil
 }
 
+// saveCheckpoint atomically replaces the checkpoint file — a checkpoint
+// exists to survive crashes, so a torn checkpoint write would defeat it.
 func saveCheckpoint(path string, ckpt *tasti.Checkpoint) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := ckpt.Save(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return tasti.WriteFileAtomic(path, ckpt.Save)
 }
 
 // indexConfig picks the bucket key for the corpus and assembles the build

@@ -16,6 +16,12 @@
 //	POST /query/aggregate  {"class":"car","err":0.05}
 //	POST /query/select     {"class":"car","count":1,"budget":300,"recall":0.9}
 //	POST /query/limit      {"class":"car","count":5,"k":10,"crack":true}
+//	POST /admin/reload     swap in the -snapshot file with zero downtime
+//
+// -snapshot names the index's durable home: loaded at startup when present
+// (skipping the labeling spend of a rebuild), written after a fresh build,
+// and hot-reloaded — with checksum verification and validation, falling back
+// to the serving index on any failure — via POST /admin/reload or SIGHUP.
 //
 // -pprof-addr serves net/http/pprof on a second listener (keep it off
 // public interfaces); -log-format selects text or JSON structured logs.
@@ -55,6 +61,8 @@ func main() {
 		allowDegraded = flag.Bool("allow-degraded", false, "complete the index around permanently unlabelable records")
 		faultRate     = flag.Float64("fault-rate", 0, "inject transient labeler faults at this per-attempt probability (chaos serving)")
 
+		snapshotPath = flag.String("snapshot", "", "index snapshot file: loaded at startup if present, saved after a fresh build, hot-reloaded on POST /admin/reload or SIGHUP (empty disables)")
+
 		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
@@ -85,6 +93,7 @@ func main() {
 		allowDegraded: *allowDegraded,
 		faultRate:     *faultRate,
 		logger:        logger,
+		snapshotPath:  *snapshotPath,
 	}
 	if *retries > 1 {
 		opts.retry = tasti.DefaultRetryPolicy(*seed)
@@ -92,10 +101,27 @@ func main() {
 	}
 
 	srv := newServerShell(opts)
-	// Worker-pool utilization flows into the same registry /metrics renders.
+	// Worker-pool utilization and snapshot save/load accounting flow into the
+	// same registry /metrics renders.
 	tasti.SetPoolTelemetry(srv.reg)
+	tasti.SetSnapshotTelemetry(srv.reg)
 	logger.Info("building index in the background", "dataset", *dsName, "records", *size)
 	srv.buildAsync()
+
+	// SIGHUP hot-reloads the snapshot, the conventional re-read-your-config
+	// signal. Failures are contained: the serving index stays.
+	if *snapshotPath != "" {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				logger.Info("SIGHUP: reloading index snapshot", "path", *snapshotPath)
+				if err := srv.reload(context.Background()); err != nil {
+					logger.Error("SIGHUP reload failed", "err", err.Error())
+				}
+			}
+		}()
+	}
 
 	if *pprofAddr != "" {
 		// The blank net/http/pprof import registers its handlers on

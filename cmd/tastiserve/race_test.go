@@ -90,10 +90,11 @@ func TestServeQueriesConcurrentWithCracking(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.release()
-	if got := len(srv.index.Table.Reps); got <= 40 {
+	ix := srv.index.Load()
+	if got := len(ix.Table.Reps); got <= 40 {
 		t.Errorf("expected cracking to add representatives, still %d", got)
 	}
-	if err := srv.index.Table.Validate(); err != nil {
+	if err := ix.Table.Validate(); err != nil {
 		t.Errorf("table invariants violated after concurrent serve+crack: %v", err)
 	}
 }

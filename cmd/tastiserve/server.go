@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"os"
@@ -45,6 +46,10 @@ type serverOptions struct {
 	// logger receives the server's structured logs; nil selects a text
 	// handler on stderr (main wires -log-format=json here).
 	logger *slog.Logger
+	// snapshotPath is the durable home of the index: loaded at startup when
+	// the file exists (skipping the build), written after a fresh build, and
+	// re-read by POST /admin/reload and SIGHUP. Empty disables persistence.
+	snapshotPath string
 }
 
 // server owns an index over one corpus and answers queries over HTTP. A
@@ -82,7 +87,15 @@ type server struct {
 	ds      *tasti.Dataset
 	target  tasti.Labeler // serve-path labeler: retry(breaker(deadline(base)))
 	breaker *tasti.Breaker
-	index   *tasti.Index
+
+	// index is swapped atomically by hot reload. Handlers load it once per
+	// request after taking sem; the swap itself also takes sem, so a request
+	// always sees one consistent index end to end and the swap lands only at
+	// request boundaries — never under an in-flight query.
+	index atomic.Pointer[tasti.Index]
+	// reloading serializes reloads: a second reload arriving while one is
+	// loading and validating is rejected, not queued.
+	reloading atomic.Bool
 }
 
 // newServerShell returns a server that is alive (serves /healthz and
@@ -97,6 +110,9 @@ func newServerShell(opts serverOptions) *server {
 	reg.Help("tasti_http_requests_total", "HTTP requests served, by route and status code.")
 	reg.Help("tasti_http_errors_total", "HTTP 5xx responses, by route.")
 	reg.Help("tasti_http_request_seconds", "End-to-end request latency in seconds, by route.")
+	reg.Help("tasti_snapshot_reload_total", "Index hot-reload attempts, by outcome.")
+	reg.Help("tasti_snapshot_reload_failures_total", "Hot reloads that failed validation and left the previous index serving.")
+	reg.Help("tasti_snapshot_reload_seconds", "Hot-reload latency in seconds: snapshot load, validation, and swap.")
 	return &server{
 		sem:      make(chan struct{}, 1),
 		opts:     opts,
@@ -168,15 +184,42 @@ func (s *server) buildIndex() error {
 	default:
 		key = tasti.VideoBucketKey(0.5)
 	}
-	cfg := tasti.DefaultConfig(opts.train, opts.reps, key, opts.seed)
-	cfg.Parallelism = opts.parallelism
-	cfg.Retry = opts.retry
-	cfg.LabelTimeout = opts.labelTimeout
-	cfg.AllowDegraded = opts.allowDegraded
-	cfg.Telemetry = s.reg
-	index, err := tasti.Build(cfg, ds, base)
-	if err != nil {
-		return err
+	// Prefer a durable snapshot over re-spending the whole labeling budget:
+	// when -snapshot names an existing file, load and validate it; any
+	// corruption is contained by the typed snapshot errors and the server
+	// falls back to building fresh. A fresh build is saved back to the same
+	// path (atomically), so the next start — and every hot reload — has it.
+	var index *tasti.Index
+	if opts.snapshotPath != "" {
+		if _, err := os.Stat(opts.snapshotPath); err == nil {
+			index, err = loadIndexSnapshot(opts.snapshotPath, ds, opts.parallelism)
+			if err != nil {
+				s.log.Warn("snapshot unusable; building fresh",
+					"path", opts.snapshotPath, "err", err.Error())
+				index = nil
+			} else {
+				s.log.Info("index loaded from snapshot",
+					"path", opts.snapshotPath, "records", index.NumRecords())
+			}
+		}
+	}
+	if index == nil {
+		cfg := tasti.DefaultConfig(opts.train, opts.reps, key, opts.seed)
+		cfg.Parallelism = opts.parallelism
+		cfg.Retry = opts.retry
+		cfg.LabelTimeout = opts.labelTimeout
+		cfg.AllowDegraded = opts.allowDegraded
+		cfg.Telemetry = s.reg
+		index, err = tasti.Build(cfg, ds, base)
+		if err != nil {
+			return err
+		}
+		if opts.snapshotPath != "" {
+			if err := tasti.WriteFileAtomic(opts.snapshotPath, index.Save); err != nil {
+				return fmt.Errorf("saving index snapshot: %w", err)
+			}
+			s.log.Info("index snapshot saved", "path", opts.snapshotPath)
+		}
 	}
 
 	// Serve-path chain, outermost first: retries recover transient faults,
@@ -201,7 +244,7 @@ func (s *server) buildIndex() error {
 	s.ds = ds
 	s.target = serveLab
 	s.breaker = breaker
-	s.index = index
+	s.index.Store(index)
 	s.ready.Store(true)
 	s.log.Info("index built",
 		"dataset", s.name,
@@ -210,6 +253,100 @@ func (s *server) buildIndex() error {
 		"label_calls", index.Stats.TotalLabelCalls(),
 		"stats", index.Stats.String())
 	return nil
+}
+
+// loadIndexSnapshot reads, checksum-verifies, and validates an index
+// snapshot, and checks it actually describes the server's corpus — a
+// snapshot of the wrong dataset propagates garbage scores, so it is rejected
+// like any other corruption.
+func loadIndexSnapshot(path string, ds *tasti.Dataset, parallelism int) (*tasti.Index, error) {
+	var ix *tasti.Index
+	err := tasti.ReadSnapshotFile(path, func(r io.Reader) error {
+		var lerr error
+		ix, lerr = tasti.LoadIndex(r)
+		return lerr
+	})
+	if err != nil {
+		return nil, err
+	}
+	if ix.NumRecords() != ds.Len() {
+		return nil, fmt.Errorf("snapshot indexes %d records, the serving corpus has %d", ix.NumRecords(), ds.Len())
+	}
+	// The persisted snapshot does not carry the build configuration.
+	ix.SetParallelism(parallelism)
+	return ix, nil
+}
+
+// errReloadInProgress rejects a reload that arrives while another is still
+// loading and validating.
+var errReloadInProgress = errors.New("reload already in progress")
+
+// reload replaces the serving index with a freshly loaded copy of the
+// snapshot file, with zero downtime: the new index is read and validated
+// entirely off the request path, and only the pointer swap takes the index
+// lock, so it lands between requests. Validation failure is contained — the
+// previous index keeps serving, the failure is counted and logged.
+func (s *server) reload(ctx context.Context) error {
+	if s.opts.snapshotPath == "" {
+		return errors.New("no -snapshot path configured")
+	}
+	if !s.reloading.CompareAndSwap(false, true) {
+		return errReloadInProgress
+	}
+	defer s.reloading.Store(false)
+
+	start := time.Now()
+	next, err := loadIndexSnapshot(s.opts.snapshotPath, s.ds, s.opts.parallelism)
+	if err != nil {
+		s.reg.Counter(`tasti_snapshot_reload_total{outcome="error"}`).Inc()
+		s.reg.Counter("tasti_snapshot_reload_failures_total").Inc()
+		s.log.Error("index reload failed; previous index keeps serving",
+			"path", s.opts.snapshotPath, "err", err.Error())
+		return err
+	}
+	if err := s.acquire(ctx); err != nil {
+		s.reg.Counter(`tasti_snapshot_reload_total{outcome="error"}`).Inc()
+		s.reg.Counter("tasti_snapshot_reload_failures_total").Inc()
+		return fmt.Errorf("canceled waiting to swap the index: %w", err)
+	}
+	prev := s.index.Swap(next)
+	s.release()
+	elapsed := time.Since(start)
+	s.reg.Counter(`tasti_snapshot_reload_total{outcome="ok"}`).Inc()
+	s.reg.Histogram("tasti_snapshot_reload_seconds", tasti.DefLatencyBuckets).Observe(elapsed.Seconds())
+	s.log.Info("index reloaded",
+		"path", s.opts.snapshotPath,
+		"records", next.NumRecords(),
+		"representatives", len(next.Table.Reps),
+		"previous_representatives", len(prev.Table.Reps),
+		"elapsed_ms", float64(elapsed.Microseconds())/1000)
+	return nil
+}
+
+// handleReload is POST /admin/reload: re-read the snapshot file and swap it
+// in. SIGHUP triggers the same path. 409 marks a reload already running, 502
+// a snapshot that failed to load or validate (the old index keeps serving).
+func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.notReady(w) {
+		return
+	}
+	if err := s.reload(r.Context()); err != nil {
+		switch {
+		case errors.Is(err, errReloadInProgress):
+			httpError(w, http.StatusConflict, err.Error())
+		default:
+			httpError(w, http.StatusBadGateway, "reload failed, previous index still serving: "+err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]interface{}{
+		"status":  "reloaded",
+		"records": s.index.Load().NumRecords(),
+	})
 }
 
 // acquire takes the index lock, giving up when ctx is canceled — a
@@ -242,6 +379,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/query/aggregate", s.handleAggregate)
 	mux.HandleFunc("/query/select", s.handleSelect)
 	mux.HandleFunc("/query/limit", s.handleLimit)
+	mux.HandleFunc("/admin/reload", s.handleReload)
 	return s.recoverPanics(s.instrument(s.withQueryTimeout(mux)))
 }
 
@@ -276,7 +414,8 @@ func (sr *statusRecorder) WriteHeader(code int) {
 func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/index", "/metrics",
-		"/query/aggregate", "/query/select", "/query/limit":
+		"/query/aggregate", "/query/select", "/query/limit",
+		"/admin/reload":
 		return path
 	}
 	return "other"
@@ -369,11 +508,12 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
+	ix := s.index.Load()
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"status":           "ready",
 		"dataset":          s.name,
-		"records":          s.index.NumRecords(),
-		"degraded":         s.index.Stats.Degraded(),
+		"records":          ix.NumRecords(),
+		"degraded":         ix.Stats.Degraded(),
 		"breaker_state":    s.breaker.State().String(),
 		"breaker_trips":    s.breaker.Trips(),
 		"breaker_rejected": s.breaker.Rejected(),
@@ -412,13 +552,14 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
+	ix := s.index.Load()
 	writeJSON(w, http.StatusOK, indexInfo{
 		Dataset:         s.name,
-		Records:         s.index.NumRecords(),
-		Representatives: len(s.index.Table.Reps),
-		LabelCalls:      s.index.Stats.TotalLabelCalls(),
-		DegradedReps:    len(s.index.Stats.DegradedReps),
-		LabelRetries:    s.index.Stats.LabelRetries,
+		Records:         ix.NumRecords(),
+		Representatives: len(ix.Table.Reps),
+		LabelCalls:      ix.Stats.TotalLabelCalls(),
+		DegradedReps:    len(ix.Stats.DegradedReps),
+		LabelRetries:    ix.Stats.LabelRetries,
 	})
 }
 
@@ -517,8 +658,9 @@ func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
+	ix := s.index.Load()
 	score, _ := s.spec(req)
-	scores, err := s.index.Propagate(score)
+	scores, err := ix.Propagate(score)
 	if err != nil {
 		s.queryError(w, ctx, err)
 		return
@@ -556,8 +698,9 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
+	ix := s.index.Load()
 	_, pred := s.spec(req)
-	scores, err := s.index.Propagate(tasti.MatchScore(pred))
+	scores, err := ix.Propagate(tasti.MatchScore(pred))
 	if err != nil {
 		s.queryError(w, ctx, err)
 		return
@@ -597,8 +740,9 @@ func (s *server) handleLimit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.release()
+	ix := s.index.Load()
 	score, pred := s.spec(req)
-	scores, dists, err := s.index.PropagateNearest(score)
+	scores, dists, err := ix.PropagateNearest(score)
 	if err != nil {
 		s.queryError(w, ctx, err)
 		return
@@ -611,9 +755,9 @@ func (s *server) handleLimit(w http.ResponseWriter, r *http.Request) {
 	}
 	cracked := 0
 	if req.Crack {
-		before := len(s.index.Table.Reps)
-		s.index.CrackAll(res.Labeled)
-		cracked = len(s.index.Table.Reps) - before
+		before := len(ix.Table.Reps)
+		ix.CrackAll(res.Labeled)
+		cracked = len(ix.Table.Reps) - before
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"found":       res.Found,

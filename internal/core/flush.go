@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/dataset"
+)
+
+// ckptFlusher is the periodic-durability arm of a resumable build: every
+// paid-for label is recorded into the shared checkpoint under one mutex, and
+// after each CheckpointEvery fresh labels the whole checkpoint is cloned and
+// handed to the sink (cmd/tastiquery wires that to an atomic file write). A
+// hard kill — power loss, OOM, kill -9 — then loses at most one flush
+// interval of label spend instead of the whole build. Flushing is
+// record-only: it never feeds back into the pipeline, so the built index is
+// bitwise identical with flushing on or off.
+//
+// The mutex makes record safe from the parallel rep-labeling workers; the
+// sink runs under it too, so flushes are serialized and each clone is a
+// consistent point-in-time snapshot.
+type ckptFlusher struct {
+	mu      sync.Mutex
+	ckpt    *Checkpoint
+	every   int
+	sink    func(*Checkpoint) error
+	fresh   int   // labels recorded since the last flush
+	flushes int64 // successful sink invocations
+	err     error // first sink failure; flushing stops once set
+}
+
+func newCkptFlusher(cfg Config, ckpt *Checkpoint) *ckptFlusher {
+	return &ckptFlusher{ckpt: ckpt, every: cfg.CheckpointEvery, sink: cfg.CheckpointSink}
+}
+
+// record stores a paid-for label into the checkpoint, flushing through the
+// sink when the interval fills. Labels already present (checkpoint-restored
+// or cache overlaps) don't count toward the interval: they cost nothing, so
+// they buy no durability urgency.
+func (fl *ckptFlusher) record(id int, ann dataset.Annotation) {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if _, ok := fl.ckpt.Labeled[id]; ok {
+		return
+	}
+	fl.ckpt.Labeled[id] = ann
+	if fl.every <= 0 || fl.sink == nil || fl.err != nil {
+		return
+	}
+	fl.fresh++
+	if fl.fresh >= fl.every {
+		fl.flushLocked()
+	}
+}
+
+// finish flushes any labels recorded since the last periodic flush, so a
+// completed phase leaves the sink fully caught up.
+func (fl *ckptFlusher) finish() {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	if fl.sink == nil || fl.every <= 0 || fl.err != nil || fl.fresh == 0 {
+		return
+	}
+	fl.flushLocked()
+}
+
+func (fl *ckptFlusher) flushLocked() {
+	if err := fl.sink(fl.ckpt.Clone()); err != nil {
+		fl.err = fmt.Errorf("core: periodic checkpoint flush: %w", err)
+		return
+	}
+	fl.fresh = 0
+	fl.flushes++
+}
+
+// Err returns the first sink failure. The build surfaces it instead of
+// completing: a checkpoint that silently stopped persisting is exactly the
+// false safety this layer exists to remove.
+func (fl *ckptFlusher) Err() error {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.err
+}
+
+// Flushes returns the number of successful sink invocations.
+func (fl *ckptFlusher) Flushes() int64 {
+	fl.mu.Lock()
+	defer fl.mu.Unlock()
+	return fl.flushes
+}
+
+// Clone returns a deep copy of the checkpoint's maps (annotation values are
+// value types, so a per-entry copy suffices). Used by the flusher so the
+// sink can serialize its snapshot while labeling keeps mutating the
+// original.
+func (c *Checkpoint) Clone() *Checkpoint {
+	out := &Checkpoint{
+		Seed:           c.Seed,
+		DatasetLen:     c.DatasetLen,
+		TrainingBudget: c.TrainingBudget,
+		NumReps:        c.NumReps,
+		Labeled:        make(map[int]dataset.Annotation, len(c.Labeled)),
+		Failed:         make(map[int]string, len(c.Failed)),
+	}
+	for id, ann := range c.Labeled {
+		out.Labeled[id] = ann
+	}
+	for id, msg := range c.Failed {
+		out.Failed[id] = msg
+	}
+	return out
+}

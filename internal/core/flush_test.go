@@ -1,0 +1,184 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+	"repro/internal/snapshot"
+	"repro/internal/triplet"
+)
+
+// recordingLabeler notes every record ID the target labeler is actually
+// asked for — the ground truth for "zero re-spent labels" assertions.
+type recordingLabeler struct {
+	inner labeler.Labeler
+	mu    sync.Mutex
+	ids   []int
+}
+
+func (r *recordingLabeler) Label(id int) (dataset.Annotation, error) {
+	r.mu.Lock()
+	r.ids = append(r.ids, id)
+	r.mu.Unlock()
+	return r.inner.Label(id)
+}
+
+func (r *recordingLabeler) Name() string            { return r.inner.Name() }
+func (r *recordingLabeler) Cost() labeler.CostModel { return r.inner.Cost() }
+
+// TestChaosAutoFlushKillAndResume is the acceptance scenario for periodic
+// checkpointing: a build that dies hard between flushes — simulated by
+// discarding ALL in-memory state, including the checkpoint carried by the
+// interruption error — resumes from the last auto-flushed file, loses at
+// most one flush interval of labeler spend, and re-spends zero invocations
+// on any record the flushed checkpoint holds.
+func TestChaosAutoFlushKillAndResume(t *testing.T) {
+	ds := chaosDataset(t)
+	base := PretrainedConfig(60, 7)
+	base.Parallelism = 1
+	clean := buildAt(t, base, ds, 1)
+
+	path := filepath.Join(t.TempDir(), "build.ckpt")
+	flushes := 0
+	cfg := base
+	cfg.CheckpointEvery = 10
+	cfg.CheckpointSink = func(c *Checkpoint) error {
+		flushes++
+		return snapshot.WriteFile(path, c.Save)
+	}
+
+	// Budget 25 of the 60 rep labels: the build dies with 20 labels flushed
+	// (two intervals of 10) and 5 more paid for but not yet durable.
+	oracle := labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)
+	_, err := Build(cfg, ds, labeler.NewBudgeted(oracle, 25))
+	var bie *BuildInterruptedError
+	if !errors.As(err, &bie) {
+		t.Fatalf("error = %v, want BuildInterruptedError", err)
+	}
+	if flushes != 2 {
+		t.Fatalf("%d periodic flushes before the kill, want 2", flushes)
+	}
+	// kill -9: bie and its in-memory checkpoint are gone. Only the flushed
+	// file survives.
+	bie = nil
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatalf("opening flushed checkpoint: %v", err)
+	}
+	ckpt, err := LoadCheckpoint(f)
+	f.Close()
+	if err != nil {
+		t.Fatalf("loading flushed checkpoint: %v", err)
+	}
+	if len(ckpt.Labeled) != 20 {
+		t.Fatalf("flushed checkpoint holds %d labels, want 20 (two flush intervals)", len(ckpt.Labeled))
+	}
+	// Snapshot the flushed set before resuming: the resumed build records its
+	// own new labels into the same checkpoint.
+	flushed := make(map[int]bool, len(ckpt.Labeled))
+	for id := range ckpt.Labeled {
+		flushed[id] = true
+	}
+
+	// Resume from the flushed file, recording every target-labeler call: none
+	// may hit a record the checkpoint already paid for.
+	rec := &recordingLabeler{inner: oracle}
+	ix, err := BuildResumable(base, ds, rec, ckpt)
+	if err != nil {
+		t.Fatalf("resumed build: %v", err)
+	}
+	for _, id := range rec.ids {
+		if flushed[id] {
+			t.Fatalf("resume re-spent a labeler invocation on flushed record %d", id)
+		}
+	}
+	if ix.Stats.ResumedLabels != 20 {
+		t.Fatalf("ResumedLabels = %d, want 20", ix.Stats.ResumedLabels)
+	}
+	if ix.Stats.RepLabelCalls != 40 {
+		t.Fatalf("resumed RepLabelCalls = %d, want 40", ix.Stats.RepLabelCalls)
+	}
+	assertSameIndex(t, clean, ix)
+}
+
+// TestChaosAutoFlushRecordOnly pins that flushing never feeds back into the
+// pipeline: with training and rep phases both active and flushing every 7
+// labels, the built index is identical to the unflushed build at every
+// worker count, and the final flushed checkpoint holds every annotation the
+// build paid for.
+func TestChaosAutoFlushRecordOnly(t *testing.T) {
+	ds := chaosDataset(t)
+	base := DefaultConfig(30, 40, triplet.VideoBucketKey(0.5), 13)
+	base.Train = triplet.DefaultConfig(base.EmbedDim, 13)
+	base.Train.Steps = 100
+	clean := buildAt(t, base, ds, 1)
+
+	for _, p := range []int{1, 4} {
+		var last []byte // written under the flusher mutex; read after Build returns
+		cfg := base
+		cfg.Parallelism = p
+		cfg.CheckpointEvery = 7
+		cfg.CheckpointSink = func(c *Checkpoint) error {
+			var buf bytes.Buffer
+			if err := c.Save(&buf); err != nil {
+				return err
+			}
+			last = buf.Bytes()
+			return nil
+		}
+		ix, err := Build(cfg, ds, labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost))
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		assertSameIndex(t, clean, ix)
+		if ix.Stats.CheckpointFlushes == 0 {
+			t.Fatalf("p=%d: no checkpoint flushes recorded", p)
+		}
+		final, err := LoadCheckpoint(bytes.NewReader(last))
+		if err != nil {
+			t.Fatalf("p=%d: loading final flush: %v", p, err)
+		}
+		for id := range ix.Annotations {
+			if _, ok := final.Labeled[id]; !ok {
+				t.Fatalf("p=%d: final flush missing annotation for record %d", p, id)
+			}
+		}
+	}
+}
+
+// TestAutoFlushSinkFailureFailsBuild: a failing sink must fail the build
+// loudly instead of completing with silently-lapsed durability.
+func TestAutoFlushSinkFailureFailsBuild(t *testing.T) {
+	ds := chaosDataset(t)
+	sentinel := errors.New("disk full")
+	cfg := PretrainedConfig(30, 7)
+	cfg.CheckpointEvery = 5
+	cfg.CheckpointSink = func(*Checkpoint) error { return sentinel }
+
+	_, err := Build(cfg, ds, labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want the sink failure", err)
+	}
+	if !strings.Contains(err.Error(), "periodic checkpoint flush") {
+		t.Fatalf("error %q does not name the flush path", err)
+	}
+}
+
+// TestAutoFlushRequiresSink: the config knob without a destination is a
+// programming error, rejected up front.
+func TestAutoFlushRequiresSink(t *testing.T) {
+	ds := chaosDataset(t)
+	cfg := PretrainedConfig(10, 7)
+	cfg.CheckpointEvery = 3
+	if _, err := Build(cfg, ds, labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost)); err == nil {
+		t.Fatal("CheckpointEvery without CheckpointSink accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+)
+
+// fuzzSeedIndex builds one tiny index for the fuzz seed corpus, shared and
+// memoized because fuzz workers re-run the seed setup.
+var fuzzSeedIndex = sync.OnceValues(func() ([]byte, error) {
+	ds, err := dataset.Generate("night-street", 120, 3)
+	if err != nil {
+		return nil, err
+	}
+	cfg := PretrainedConfig(10, 3)
+	cfg.EmbedDim = 4
+	cfg.K = 2
+	ix, err := Build(cfg, ds, labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost))
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := ix.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+})
+
+// FuzzLoadIndex feeds arbitrary bytes to Load — both the framed decoder and
+// the legacy gob fallback — and requires it to terminate with a value or an
+// error: no panic, no hang, no unbounded allocation.
+func FuzzLoadIndex(f *testing.F) {
+	valid, err := fuzzSeedIndex()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:7])
+	f.Add([]byte{})
+	f.Add([]byte("TASTISNP"))
+	f.Add([]byte("not a snapshot"))
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/3] ^= 0x10
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Load(bytes.NewReader(data))
+		if err == nil && ix.Table.Validate() != nil {
+			t.Fatal("Load accepted an index its own validation rejects")
+		}
+	})
+}
+
+// FuzzLoadCheckpoint does the same for the checkpoint decoder.
+func FuzzLoadCheckpoint(f *testing.F) {
+	ckpt := &Checkpoint{
+		Seed: 3, DatasetLen: 120, TrainingBudget: 0, NumReps: 10,
+		Labeled: map[int]dataset.Annotation{},
+		Failed:  map[int]string{5: "dead"},
+	}
+	var framed bytes.Buffer
+	if err := ckpt.Save(&framed); err != nil {
+		f.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(ckpt); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(framed.Bytes())
+	f.Add(legacy.Bytes())
+	f.Add(framed.Bytes()[:len(framed.Bytes())/2])
+	f.Add([]byte{})
+	f.Add([]byte("TASTISNP\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = LoadCheckpoint(bytes.NewReader(data)) //nolint:errcheck // only panics/hangs matter
+	})
+}

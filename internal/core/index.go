@@ -107,6 +107,21 @@ type Config struct {
 	// representatives only. The degraded sets are reported in
 	// BuildStats.DegradedReps/DegradedTrain.
 	AllowDegraded bool
+	// CheckpointEvery, when positive, flushes the build checkpoint through
+	// CheckpointSink after every CheckpointEvery newly paid-for labels, so a
+	// hard kill (power loss, OOM, kill -9) loses at most one interval of
+	// labeler spend instead of the whole build. Checkpoint-restored and
+	// cache-hit labels are free and do not count toward the interval.
+	// Flushing is record-only and never feeds back into the pipeline, so the
+	// built index is bitwise identical with it on or off.
+	CheckpointEvery int
+	// CheckpointSink receives a consistent point-in-time clone of the
+	// checkpoint at each periodic flush; cmd/tastiquery wires it to an
+	// atomic, fsynced file replacement (snapshot.WriteFile). Sink calls are
+	// serialized. A sink failure stops further flushing and fails the build —
+	// a checkpoint that silently stopped persisting would be false safety.
+	// Required when CheckpointEvery > 0.
+	CheckpointSink func(*Checkpoint) error
 	// Seed makes construction deterministic.
 	Seed int64
 }
@@ -168,6 +183,10 @@ type BuildStats struct {
 	// ResumedLabels is the number of annotations restored from a build
 	// checkpoint instead of being paid for again.
 	ResumedLabels int
+	// CheckpointFlushes is the number of periodic checkpoint flushes the
+	// Config.CheckpointEvery policy pushed through the sink (including the
+	// catch-up flush at each labeling phase end).
+	CheckpointFlushes int64
 	// DegradedReps lists representatives dropped as permanently
 	// unlabelable (ascending); the min-k table re-weights over the
 	// remaining representatives.
@@ -231,6 +250,10 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	} else if err := ckpt.compatible(cfg, ds); err != nil {
 		return nil, err
 	}
+	// All checkpoint label writes — serial training loop and parallel rep
+	// workers alike — go through the flusher, whose mutex both makes them
+	// race-free and serializes the periodic durability flushes.
+	fl := newCkptFlusher(cfg, ckpt)
 
 	// Assemble the reliability chain inside-out: per-call deadline closest
 	// to the labeler, retries above it (so a timed-out attempt is retried),
@@ -266,6 +289,7 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 		if deadline != nil {
 			stats.LabelTimeouts = deadline.Timeouts()
 		}
+		stats.CheckpointFlushes = fl.Flushes()
 	}
 
 	// Phase 1: pre-trained embeddings over all records.
@@ -321,9 +345,14 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 					Err:        fmt.Errorf("core: labeling training record %d: %w", id, err),
 				}
 			}
-			ckpt.Labeled[id] = ann
+			fl.record(id, ann)
 			keptIDs = append(keptIDs, id)
 			keptAnns = append(keptAnns, ann)
+		}
+		fl.finish()
+		if err := fl.Err(); err != nil {
+			finishStats()
+			return nil, err
 		}
 		sort.Ints(stats.DegradedTrain)
 		stats.TrainLabelCalls = counting.Calls()
@@ -378,8 +407,9 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	// Annotate the representatives concurrently: reps are distinct, the
 	// counting/caching wrappers are mutex-guarded, and each rep's annotation
 	// (or error) lands in its own slot, so the outcome is the same at every
-	// worker count. ckpt.Failed is read-only during the loop; checkpoint
-	// writes happen serially afterwards.
+	// worker count. ckpt.Failed is read-only during the loop; ckpt.Labeled
+	// writes go through the flusher mutex (fl.record), which also gives
+	// periodic durability while this — the expensive phase — is in flight.
 	labelStart := time.Now()
 	sp = cfg.TraceSpan.Child("cluster/label")
 	before := counting.Calls()
@@ -397,6 +427,7 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 			return
 		}
 		repAnns[i] = a
+		fl.record(id, a)
 	})
 	// Resolve outcomes serially in selection order: record every success in
 	// the checkpoint first, then either degrade around permanent failures or
@@ -406,8 +437,8 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	var firstErr error
 	for i, rep := range reps {
 		if repErrs[i] == nil {
+			// The worker already recorded the label through fl.record.
 			annotations[rep] = repAnns[i]
-			ckpt.Labeled[rep] = repAnns[i]
 			continue
 		}
 		err := repErrs[i]
@@ -451,6 +482,11 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 		if len(liveReps) == 0 {
 			return nil, fmt.Errorf("core: degraded build has no labelable representatives: %w", labeler.ErrPermanent)
 		}
+	}
+	fl.finish()
+	if err := fl.Err(); err != nil {
+		finishStats()
+		return nil, err
 	}
 	stats.RepLabelCalls = counting.Calls() - before
 	stats.RepLabelWall = time.Since(labelStart)
@@ -518,6 +554,9 @@ func checkConfig(cfg Config, ds *dataset.Dataset) error {
 		if cfg.BucketKey == nil {
 			return errors.New("core: DoTrain needs a BucketKey")
 		}
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointSink == nil {
+		return errors.New("core: CheckpointEvery needs a CheckpointSink")
 	}
 	return nil
 }

@@ -4,23 +4,42 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"log/slog"
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/snapshot"
 )
 
-func init() {
-	// The annotation cache holds interface values; gob needs the concrete
-	// types registered.
-	gob.Register(dataset.VideoAnnotation{})
-	gob.Register(dataset.TextAnnotation{})
-	gob.Register(dataset.SpeechAnnotation{})
+// The annotation cache holds interface values, so gob needs the concrete
+// annotation types registered — but the registration lives in exactly one
+// place: package dataset's init (dataset/persist.go), which this package
+// imports. Index snapshots, build checkpoints, and dataset files all decode
+// through that single registration point, so adding an annotation schema
+// cannot silently break one decoder while the others keep working.
+var _ = dataset.GobAnnotationsRegistered
+
+// Snapshot kinds: the artifact-type strings baked into the framed container
+// header, so loading a checkpoint as an index fails with snapshot.ErrKind
+// instead of a confusing decode error.
+const (
+	indexKind      = "tasti-index"
+	checkpointKind = "tasti-checkpoint"
+)
+
+// indexMeta is the first frame of an index snapshot: everything cheap, so a
+// reader can reject a damaged or mismatched file before decoding the bulky
+// sections.
+type indexMeta struct {
+	K    int
+	Reps []int
 }
 
-// snapshot is the on-disk form of an index: everything query processing and
-// cracking need. The embedder itself is not persisted — embeddings are — so
-// a loaded index can propagate scores and crack but not embed new records.
-type snapshot struct {
+// gobSnapshot is the legacy (pre-framing) on-disk form: one bare
+// encoding/gob stream with no version, checksum, or atomicity. Load still
+// reads it so pre-existing snapshots keep working; Save always writes the
+// framed format.
+type gobSnapshot struct {
 	K           int
 	Reps        []int
 	Neighbors   [][]cluster.Neighbor
@@ -29,29 +48,82 @@ type snapshot struct {
 	Stats       BuildStats
 }
 
-// Save serializes the index with encoding/gob.
+// Save serializes the index in the framed snapshot format: magic, version,
+// and per-section checksummed frames (see internal/snapshot), with a
+// whole-file checksum trailer. Pair it with snapshot.WriteFile for an
+// atomic, fsynced on-disk replacement.
 func (ix *Index) Save(w io.Writer) error {
-	snap := snapshot{
-		K:           ix.Table.K,
-		Reps:        ix.Table.Reps,
-		Neighbors:   ix.Table.Neighbors,
-		Annotations: ix.Annotations,
-		Embeddings:  ix.Embeddings,
-		Stats:       ix.Stats,
+	sw, err := snapshot.NewWriter(w, indexKind)
+	if err != nil {
+		return fmt.Errorf("core: saving index: %w", err)
 	}
-	if err := gob.NewEncoder(w).Encode(snap); err != nil {
+	sections := []struct {
+		name string
+		v    any
+	}{
+		{"meta", indexMeta{K: ix.Table.K, Reps: ix.Table.Reps}},
+		{"neighbors", ix.Table.Neighbors},
+		{"annotations", ix.Annotations},
+		{"embeddings", ix.Embeddings},
+		{"stats", ix.Stats},
+	}
+	for _, s := range sections {
+		if err := sw.Encode(s.name, s.v); err != nil {
+			return fmt.Errorf("core: saving index: %w", err)
+		}
+	}
+	if err := sw.Close(); err != nil {
 		return fmt.Errorf("core: saving index: %w", err)
 	}
 	return nil
 }
 
-// Load deserializes an index saved with Save. The returned index propagates
-// scores and supports cracking; Embedder is nil because the embedding model
-// is not persisted.
+// Load deserializes an index saved with Save. It sniffs the magic bytes:
+// framed snapshots are decoded with per-section and whole-file checksum
+// verification and a typed error taxonomy (snapshot.ErrChecksum,
+// ErrTruncated, ...); anything else falls back to the legacy bare-gob
+// decoder for pre-framing snapshots, with a deprecation warning. The
+// returned index propagates scores and supports cracking; Embedder is nil
+// because the embedding model is not persisted.
 func Load(r io.Reader) (*Index, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	framed, replay, err := snapshot.Sniff(r)
+	if err != nil {
 		return nil, fmt.Errorf("core: loading index: %w", err)
+	}
+	var snap gobSnapshot
+	if framed {
+		sr, err := snapshot.NewReader(replay, indexKind)
+		if err != nil {
+			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+		var meta indexMeta
+		if err := sr.Decode("meta", &meta); err != nil {
+			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+		snap.K, snap.Reps = meta.K, meta.Reps
+		if err := sr.Decode("neighbors", &snap.Neighbors); err != nil {
+			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+		if err := sr.Decode("annotations", &snap.Annotations); err != nil {
+			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+		if err := sr.Decode("embeddings", &snap.Embeddings); err != nil {
+			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+		if err := sr.Decode("stats", &snap.Stats); err != nil {
+			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+		// Walk the trailer so the whole-file checksum is verified before any
+		// of the decoded state is trusted.
+		if err := sr.Drain(); err != nil {
+			return nil, fmt.Errorf("core: loading index: %w", err)
+		}
+	} else {
+		if err := gob.NewDecoder(replay).Decode(&snap); err != nil {
+			return nil, fmt.Errorf("core: loading index: not a framed snapshot and legacy gob decode failed (%v): %w",
+				err, snapshot.ErrBadMagic)
+		}
+		slog.Warn("core: loaded legacy un-checksummed gob index snapshot; re-save to upgrade to the framed format")
 	}
 	ix := &Index{
 		Embeddings: snap.Embeddings,

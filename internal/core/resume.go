@@ -4,9 +4,11 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"log/slog"
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/snapshot"
 )
 
 // Checkpoint captures the labeling progress of an index build: every
@@ -64,20 +66,37 @@ func (c *Checkpoint) compatible(cfg Config, ds *dataset.Dataset) error {
 	return nil
 }
 
-// Save serializes the checkpoint with encoding/gob, the same format the
-// index snapshots use (persist.go registers the annotation types).
+// Save serializes the checkpoint in the framed snapshot format, the same
+// container the index snapshots use (package dataset's init registers the
+// annotation types). Pair with snapshot.WriteFile for atomic replacement —
+// a checkpoint exists to survive crashes, so a torn checkpoint write would
+// defeat the point.
 func (c *Checkpoint) Save(w io.Writer) error {
-	if err := gob.NewEncoder(w).Encode(c); err != nil {
+	if err := snapshot.EncodeGob(w, checkpointKind, c); err != nil {
 		return fmt.Errorf("core: saving checkpoint: %w", err)
 	}
 	return nil
 }
 
-// LoadCheckpoint deserializes a checkpoint saved with Save.
+// LoadCheckpoint deserializes a checkpoint saved with Save. Framed files
+// are checksum-verified with typed errors; legacy bare-gob checkpoints
+// still load, with a deprecation warning.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
-	var c Checkpoint
-	if err := gob.NewDecoder(r).Decode(&c); err != nil {
+	framed, replay, err := snapshot.Sniff(r)
+	if err != nil {
 		return nil, fmt.Errorf("core: loading checkpoint: %w", err)
+	}
+	var c Checkpoint
+	if framed {
+		if err := snapshot.DecodeGob(replay, checkpointKind, &c); err != nil {
+			return nil, fmt.Errorf("core: loading checkpoint: %w", err)
+		}
+	} else {
+		if err := gob.NewDecoder(replay).Decode(&c); err != nil {
+			return nil, fmt.Errorf("core: loading checkpoint: not a framed snapshot and legacy gob decode failed (%v): %w",
+				err, snapshot.ErrBadMagic)
+		}
+		slog.Warn("core: loaded legacy un-checksummed gob checkpoint; it will be re-saved in the framed format")
 	}
 	return &c, nil
 }

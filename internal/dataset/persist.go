@@ -4,32 +4,65 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
+	"log/slog"
+
+	"repro/internal/snapshot"
 )
 
+// GobAnnotationsRegistered marks this init as the repository's single gob
+// registration point for annotation types. Every decoder of annotation
+// interface values — index snapshots and build checkpoints in package core,
+// dataset files here — imports this package, so a new annotation schema is
+// added to this one list or to none of them; the two-decoders-drift failure
+// mode is structurally impossible. Packages that rely on the registration
+// without otherwise referencing this package assert the dependency with
+// `var _ = dataset.GobAnnotationsRegistered`.
+const GobAnnotationsRegistered = true
+
 func init() {
-	// Dataset.Truth holds interface values; gob needs the concrete types.
+	// Dataset.Truth, index annotation caches, and checkpoint label maps all
+	// hold Annotation interface values; gob needs the concrete types.
 	gob.Register(VideoAnnotation{})
 	gob.Register(TextAnnotation{})
 	gob.Register(SpeechAnnotation{})
 }
 
-// Save serializes the dataset with encoding/gob, so a generated corpus can
-// be shared or reloaded without regenerating it.
+// datasetKind is the framed-container artifact type for saved corpora.
+const datasetKind = "tasti-dataset"
+
+// Save serializes the dataset in the framed snapshot format (magic,
+// version, checksummed frames — see internal/snapshot), so a generated
+// corpus can be shared or reloaded without regenerating it. Pair with
+// snapshot.WriteFile for an atomic, fsynced on-disk replacement.
 func (d *Dataset) Save(w io.Writer) error {
 	if err := d.Validate(); err != nil {
 		return fmt.Errorf("dataset: refusing to save invalid dataset: %w", err)
 	}
-	if err := gob.NewEncoder(w).Encode(d); err != nil {
+	if err := snapshot.EncodeGob(w, datasetKind, d); err != nil {
 		return fmt.Errorf("dataset: saving %s: %w", d.Name, err)
 	}
 	return nil
 }
 
-// Load deserializes a dataset saved with Save and validates it.
+// Load deserializes a dataset saved with Save and validates it. Framed
+// files are checksum-verified with typed errors; legacy bare-gob corpora
+// still load, with a deprecation warning.
 func Load(r io.Reader) (*Dataset, error) {
-	var d Dataset
-	if err := gob.NewDecoder(r).Decode(&d); err != nil {
+	framed, replay, err := snapshot.Sniff(r)
+	if err != nil {
 		return nil, fmt.Errorf("dataset: loading: %w", err)
+	}
+	var d Dataset
+	if framed {
+		if err := snapshot.DecodeGob(replay, datasetKind, &d); err != nil {
+			return nil, fmt.Errorf("dataset: loading: %w", err)
+		}
+	} else {
+		if err := gob.NewDecoder(replay).Decode(&d); err != nil {
+			return nil, fmt.Errorf("dataset: loading: not a framed snapshot and legacy gob decode failed (%v): %w",
+				err, snapshot.ErrBadMagic)
+		}
+		slog.Warn("dataset: loaded legacy un-checksummed gob corpus; re-save to upgrade to the framed format")
 	}
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("dataset: loaded dataset invalid: %w", err)

@@ -1,0 +1,97 @@
+package dataset
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"repro/internal/snapshot"
+)
+
+// FuzzDatasetLoad feeds arbitrary bytes to Load — the framed decoder and
+// the legacy gob fallback — and requires termination with a value or an
+// error: no panic, no hang. Accepted datasets must pass their own
+// validation.
+func FuzzDatasetLoad(f *testing.F) {
+	ds, err := Generate("wikisql", 60, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var framed bytes.Buffer
+	if err := ds.Save(&framed); err != nil {
+		f.Fatal(err)
+	}
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(framed.Bytes())
+	f.Add(legacy.Bytes())
+	f.Add(framed.Bytes()[:len(framed.Bytes())/2])
+	f.Add([]byte{})
+	f.Add([]byte("TASTISNP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err == nil && got.Validate() != nil {
+			t.Fatal("Load accepted a dataset its own validation rejects")
+		}
+	})
+}
+
+// TestCorruptDatasetTruncationMatrix truncates a saved corpus at every byte
+// offset and requires a failure each time; framed-path failures must be
+// typed.
+func TestCorruptDatasetTruncationMatrix(t *testing.T) {
+	ds, err := Generate("common-voice", 40, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut += 3 {
+		_, err := Load(bytes.NewReader(data[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d/%d loaded successfully", cut, len(data))
+		}
+		typed := false
+		for _, want := range []error{
+			snapshot.ErrBadMagic, snapshot.ErrKind, snapshot.ErrVersion,
+			snapshot.ErrChecksum, snapshot.ErrTruncated, snapshot.ErrFrameTooLarge,
+		} {
+			if errors.Is(err, want) {
+				typed = true
+				break
+			}
+		}
+		if !typed {
+			t.Fatalf("truncation at %d/%d: untyped error %v", cut, len(data), err)
+		}
+	}
+	if _, err := Load(bytes.NewReader(data)); err != nil {
+		t.Fatalf("intact corpus: %v", err)
+	}
+}
+
+// TestLegacyDatasetLoads pins the legacy bare-gob corpus path.
+func TestLegacyDatasetLoads(t *testing.T) {
+	ds, err := Generate("night-street", 30, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy load: %v", err)
+	}
+	if got.Len() != 30 || got.Name != ds.Name {
+		t.Fatalf("legacy round trip: %d records, name %q", got.Len(), got.Name)
+	}
+}

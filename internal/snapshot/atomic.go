@@ -1,0 +1,144 @@
+package snapshot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+)
+
+// AtomicWriter replaces a file atomically: bytes accumulate in a temporary
+// file in the destination directory, and Commit fsyncs the data, renames the
+// temp file over the destination, and fsyncs the directory. Readers — and a
+// crash at any instant — see either the complete old file or the complete
+// new file, never a torn mixture. Abort discards the temp file; deferring it
+// after every NewAtomicWriter makes error paths leak-free (it is a no-op
+// after Commit).
+type AtomicWriter struct {
+	f    *os.File
+	buf  *bufio.Writer
+	path string
+	done bool
+}
+
+// NewAtomicWriter opens a temporary file next to path. The destination is
+// untouched until Commit.
+func NewAtomicWriter(path string) (*AtomicWriter, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: creating temp file: %w", err)
+	}
+	return &AtomicWriter{f: f, buf: bufio.NewWriter(f), path: path}, nil
+}
+
+// Write buffers p into the temporary file.
+func (a *AtomicWriter) Write(p []byte) (int, error) {
+	if a.done {
+		return 0, fmt.Errorf("snapshot: write after Commit/Abort")
+	}
+	return a.buf.Write(p)
+}
+
+// Commit flushes and fsyncs the temp file, renames it over the destination,
+// and fsyncs the directory so the rename itself is durable. Any failure
+// leaves the destination untouched and removes the temp file.
+func (a *AtomicWriter) Commit() error {
+	if a.done {
+		return fmt.Errorf("snapshot: double Commit/Abort")
+	}
+	a.done = true
+	cleanup := func(err error) error {
+		a.f.Close()           //nolint:errcheck // already failing
+		os.Remove(a.f.Name()) //nolint:errcheck // best-effort temp cleanup
+		return err
+	}
+	if err := a.buf.Flush(); err != nil {
+		return cleanup(fmt.Errorf("snapshot: flushing %s: %w", a.path, err))
+	}
+	if err := a.f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("snapshot: fsync %s: %w", a.path, err))
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.f.Name()) //nolint:errcheck // best-effort temp cleanup
+		return fmt.Errorf("snapshot: closing %s: %w", a.path, err)
+	}
+	if err := os.Rename(a.f.Name(), a.path); err != nil {
+		os.Remove(a.f.Name()) //nolint:errcheck // best-effort temp cleanup
+		return fmt.Errorf("snapshot: renaming into place: %w", err)
+	}
+	return syncDir(filepath.Dir(a.path))
+}
+
+// Abort discards the temporary file. It is a no-op after Commit (or a prior
+// Abort), so `defer aw.Abort()` is the idiomatic error-path cleanup.
+func (a *AtomicWriter) Abort() {
+	if a.done {
+		return
+	}
+	a.done = true
+	a.f.Close()           //nolint:errcheck // discarding anyway
+	os.Remove(a.f.Name()) //nolint:errcheck // best-effort temp cleanup
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives power loss.
+// Platforms whose directory handles reject fsync (notably Windows) skip it:
+// the rename is still atomic there, just not durability-ordered.
+func syncDir(dir string) error {
+	if runtime.GOOS == "windows" {
+		return nil
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("snapshot: opening dir for fsync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("snapshot: fsync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// WriteFile atomically replaces path with whatever write produces,
+// surfacing every flush, fsync, close, and rename error — a full disk is an
+// error here, never a silent truncation. Save/latency metrics are recorded
+// when a telemetry registry is installed (SetTelemetry).
+func WriteFile(path string, write func(w io.Writer) error) error {
+	start := time.Now()
+	err := writeFile(path, write)
+	observeSave(time.Since(start), err)
+	return err
+}
+
+func writeFile(path string, write func(w io.Writer) error) error {
+	aw, err := NewAtomicWriter(path)
+	if err != nil {
+		return err
+	}
+	defer aw.Abort()
+	if err := write(aw); err != nil {
+		return err
+	}
+	return aw.Commit()
+}
+
+// ReadFile opens path and hands it to read, recording load/latency metrics
+// when a telemetry registry is installed.
+func ReadFile(path string, read func(r io.Reader) error) error {
+	start := time.Now()
+	err := readFile(path, read)
+	observeLoad(time.Since(start), err)
+	return err
+}
+
+func readFile(path string, read func(r io.Reader) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return read(f)
+}

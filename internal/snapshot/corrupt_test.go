@@ -1,0 +1,187 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"runtime"
+	"testing"
+)
+
+// typedError reports whether err belongs to the decode-failure taxonomy.
+// Every corrupted input must land here: the taxonomy is the contract that
+// callers can always distinguish damage from programmer error.
+func typedError(err error) bool {
+	for _, want := range []error{
+		ErrBadMagic, ErrKind, ErrVersion, ErrChecksum, ErrTruncated, ErrFrameTooLarge,
+	} {
+		if errors.Is(err, want) {
+			return true
+		}
+	}
+	return false
+}
+
+// walk decodes every frame through the trailer, returning the first error.
+func walk(data []byte, kind string) error {
+	sr, err := NewReader(bytes.NewReader(data), kind)
+	if err != nil {
+		return err
+	}
+	return sr.Drain()
+}
+
+// TestCorruptTruncationMatrix truncates a valid snapshot at every byte
+// offset — every frame boundary and every position inside one — and
+// requires a typed error every time, never a false success.
+func TestCorruptTruncationMatrix(t *testing.T) {
+	data := buildSample(t, "test")
+	for cut := 0; cut < len(data); cut++ {
+		err := walk(data[:cut], "test")
+		if err == nil {
+			t.Fatalf("truncation at %d/%d decoded successfully", cut, len(data))
+		}
+		if !typedError(err) {
+			t.Fatalf("truncation at %d/%d: untyped error %v", cut, len(data), err)
+		}
+	}
+	// The intact file decodes.
+	if err := walk(data, "test"); err != nil {
+		t.Fatalf("intact file: %v", err)
+	}
+}
+
+// TestCorruptBitFlipSweep flips every bit of a valid snapshot, one at a
+// time, and requires each flip to surface as a typed error. A flip can
+// never pass: every byte before the trailer is covered by the whole-file
+// CRC, and the trailer bytes are the CRC itself.
+func TestCorruptBitFlipSweep(t *testing.T) {
+	data := buildSample(t, "test")
+	mut := append([]byte(nil), data...)
+	for i := range mut {
+		for bit := 0; bit < 8; bit++ {
+			mut[i] ^= 1 << bit
+			err := walk(mut, "test")
+			mut[i] ^= 1 << bit // restore
+			if err == nil {
+				t.Fatalf("bit flip at byte %d bit %d decoded successfully", i, bit)
+			}
+			if !typedError(err) {
+				t.Fatalf("bit flip at byte %d bit %d: untyped error %v", i, bit, err)
+			}
+		}
+	}
+}
+
+// TestCorruptLengthFieldBoundedAllocation corrupts a frame's declared
+// length to hundreds of megabytes while the file holds a few bytes, and
+// asserts decoding fails typed without allocating anywhere near the
+// declared size — the bounded-allocation contract.
+func TestCorruptLengthFieldBoundedAllocation(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewWriter(&buf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Frame("data", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The first frame starts right after the header: nameLen(1) + "data"(4),
+	// then the 8-byte length. Overwrite it to declare 512 MiB.
+	hdrLen := len(Magic) + 4 + 1 + len("test") + 4
+	lenOff := hdrLen + 1 + len("data")
+	declared := uint64(512 << 20)
+	for i := 0; i < 8; i++ {
+		data[lenOff+i] = byte(declared >> (56 - 8*i))
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	err = walk(data, "test")
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+		t.Fatalf("decoding a corrupt length allocated %d bytes (> 64 MiB)", grew)
+	}
+}
+
+// TestCorruptGiantDeclaredLength checks the sanity cap: a length beyond
+// MaxFrameBytes is rejected before any allocation at all.
+func TestCorruptGiantDeclaredLength(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewWriter(&buf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Frame("data", []byte("tiny")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	hdrLen := len(Magic) + 4 + 1 + len("test") + 4
+	lenOff := hdrLen + 1 + len("data")
+	declared := uint64(1) << 40 // 1 TiB
+	for i := 0; i < 8; i++ {
+		data[lenOff+i] = byte(declared >> (56 - 8*i))
+	}
+	if err := walk(data, "test"); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestCorruptSplicedFrames swaps two intact frames; per-frame CRCs still
+// pass, so only the whole-file trailer CRC can catch the splice. (With this
+// format frame reordering actually changes nothing the per-frame CRCs see,
+// which is exactly why the trailer exists.)
+func TestCorruptSplicedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewWriter(&buf, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Frame("aa", []byte("11")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Frame("bb", []byte("22")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	hdrLen := len(Magic) + 4 + 1 + len("test") + 4
+	frameLen := 1 + 2 + 8 + 2 + 4 // nameLen + name + len + payload + crc
+	f1 := append([]byte(nil), data[hdrLen:hdrLen+frameLen]...)
+	f2 := append([]byte(nil), data[hdrLen+frameLen:hdrLen+2*frameLen]...)
+	spliced := append([]byte(nil), data[:hdrLen]...)
+	spliced = append(spliced, f2...)
+	spliced = append(spliced, f1...)
+	spliced = append(spliced, data[hdrLen+2*frameLen:]...)
+
+	sr, err := NewReader(bytes.NewReader(spliced), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var drainErr error
+	for {
+		_, _, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			drainErr = err
+			break
+		}
+	}
+	if !errors.Is(drainErr, ErrChecksum) {
+		t.Fatalf("spliced frames: err = %v, want ErrChecksum from the trailer", drainErr)
+	}
+}

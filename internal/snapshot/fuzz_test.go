@@ -1,0 +1,54 @@
+package snapshot
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary bytes at the framed decoder and requires it
+// to terminate without panicking, hanging, or unbounded allocation — every
+// outcome is either a clean decode or an error. The seed corpus covers a
+// valid file, truncations, and near-miss mutations so the fuzzer starts at
+// the format's edges.
+func FuzzDecode(f *testing.F) {
+	var buf bytes.Buffer
+	sw, err := NewWriter(&buf, "fuzz")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := sw.Frame("meta", []byte("seed payload")); err != nil {
+		f.Fatal(err)
+	}
+	if err := sw.Encode("numbers", []int{7, 8, 9}); err != nil {
+		f.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:9])
+	f.Add([]byte{})
+	f.Add([]byte("TASTISNP"))
+	mut := append([]byte(nil), valid...)
+	mut[len(mut)/2] ^= 0x40
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A small cap keeps the fuzzer from legitimately allocating huge
+		// frames; the cap path itself is part of what is being fuzzed.
+		sr, err := NewReaderLimit(bytes.NewReader(data), "fuzz", 1<<20)
+		if err != nil {
+			return
+		}
+		for {
+			_, _, err := sr.Next()
+			if err == io.EOF || err != nil {
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package snapshot
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// tel holds the process-wide registry the snapshot layer reports into.
+// Persistence happens at process scope (one disk, many call sites), so the
+// hook is package-level like internal/parallel's, installed once by the
+// binary that owns the registry. A nil pointer disables collection.
+var tel atomic.Pointer[telemetry.Registry]
+
+// SetTelemetry points the snapshot layer's save/load metrics at reg (nil
+// disables them). Metric catalogue in docs/OBSERVABILITY.md.
+func SetTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		tel.Store(nil)
+		return
+	}
+	reg.Help("tasti_snapshot_save_total", "Atomic snapshot writes attempted, by outcome.")
+	reg.Help("tasti_snapshot_save_seconds", "Atomic snapshot write latency in seconds, including fsync and rename.")
+	reg.Help("tasti_snapshot_load_total", "Snapshot file reads attempted, by outcome.")
+	reg.Help("tasti_snapshot_load_seconds", "Snapshot file read latency in seconds.")
+	tel.Store(reg)
+}
+
+func observeSave(elapsed time.Duration, err error) {
+	reg := tel.Load()
+	if reg == nil {
+		return
+	}
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	reg.Counter(`tasti_snapshot_save_total{outcome="` + outcome + `"}`).Inc()
+	reg.Histogram("tasti_snapshot_save_seconds", telemetry.DefLatencyBuckets).Observe(elapsed.Seconds())
+}
+
+func observeLoad(elapsed time.Duration, err error) {
+	reg := tel.Load()
+	if reg == nil {
+		return
+	}
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	reg.Counter(`tasti_snapshot_load_total{outcome="` + outcome + `"}`).Inc()
+	reg.Histogram("tasti_snapshot_load_seconds", telemetry.DefLatencyBuckets).Observe(elapsed.Seconds())
+}

@@ -31,6 +31,7 @@ package tasti
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"repro/internal/core"
@@ -42,6 +43,7 @@ import (
 	"repro/internal/query/predagg"
 	"repro/internal/query/selection"
 	"repro/internal/query/supg"
+	"repro/internal/snapshot"
 	"repro/internal/telemetry"
 	"repro/internal/triplet"
 )
@@ -257,6 +259,49 @@ func Build(cfg Config, ds *Dataset, lab Labeler) (*Index, error) {
 
 // LoadIndex deserializes an index saved with Index.Save.
 var LoadIndex = core.Load
+
+// Durable persistence. Index.Save, Checkpoint.Save, and Dataset.Save write a
+// framed, checksummed container (magic, format version, per-section and
+// whole-file CRC-32C); the Load functions verify it end to end and classify
+// every corruption with the typed errors below. See docs/RELIABILITY.md
+// "Persistence format" for the layout, version policy, and error taxonomy.
+var (
+	// ErrSnapshotBadMagic marks a file that is not a framed snapshot (and,
+	// where a legacy fallback exists, also failed legacy decoding).
+	ErrSnapshotBadMagic = snapshot.ErrBadMagic
+	// ErrSnapshotKind marks a framed snapshot of the wrong artifact type,
+	// e.g. a checkpoint file passed to LoadIndex.
+	ErrSnapshotKind = snapshot.ErrKind
+	// ErrSnapshotVersion marks a format version this build cannot read.
+	ErrSnapshotVersion = snapshot.ErrVersion
+	// ErrSnapshotChecksum marks content that fails CRC verification.
+	ErrSnapshotChecksum = snapshot.ErrChecksum
+	// ErrSnapshotTruncated marks a snapshot cut short, e.g. by a torn write.
+	ErrSnapshotTruncated = snapshot.ErrTruncated
+	// ErrSnapshotFrameTooLarge marks a section length beyond the decoder's
+	// sanity cap — corrupt or hostile, either way not worth allocating for.
+	ErrSnapshotFrameTooLarge = snapshot.ErrFrameTooLarge
+)
+
+// WriteFileAtomic writes a file through write and atomically replaces path
+// with the result: temp file in the same directory, fsync, rename, directory
+// fsync. A crash mid-write leaves the previous file intact; readers never
+// observe a partial file. All the repository's durable artifacts (index
+// snapshots, build checkpoints, generated corpora, traces) go through it.
+func WriteFileAtomic(path string, write func(w io.Writer) error) error {
+	return snapshot.WriteFile(path, write)
+}
+
+// ReadSnapshotFile opens path and passes it to read, recording load
+// telemetry. Pair with LoadIndex/LoadCheckpoint/LoadDataset.
+func ReadSnapshotFile(path string, read func(r io.Reader) error) error {
+	return snapshot.ReadFile(path, read)
+}
+
+// SetSnapshotTelemetry points the persistence layer's save/load counters and
+// latency histograms at reg (nil disables them). Process-wide, like
+// SetPoolTelemetry.
+func SetSnapshotTelemetry(reg *MetricsRegistry) { snapshot.SetTelemetry(reg) }
 
 // Closeness heuristics for the built-in schemas.
 var (
