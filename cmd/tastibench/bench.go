@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/labeler"
+	"repro/tasti"
+)
+
+// The benchmark suite mirrors the shapes of internal/core's
+// BenchmarkBuildParallel and BenchmarkPropagateParallel at workers=1, so a
+// committed baseline (BENCH_5.json) stays comparable with `go test -bench`
+// output while being runnable from the built binary. cmd/benchgate compares
+// two of these reports.
+
+// BenchResult is one benchmark's steady-state cost.
+type BenchResult struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+}
+
+// BenchReport is the JSON document written by -bench-json.
+type BenchReport struct {
+	GoVersion  string                 `json:"go_version"`
+	GOARCH     string                 `json:"goarch"`
+	NumCPU     int                    `json:"num_cpu"`
+	Benchmarks map[string]BenchResult `json:"benchmarks"`
+}
+
+// runBenchSuite runs the suite and writes the report to path atomically.
+func runBenchSuite(path string) error {
+	rep := BenchReport{
+		GoVersion:  runtime.Version(),
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Benchmarks: map[string]BenchResult{},
+	}
+
+	buildDS, err := dataset.Generate("night-street", 6000, 1)
+	if err != nil {
+		return fmt.Errorf("generating build corpus: %w", err)
+	}
+	buildLab := labeler.NewOracle(buildDS, "oracle", labeler.MaskRCNNCost)
+	rep.Benchmarks["build_parallel_w1"] = runBench(func(b *testing.B) {
+		cfg := core.PretrainedConfig(600, 2)
+		cfg.Parallelism = 1
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Build(cfg, buildDS, buildLab); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	propDS, err := dataset.Generate("night-street", 20000, 1)
+	if err != nil {
+		return fmt.Errorf("generating propagation corpus: %w", err)
+	}
+	propLab := labeler.NewOracle(propDS, "oracle", labeler.MaskRCNNCost)
+	ix, err := core.Build(core.PretrainedConfig(800, 2), propDS, propLab)
+	if err != nil {
+		return fmt.Errorf("building propagation index: %w", err)
+	}
+	ix.SetParallelism(1)
+	score := core.CountScore("car")
+	rep.Benchmarks["propagate_parallel_w1"] = runBench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Propagate(score); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	return tasti.WriteFileAtomic(path, func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	})
+}
+
+func runBench(fn func(b *testing.B)) BenchResult {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	return BenchResult{
+		NsPerOp:     r.NsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}

@@ -34,6 +34,7 @@ func main() {
 		par       = flag.Int("parallelism", 0, "cap worker count for every pipeline phase via GOMAXPROCS (<= 0 uses all CPUs; results are identical at every value)")
 		faultRate = flag.Float64("fault-rate", 0, "transient labeler fault rate for the 'faults' experiment (0 keeps its default)")
 		traceOut  = flag.String("trace-out", "", "write a span-tree JSON trace (one span per experiment) here and print a phase-timing summary")
+		benchJSON = flag.String("bench-json", "", "run the core build/propagation benchmark suite at workers=1, write the results as JSON here, and exit (see cmd/benchgate)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,15 @@ func main() {
 	// input sizes, never on the worker count.
 	if *par > 0 {
 		runtime.GOMAXPROCS(*par)
+	}
+
+	if *benchJSON != "" {
+		if err := runBenchSuite(*benchJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "tastibench: bench suite: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchmark report written to %s\n", *benchJSON)
+		return
 	}
 
 	if *list {

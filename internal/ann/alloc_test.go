@@ -1,0 +1,48 @@
+package ann
+
+import (
+	"testing"
+)
+
+// TestSearcherZeroAllocWarm pins the serve-path contract: a warm Searcher
+// performs zero allocations per query. The returned slice is the Searcher's
+// internal buffer, reused across calls.
+func TestSearcherZeroAllocWarm(t *testing.T) {
+	vecs := testVectors(1000, 16, 21)
+	ix, err := Build(DefaultConfig(vecs.Rows(), 21), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := testVectors(1, 16, 22).Row(0)
+	var s Searcher
+	s.Search(ix, q, 10, 4) // warm-up: sizes all scratch buffers
+	if n := testing.AllocsPerRun(100, func() {
+		s.Search(ix, q, 10, 4)
+	}); n != 0 {
+		t.Errorf("warm Searcher allocates %v per query", n)
+	}
+}
+
+// TestSearcherMatchesIVFSearch pins that the reusable Searcher and the
+// convenience IVF.Search return identical results.
+func TestSearcherMatchesIVFSearch(t *testing.T) {
+	vecs := testVectors(500, 8, 23)
+	ix, err := Build(DefaultConfig(vecs.Rows(), 23), vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Searcher
+	for qi := int64(0); qi < 5; qi++ {
+		q := testVectors(1, 8, 30+qi).Row(0)
+		got := s.Search(ix, q, 7, 3)
+		want := ix.Search(q, 7, 3)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results vs %d", qi, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("query %d result %d: %v vs %v", qi, i, got[i], want[i])
+			}
+		}
+	}
+}

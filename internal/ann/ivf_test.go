@@ -9,23 +9,22 @@ import (
 	"repro/internal/xrand"
 )
 
-func testVectors(n, d int, seed int64) [][]float64 {
+func testVectors(n, d int, seed int64) vecmath.Matrix {
 	r := xrand.New(seed)
-	out := make([][]float64, n)
-	for i := range out {
-		v := make([]float64, d)
+	out := vecmath.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		v := out.Row(i)
 		for j := range v {
 			v[j] = r.NormFloat64()
 		}
-		out[i] = v
 	}
 	return out
 }
 
-func bruteForce(vectors [][]float64, q []float64, k int) []vecmath.IndexedValue {
-	dists := make([]float64, len(vectors))
-	for i, v := range vectors {
-		dists[i] = vecmath.SquaredL2(q, v)
+func bruteForce(vectors vecmath.Matrix, q []float64, k int) []vecmath.IndexedValue {
+	dists := make([]float64, vectors.Rows())
+	for i := 0; i < vectors.Rows(); i++ {
+		dists[i] = vecmath.SquaredL2(q, vectors.Row(i))
 	}
 	out := vecmath.SmallestK(dists, k)
 	for i := range out {
@@ -35,7 +34,7 @@ func bruteForce(vectors [][]float64, q []float64, k int) []vecmath.IndexedValue 
 }
 
 func TestBuildValidation(t *testing.T) {
-	if _, err := Build(DefaultConfig(0, 1), nil); err == nil {
+	if _, err := Build(DefaultConfig(0, 1), vecmath.Matrix{}); err == nil {
 		t.Error("empty vectors should error")
 	}
 	vecs := testVectors(10, 4, 1)
@@ -54,11 +53,11 @@ func TestBuildValidation(t *testing.T) {
 
 func TestSearchFullProbeIsExact(t *testing.T) {
 	vecs := testVectors(300, 8, 2)
-	ix, err := Build(DefaultConfig(len(vecs), 2), vecs)
+	ix, err := Build(DefaultConfig(vecs.Rows(), 2), vecs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := testVectors(1, 8, 3)[0]
+	q := testVectors(1, 8, 3).Row(0)
 	got := ix.Search(q, 5, ix.NumCells())
 	want := bruteForce(vecs, q, 5)
 	for i := range want {
@@ -70,13 +69,14 @@ func TestSearchFullProbeIsExact(t *testing.T) {
 
 func TestSearchRecall(t *testing.T) {
 	vecs := testVectors(2000, 16, 4)
-	ix, err := Build(DefaultConfig(len(vecs), 4), vecs)
+	ix, err := Build(DefaultConfig(vecs.Rows(), 4), vecs)
 	if err != nil {
 		t.Fatal(err)
 	}
 	queries := testVectors(50, 16, 5)
 	hit, total := 0, 0
-	for _, q := range queries {
+	for qi := 0; qi < queries.Rows(); qi++ {
+		q := queries.Row(qi)
 		want := bruteForce(vecs, q, 10)
 		wantSet := map[int]bool{}
 		for _, w := range want {
@@ -98,11 +98,11 @@ func TestSearchRecall(t *testing.T) {
 
 func TestSearchEdgeCases(t *testing.T) {
 	vecs := testVectors(20, 4, 6)
-	ix, err := Build(DefaultConfig(len(vecs), 7), vecs)
+	ix, err := Build(DefaultConfig(vecs.Rows(), 7), vecs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	q := vecs[3]
+	q := vecs.Row(3)
 	if got := ix.Search(q, 0, 1); got != nil {
 		t.Error("k=0 should give nil")
 	}
@@ -128,7 +128,7 @@ func TestBuildTableApproxMatchesExactAtFullProbe(t *testing.T) {
 		t.Fatal(err)
 	}
 	exact := cluster.BuildTable(emb, reps, 3)
-	for i := range emb {
+	for i := 0; i < emb.Rows(); i++ {
 		for j := range exact.Neighbors[i] {
 			a, e := approx.Neighbors[i][j], exact.Neighbors[i][j]
 			if a.Rep != e.Rep || math.Abs(a.Dist-e.Dist) > 1e-9 {
@@ -147,12 +147,12 @@ func TestBuildTableApproxLowProbeCloseToExact(t *testing.T) {
 	}
 	exact := cluster.BuildTable(emb, reps, 1)
 	agree := 0
-	for i := range emb {
+	for i := 0; i < emb.Rows(); i++ {
 		if approx.Neighbors[i][0].Rep == exact.Neighbors[i][0].Rep {
 			agree++
 		}
 	}
-	frac := float64(agree) / float64(len(emb))
+	frac := float64(agree) / float64(emb.Rows())
 	if frac < 0.7 {
 		t.Errorf("nearest-rep agreement at nprobe=3: %v", frac)
 	}

@@ -3,18 +3,18 @@ package cluster
 import (
 	"testing"
 
+	"repro/internal/vecmath"
 	"repro/internal/xrand"
 )
 
-func benchEmbeddings(n, d int) [][]float64 {
+func benchEmbeddings(n, d int) vecmath.Matrix {
 	r := xrand.New(1)
-	out := make([][]float64, n)
-	for i := range out {
-		v := make([]float64, d)
+	out := vecmath.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		v := out.Row(i)
 		for j := range v {
 			v[j] = r.NormFloat64()
 		}
-		out[i] = v
 	}
 	return out
 }

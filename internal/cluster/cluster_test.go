@@ -10,14 +10,13 @@ import (
 	"repro/internal/xrand"
 )
 
-func randomEmbeddings(r *rand.Rand, n, d int) [][]float64 {
-	out := make([][]float64, n)
-	for i := range out {
-		v := make([]float64, d)
+func randomEmbeddings(r *rand.Rand, n, d int) vecmath.Matrix {
+	out := vecmath.NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		v := out.Row(i)
 		for j := range v {
 			v[j] = r.NormFloat64()
 		}
-		out[i] = v
 	}
 	return out
 }
@@ -48,7 +47,7 @@ func TestFPFBasics(t *testing.T) {
 }
 
 func TestFPFStopsOnDuplicates(t *testing.T) {
-	emb := [][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	emb := vecmath.FromRows([][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}})
 	reps := FPF(emb, 4, 0)
 	// Only two distinct points exist, so FPF stops after covering both.
 	if len(reps) != 2 {
@@ -74,13 +73,14 @@ func TestFPFPanicsOnBadStart(t *testing.T) {
 func TestFPFTwoApproximation(t *testing.T) {
 	r := xrand.New(7)
 	// Three well-separated Gaussian blobs.
-	var emb [][]float64
+	var rows [][]float64
 	centers := [][]float64{{0, 0}, {10, 0}, {0, 10}}
 	for _, c := range centers {
 		for i := 0; i < 60; i++ {
-			emb = append(emb, []float64{c[0] + r.NormFloat64()*0.3, c[1] + r.NormFloat64()*0.3})
+			rows = append(rows, []float64{c[0] + r.NormFloat64()*0.3, c[1] + r.NormFloat64()*0.3})
 		}
 	}
+	emb := vecmath.FromRows(rows)
 	reps := FPF(emb, 3, 0)
 	radius := MaxMinDistance(emb, reps)
 	if radius > 3 {
@@ -90,7 +90,7 @@ func TestFPFTwoApproximation(t *testing.T) {
 	minPair := math.Inf(1)
 	for i := 0; i < len(reps); i++ {
 		for j := i + 1; j < len(reps); j++ {
-			d := vecmath.L2(emb[reps[i]], emb[reps[j]])
+			d := vecmath.L2(emb.Row(reps[i]), emb.Row(reps[j]))
 			if d < minPair {
 				minPair = d
 			}
@@ -159,15 +159,15 @@ func TestRandomReps(t *testing.T) {
 // results rest on.
 func TestFPFBeatsRandomCoverage(t *testing.T) {
 	r := xrand.New(11)
-	var emb [][]float64
+	var emb vecmath.Matrix
 	for i := 0; i < 300; i++ {
-		emb = append(emb, []float64{r.NormFloat64() * 0.1, r.NormFloat64() * 0.1})
+		emb.AppendRow([]float64{r.NormFloat64() * 0.1, r.NormFloat64() * 0.1})
 	}
 	for i := 0; i < 5; i++ { // rare outliers
-		emb = append(emb, []float64{10 + r.NormFloat64(), 10 + r.NormFloat64()})
+		emb.AppendRow([]float64{10 + r.NormFloat64(), 10 + r.NormFloat64()})
 	}
 	fpf := FPF(emb, 10, 0)
-	random := RandomReps(xrand.New(12), len(emb), 10)
+	random := RandomReps(xrand.New(12), emb.Rows(), 10)
 	if MaxMinDistance(emb, fpf) >= MaxMinDistance(emb, random) {
 		t.Errorf("FPF radius %v not better than random %v",
 			MaxMinDistance(emb, fpf), MaxMinDistance(emb, random))
@@ -190,7 +190,7 @@ func TestBuildTableMatchesBruteForce(t *testing.T) {
 		for i := 0; i < n; i += 7 {
 			best, bestD := -1, math.Inf(1)
 			for _, rep := range reps {
-				d := vecmath.L2(emb[i], emb[rep])
+				d := vecmath.L2(emb.Row(i), emb.Row(rep))
 				if d < bestD {
 					best, bestD = rep, d
 				}
@@ -241,7 +241,7 @@ func TestAddRepresentativeMatchesRebuild(t *testing.T) {
 	if err := incremental.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	for i := range emb {
+	for i := 0; i < emb.Rows(); i++ {
 		for j := range full.Neighbors[i] {
 			a, b := incremental.Neighbors[i][j], full.Neighbors[i][j]
 			if math.Abs(a.Dist-b.Dist) > 1e-9 {
@@ -295,9 +295,11 @@ func TestValidateCatchesCorruption(t *testing.T) {
 }
 
 // sequentialFPF is the textbook single-threaded reference the parallel FPF
-// must match exactly.
-func sequentialFPF(embeddings [][]float64, k, start int) []int {
-	n := len(embeddings)
+// must match exactly. It uses the scalar SquaredL2 kernel one pair at a
+// time, so it also pins the batch path's bitwise equivalence to the scalar
+// path.
+func sequentialFPF(embeddings vecmath.Matrix, k, start int) []int {
+	n := embeddings.Rows()
 	if k > n {
 		k = n
 	}
@@ -310,8 +312,8 @@ func sequentialFPF(embeddings [][]float64, k, start int) []int {
 	for len(reps) < k {
 		reps = append(reps, cur)
 		far, farDist := -1, -1.0
-		for i := range embeddings {
-			d := vecmath.SquaredL2(embeddings[i], embeddings[cur])
+		for i := 0; i < n; i++ {
+			d := vecmath.SquaredL2(embeddings.Row(i), embeddings.Row(cur))
 			if d < minDist[i] {
 				minDist[i] = d
 			}

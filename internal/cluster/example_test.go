@@ -4,22 +4,23 @@ import (
 	"fmt"
 
 	"repro/internal/cluster"
+	"repro/internal/vecmath"
 )
 
 // ExampleBuildTable builds the min-k distance table of Algorithm 1 over a
 // toy 1-D corpus: FPF picks well-spread representatives, and every record
 // retains its two nearest.
 func ExampleBuildTable() {
-	embeddings := [][]float64{
+	embeddings := vecmath.FromRows([][]float64{
 		{0.0}, {0.1}, {0.2}, // a cluster near 0
 		{1.0}, {1.1}, // a cluster near 1
 		{5.0}, // an outlier
-	}
+	})
 	reps := cluster.FPF(embeddings, 3, 0)
 	table := cluster.BuildTable(embeddings, reps, 2)
 
 	fmt.Println("representatives:", reps)
-	for i := range embeddings {
+	for i := 0; i < embeddings.Rows(); i++ {
 		fmt.Printf("record %d -> nearest rep %d\n", i, table.Nearest(i).Rep)
 	}
 	// Output:

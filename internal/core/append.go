@@ -2,8 +2,6 @@ package core
 
 import (
 	"errors"
-	"fmt"
-	"math"
 
 	"repro/internal/cluster"
 	"repro/internal/parallel"
@@ -25,7 +23,9 @@ var ErrNoEmbedder = errors.New("core: index has no embedder; rebuild or keep the
 // can later be cracked in as representatives like any other record. Like
 // Crack, AppendRecords mutates the index and must be serialized against all
 // other index use; the per-record embedding and neighbor scans themselves
-// run across Config.Parallelism workers.
+// run across Config.Parallelism workers. The representatives are gathered
+// into one contiguous block up front so every scan is a single batch-kernel
+// sweep.
 func (ix *Index) AppendRecords(features [][]float64) ([]int, error) {
 	if ix.Embedder == nil {
 		return nil, ErrNoEmbedder
@@ -33,52 +33,31 @@ func (ix *Index) AppendRecords(features [][]float64) ([]int, error) {
 	if len(features) == 0 {
 		return nil, nil
 	}
+	if len(ix.Table.Reps) == 0 {
+		return nil, errors.New("core: appending records: no representatives")
+	}
 	k := ix.Table.K
 	if len(ix.Table.Reps) < k {
 		k = len(ix.Table.Reps)
 	}
+	reps := ix.Table.Reps
+	repMat := vecmath.GatherRows(ix.Embeddings, reps)
 	// Embed and scan in parallel into per-record slots, then append in
 	// record order so IDs and table rows stay sequential.
-	embs := make([][]float64, len(features))
+	embs := vecmath.NewMatrix(len(features), ix.Embedder.Dim())
 	nbrLists := make([][]cluster.Neighbor, len(features))
-	scanErrs := parallel.Map(ix.cfg.Parallelism, len(features), func(_ int, s parallel.Span) error {
+	parallel.ForChunks(ix.cfg.Parallelism, len(features), func(_ int, s parallel.Span) {
+		var sc cluster.Scanner // per-chunk scratch
 		for i := s.Lo; i < s.Hi; i++ {
-			emb := ix.Embedder.Embed(features[i])
-			nbrs, err := nearestReps(emb, ix.Embeddings, ix.Table.Reps, k)
-			if err != nil {
-				return fmt.Errorf("core: appending record %d: %w", i, err)
-			}
-			embs[i], nbrLists[i] = emb, nbrs
+			copy(embs.Row(i), ix.Embedder.Embed(features[i]))
+			nbrLists[i] = sc.ScanInto(make([]cluster.Neighbor, 0, k), embs.Row(i), repMat, reps, k)
 		}
-		return nil
 	})
-	for _, err := range scanErrs {
-		if err != nil {
-			return nil, err
-		}
-	}
 	ids := make([]int, len(features))
 	for i := range features {
-		ids[i] = len(ix.Embeddings)
-		ix.Embeddings = append(ix.Embeddings, embs[i])
+		ids[i] = ix.Embeddings.Rows()
+		ix.Embeddings.AppendRow(embs.Row(i))
 		ix.Table.Neighbors = append(ix.Table.Neighbors, nbrLists[i])
 	}
 	return ids, nil
-}
-
-// nearestReps computes the k nearest representatives to an embedding.
-func nearestReps(emb []float64, embeddings [][]float64, reps []int, k int) ([]cluster.Neighbor, error) {
-	if len(reps) == 0 {
-		return nil, errors.New("no representatives")
-	}
-	dists := make([]float64, len(reps))
-	for j, rep := range reps {
-		dists[j] = vecmath.SquaredL2(emb, embeddings[rep])
-	}
-	top := vecmath.SmallestK(dists, k)
-	nbrs := make([]cluster.Neighbor, len(top))
-	for j, iv := range top {
-		nbrs[j] = cluster.Neighbor{Rep: reps[iv.Index], Dist: math.Sqrt(iv.Value)}
-	}
-	return nbrs, nil
 }

@@ -46,10 +46,14 @@ func assertSameIndex(t *testing.T, want, got *Index) {
 			}
 		}
 	}
-	for i, emb := range want.Embeddings {
-		for j, v := range emb {
-			if got.Embeddings[i][j] != v {
-				t.Fatalf("embedding[%d][%d] = %v, want %v", i, j, got.Embeddings[i][j], v)
+	if got.Embeddings.Rows() != want.Embeddings.Rows() || got.Embeddings.Dim() != want.Embeddings.Dim() {
+		t.Fatalf("embeddings %dx%d, want %dx%d",
+			got.Embeddings.Rows(), got.Embeddings.Dim(), want.Embeddings.Rows(), want.Embeddings.Dim())
+	}
+	for i := 0; i < want.Embeddings.Rows(); i++ {
+		for j, v := range want.Embeddings.Row(i) {
+			if got.Embeddings.Row(i)[j] != v {
+				t.Fatalf("embedding[%d][%d] = %v, want %v", i, j, got.Embeddings.Row(i)[j], v)
 			}
 		}
 	}

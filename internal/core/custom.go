@@ -20,7 +20,8 @@ func (ix *Index) PropagateCustom(score ScoreFunc, prop PropagateFunc) ([]float64
 	if prop == nil {
 		return nil, fmt.Errorf("core: nil propagation function")
 	}
-	repScores, err := ix.repScores(score)
+	p := Propagator{ix: ix}
+	repScores, err := p.fillRepScores(score)
 	if err != nil {
 		return nil, err
 	}

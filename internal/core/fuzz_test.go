@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/labeler"
+	"repro/internal/snapshot"
 )
 
 // fuzzSeedIndex builds one tiny index for the fuzz seed corpus, shared and
@@ -56,6 +57,73 @@ func FuzzLoadIndex(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLoadIndexFlat targets the flat embeddings frame specifically: it
+// re-frames a valid snapshot with a fuzz-controlled flatEmbeddings payload
+// (arbitrary Rows/Dim shape against an arbitrary-length backing array, so
+// the corpus explores rows×dim overflow, truncated data, and negative
+// shapes) and requires Load to return a validated index or a typed error —
+// never a panic or an out-of-bounds matrix.
+func FuzzLoadIndexFlat(f *testing.F) {
+	ix, err := fuzzSeedIndexValue()
+	if err != nil {
+		f.Fatal(err)
+	}
+	maxInt := int(^uint(0) >> 1)
+	f.Add(ix.Embeddings.Rows(), ix.Embeddings.Dim(), len(ix.Embeddings.Data()))
+	f.Add(0, 0, 0)
+	f.Add(-1, 4, 8)
+	f.Add(maxInt/2+1, 4, 8)
+	f.Add(maxInt/3, 3, 9)
+	f.Add(2, 3, 5)
+
+	f.Fuzz(func(t *testing.T, rows, dim, dataLen int) {
+		if dataLen < 0 || dataLen > 1<<16 {
+			return // cap the backing array so the fuzzer can't OOM the host
+		}
+		var buf bytes.Buffer
+		sw, err := snapshot.NewWriter(&buf, indexKind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sections := []struct {
+			name string
+			v    any
+		}{
+			{"meta", indexMeta{K: ix.Table.K, Reps: ix.Table.Reps}},
+			{"neighbors", ix.Table.Neighbors},
+			{"annotations", ix.Annotations},
+			{embeddingsFlatFrame, flatEmbeddings{Rows: rows, Dim: dim, Data: make([]float64, dataLen)}},
+			{"stats", ix.Stats},
+		}
+		for _, s := range sections {
+			if err := sw.Encode(s.name, s.v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return
+		}
+		// The only accepted shape is one consistent with the neighbor table.
+		if got.Embeddings.Rows() != len(ix.Table.Neighbors) || rows*dim != dataLen {
+			t.Fatalf("accepted inconsistent shape %dx%d over %d entries", rows, dim, dataLen)
+		}
+	})
+}
+
+// fuzzSeedIndexValue rebuilds the fuzz seed index itself (not its encoded
+// bytes), memoized like fuzzSeedIndex.
+var fuzzSeedIndexValue = sync.OnceValues(func() (*Index, error) {
+	data, err := fuzzSeedIndex()
+	if err != nil {
+		return nil, err
+	}
+	return Load(bytes.NewReader(data))
+})
 
 // FuzzLoadCheckpoint does the same for the checkpoint decoder.
 func FuzzLoadCheckpoint(f *testing.F) {

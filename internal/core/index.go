@@ -32,6 +32,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/telemetry"
 	"repro/internal/triplet"
+	"repro/internal/vecmath"
 	"repro/internal/xrand"
 )
 
@@ -210,8 +211,10 @@ func (s BuildStats) TotalLabelCalls() int64 { return s.TrainLabelCalls + s.RepLa
 type Index struct {
 	// Embedder maps raw features to the semantic space.
 	Embedder embed.Embedder
-	// Embeddings holds every record's embedding, needed for cracking.
-	Embeddings [][]float64
+	// Embeddings holds every record's embedding as one contiguous matrix
+	// (record = row), needed for cracking and appends. It flows by reference
+	// through build, query, snapshot, and serve layers.
+	Embeddings vecmath.Matrix
 	// Table is the min-k distance table over the representatives.
 	Table *cluster.Table
 	// Annotations caches the target-labeler output for every representative
@@ -380,7 +383,7 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	// Phase 3: final embeddings.
 	embedStart = time.Now()
 	sp = cfg.TraceSpan.Child("embed/final")
-	var embeddings [][]float64
+	var embeddings vecmath.Matrix
 	if cfg.DoTrain {
 		embeddings = embed.AllPar(embedder, ds, cfg.Parallelism)
 	} else {
@@ -395,8 +398,18 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	sp = cfg.TraceSpan.Child("cluster/select")
 	repRand := xrand.Split(cfg.Seed, "reps")
 	var reps []int
+	// The FPF sweep computes every representative-to-record distance the
+	// exact table build would recompute. When the matrix fits the retention
+	// budget, keep it and build the table from it directly; the gate depends
+	// only on the record and representative counts, and both table paths are
+	// bitwise identical, so this is purely a bandwidth optimization.
+	var repDists vecmath.Matrix
 	if cfg.FPFCluster {
-		reps = cluster.FPFMixedPar(repRand, embeddings, cfg.NumReps, cfg.RandomRepFraction, cfg.Parallelism)
+		if !cfg.ApproxTable && cluster.DistCacheFits(ds.Len(), cfg.NumReps) {
+			reps, repDists = cluster.FPFMixedParDists(repRand, embeddings, cfg.NumReps, cfg.RandomRepFraction, cfg.Parallelism)
+		} else {
+			reps = cluster.FPFMixedPar(repRand, embeddings, cfg.NumReps, cfg.RandomRepFraction, cfg.Parallelism)
+		}
 	} else {
 		reps = cluster.RandomReps(repRand, ds.Len(), cfg.NumReps)
 	}
@@ -514,6 +527,11 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 		}
 		table = approx
 		sp.SetAttr("mode", "ivf")
+	} else if repDists.Rows() > 0 && repDists.Rows() == len(liveReps) {
+		// A degraded build drops representatives, misaligning the retained
+		// rows, so the cached path only fires when every rep survived.
+		table = cluster.BuildTableFromDists(repDists, liveReps, tableK, cfg.Parallelism)
+		sp.SetAttr("mode", "exact-cached")
 	} else {
 		table = cluster.BuildTablePar(embeddings, liveReps, tableK, cfg.Parallelism)
 		sp.SetAttr("mode", "exact")
@@ -571,7 +589,7 @@ func (ix *Index) Config() Config { return ix.cfg }
 func (ix *Index) SetParallelism(p int) { ix.cfg.Parallelism = p }
 
 // NumRecords returns the number of indexed records.
-func (ix *Index) NumRecords() int { return len(ix.Embeddings) }
+func (ix *Index) NumRecords() int { return ix.Embeddings.Rows() }
 
 // Crack adds a target-labeler result observed during query processing as a
 // new cluster representative, improving subsequent proxy scores (Section

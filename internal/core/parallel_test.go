@@ -45,10 +45,14 @@ func assertIndexesIdentical(t *testing.T, serial, par *Index, p int) {
 			}
 		}
 	}
-	for i, emb := range serial.Embeddings {
-		for j, v := range emb {
-			if par.Embeddings[i][j] != v {
-				t.Fatalf("p=%d: embedding[%d][%d] = %v, serial %v", p, i, j, par.Embeddings[i][j], v)
+	if par.Embeddings.Rows() != serial.Embeddings.Rows() || par.Embeddings.Dim() != serial.Embeddings.Dim() {
+		t.Fatalf("p=%d: embeddings %dx%d, serial %dx%d",
+			p, par.Embeddings.Rows(), par.Embeddings.Dim(), serial.Embeddings.Rows(), serial.Embeddings.Dim())
+	}
+	for i := 0; i < serial.Embeddings.Rows(); i++ {
+		for j, v := range serial.Embeddings.Row(i) {
+			if par.Embeddings.Row(i)[j] != v {
+				t.Fatalf("p=%d: embedding[%d][%d] = %v, serial %v", p, i, j, par.Embeddings.Row(i)[j], v)
 			}
 		}
 	}

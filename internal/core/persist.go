@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/snapshot"
+	"repro/internal/vecmath"
 )
 
 // The annotation cache holds interface values, so gob needs the concrete
@@ -27,12 +29,28 @@ const (
 	checkpointKind = "tasti-checkpoint"
 )
 
+// Embedding frame names: v2 snapshots persist the contiguous matrix as one
+// flat frame; v1 snapshots carried a gob [][]float64. Load picks the decoder
+// by the frame name it finds, so both generations stay readable.
+const (
+	embeddingsFlatFrame   = "embeddings.flat"
+	embeddingsLegacyFrame = "embeddings"
+)
+
 // indexMeta is the first frame of an index snapshot: everything cheap, so a
 // reader can reject a damaged or mismatched file before decoding the bulky
 // sections.
 type indexMeta struct {
 	K    int
 	Reps []int
+}
+
+// flatEmbeddings is the on-disk form of the embedding matrix: the shape plus
+// the matrix's backing array, encoded as a single frame instead of one gob
+// slice header per record.
+type flatEmbeddings struct {
+	Rows, Dim int
+	Data      []float64
 }
 
 // gobSnapshot is the legacy (pre-framing) on-disk form: one bare
@@ -50,8 +68,9 @@ type gobSnapshot struct {
 
 // Save serializes the index in the framed snapshot format: magic, version,
 // and per-section checksummed frames (see internal/snapshot), with a
-// whole-file checksum trailer. Pair it with snapshot.WriteFile for an
-// atomic, fsynced on-disk replacement.
+// whole-file checksum trailer. The embedding matrix is written as one flat
+// frame — shape plus contiguous backing array. Pair it with snapshot.WriteFile
+// for an atomic, fsynced on-disk replacement.
 func (ix *Index) Save(w io.Writer) error {
 	sw, err := snapshot.NewWriter(w, indexKind)
 	if err != nil {
@@ -64,7 +83,11 @@ func (ix *Index) Save(w io.Writer) error {
 		{"meta", indexMeta{K: ix.Table.K, Reps: ix.Table.Reps}},
 		{"neighbors", ix.Table.Neighbors},
 		{"annotations", ix.Annotations},
-		{"embeddings", ix.Embeddings},
+		{embeddingsFlatFrame, flatEmbeddings{
+			Rows: ix.Embeddings.Rows(),
+			Dim:  ix.Embeddings.Dim(),
+			Data: ix.Embeddings.Data(),
+		}},
 		{"stats", ix.Stats},
 	}
 	for _, s := range sections {
@@ -78,19 +101,60 @@ func (ix *Index) Save(w io.Writer) error {
 	return nil
 }
 
+// decodeEmbeddingsFrame decodes the embeddings section of a framed snapshot,
+// accepting both the v2 flat layout and the v1 per-row gob layout, with the
+// shape validated (row count × dim overflow, backing-array length, ragged
+// rows) before the matrix is trusted.
+func decodeEmbeddingsFrame(sr *snapshot.Reader) (vecmath.Matrix, error) {
+	name, payload, err := sr.Next()
+	if err == io.EOF {
+		return vecmath.Matrix{}, fmt.Errorf("%w: missing frame %q", snapshot.ErrTruncated, embeddingsFlatFrame)
+	}
+	if err != nil {
+		return vecmath.Matrix{}, err
+	}
+	switch name {
+	case embeddingsFlatFrame:
+		var flat flatEmbeddings
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&flat); err != nil {
+			return vecmath.Matrix{}, fmt.Errorf("snapshot: decoding frame %q: %w", name, err)
+		}
+		m, err := vecmath.MatrixFromFlat(flat.Data, flat.Rows, flat.Dim)
+		if err != nil {
+			return vecmath.Matrix{}, fmt.Errorf("core: embeddings frame: %w", err)
+		}
+		return m, nil
+	case embeddingsLegacyFrame:
+		var rows [][]float64
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rows); err != nil {
+			return vecmath.Matrix{}, fmt.Errorf("snapshot: decoding frame %q: %w", name, err)
+		}
+		m, err := vecmath.TryFromRows(rows)
+		if err != nil {
+			return vecmath.Matrix{}, fmt.Errorf("core: embeddings frame: %w", err)
+		}
+		return m, nil
+	default:
+		return vecmath.Matrix{}, fmt.Errorf("snapshot: unexpected frame %q, want %q or %q",
+			name, embeddingsFlatFrame, embeddingsLegacyFrame)
+	}
+}
+
 // Load deserializes an index saved with Save. It sniffs the magic bytes:
 // framed snapshots are decoded with per-section and whole-file checksum
 // verification and a typed error taxonomy (snapshot.ErrChecksum,
-// ErrTruncated, ...); anything else falls back to the legacy bare-gob
-// decoder for pre-framing snapshots, with a deprecation warning. The
-// returned index propagates scores and supports cracking; Embedder is nil
-// because the embedding model is not persisted.
+// ErrTruncated, ...), with the embeddings section accepted in both the v2
+// flat layout and the v1 per-row layout; anything else falls back to the
+// legacy bare-gob decoder for pre-framing snapshots, with a deprecation
+// warning. The returned index propagates scores and supports cracking;
+// Embedder is nil because the embedding model is not persisted.
 func Load(r io.Reader) (*Index, error) {
 	framed, replay, err := snapshot.Sniff(r)
 	if err != nil {
 		return nil, fmt.Errorf("core: loading index: %w", err)
 	}
 	var snap gobSnapshot
+	var embeddings vecmath.Matrix
 	if framed {
 		sr, err := snapshot.NewReader(replay, indexKind)
 		if err != nil {
@@ -107,7 +171,7 @@ func Load(r io.Reader) (*Index, error) {
 		if err := sr.Decode("annotations", &snap.Annotations); err != nil {
 			return nil, fmt.Errorf("core: loading index: %w", err)
 		}
-		if err := sr.Decode("embeddings", &snap.Embeddings); err != nil {
+		if embeddings, err = decodeEmbeddingsFrame(sr); err != nil {
 			return nil, fmt.Errorf("core: loading index: %w", err)
 		}
 		if err := sr.Decode("stats", &snap.Stats); err != nil {
@@ -124,9 +188,16 @@ func Load(r io.Reader) (*Index, error) {
 				err, snapshot.ErrBadMagic)
 		}
 		slog.Warn("core: loaded legacy un-checksummed gob index snapshot; re-save to upgrade to the framed format")
+		if embeddings, err = vecmath.TryFromRows(snap.Embeddings); err != nil {
+			return nil, fmt.Errorf("core: loading index: embeddings: %w", err)
+		}
+	}
+	if embeddings.Rows() != len(snap.Neighbors) {
+		return nil, fmt.Errorf("core: loaded index invalid: %d embedding rows for %d neighbor lists",
+			embeddings.Rows(), len(snap.Neighbors))
 	}
 	ix := &Index{
-		Embeddings: snap.Embeddings,
+		Embeddings: embeddings,
 		Table: &cluster.Table{
 			K:         snap.K,
 			Reps:      snap.Reps,

@@ -21,7 +21,7 @@ func saveLegacy(t *testing.T, ix *Index) []byte {
 		Reps:        ix.Table.Reps,
 		Neighbors:   ix.Table.Neighbors,
 		Annotations: ix.Annotations,
-		Embeddings:  ix.Embeddings,
+		Embeddings:  ix.Embeddings.CopyRows(),
 		Stats:       ix.Stats,
 	}
 	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
@@ -70,9 +70,13 @@ func TestLegacyGobLoadRoundTrip(t *testing.T) {
 		if len(got.Annotations) != len(ix.Annotations) {
 			t.Fatalf("%s: %d annotations, want %d", name, len(got.Annotations), len(ix.Annotations))
 		}
-		for i := range ix.Embeddings {
-			for j := range ix.Embeddings[i] {
-				if got.Embeddings[i][j] != ix.Embeddings[i][j] {
+		if got.Embeddings.Rows() != ix.Embeddings.Rows() || got.Embeddings.Dim() != ix.Embeddings.Dim() {
+			t.Fatalf("%s: embeddings %dx%d, want %dx%d",
+				name, got.Embeddings.Rows(), got.Embeddings.Dim(), ix.Embeddings.Rows(), ix.Embeddings.Dim())
+		}
+		for i := 0; i < ix.Embeddings.Rows(); i++ {
+			for j, v := range ix.Embeddings.Row(i) {
+				if got.Embeddings.Row(i)[j] != v {
 					t.Fatalf("%s: embedding [%d][%d] differs", name, i, j)
 				}
 			}

@@ -5,20 +5,30 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dataset"
 	"repro/internal/parallel"
 )
 
-// observePropagate records one propagation pass (kind: weighted, nearest,
-// or vote) into the index's registry — a count and a latency observation
-// per call, nothing per record. No-op without Config.Telemetry.
-func (ix *Index) observePropagate(kind string, start time.Time) {
+// Pre-built metric names: propagation runs per query, so the counter names
+// must not be rebuilt (allocated) per call.
+const (
+	metricPropagateWeighted = `tasti_propagate_total{kind="weighted"}`
+	metricPropagateNearest  = `tasti_propagate_total{kind="nearest"}`
+	metricPropagateVote     = `tasti_propagate_total{kind="vote"}`
+	metricPropagateSeconds  = "tasti_propagate_seconds"
+)
+
+// observePropagate records one propagation pass into the index's registry —
+// a count and a latency observation per call, nothing per record. No-op
+// without Config.Telemetry.
+func (ix *Index) observePropagate(metric string, start time.Time) {
 	reg := ix.cfg.Telemetry
 	if reg == nil {
 		return
 	}
-	reg.Counter(`tasti_propagate_total{kind="` + kind + `"}`).Inc()
-	reg.Histogram("tasti_propagate_seconds", nil).Observe(time.Since(start).Seconds())
+	reg.Counter(metric).Inc()
+	reg.Histogram(metricPropagateSeconds, nil).Observe(time.Since(start).Seconds())
 }
 
 // ScoreFunc turns a target-labeler output into a numeric query-specific
@@ -34,33 +44,87 @@ type LabelFunc func(ann dataset.Annotation) string
 // divide by zero.
 const invDistEps = 1e-9
 
-// Propagate computes a proxy score for every record: the exact score on
-// representatives and the inverse-distance-weighted mean of the k nearest
-// representatives' scores elsewhere (Section 4.3).
-//
-// All Propagate* methods shard the per-record loop across
-// Config.Parallelism workers (each record only reads the table and the
-// shared representative scores, so the output is identical at every worker
-// count) and are safe to call concurrently with each other — but not with
-// Crack.
-func (ix *Index) Propagate(score ScoreFunc) ([]float64, error) {
-	return ix.PropagateK(score, ix.Table.K)
+// Propagator holds reusable scratch for score propagation over one index:
+// the dense record-ID-indexed representative-score slice and the output
+// buffer. A warm Propagator performs zero allocations per PropagateK call,
+// which is what keeps the serve-path query loop allocation-free in steady
+// state. A Propagator is not safe for concurrent use; it shares the
+// index's read-only contract (concurrent with other reads, never with
+// Crack).
+type Propagator struct {
+	ix        *Index
+	repScores []float64
+	out       []float64
 }
 
-// PropagateK is Propagate with an explicit neighbor count k <= Table.K
-// (limit queries use k=1).
-func (ix *Index) PropagateK(score ScoreFunc, k int) ([]float64, error) {
+// NewPropagator returns a Propagator over ix.
+func NewPropagator(ix *Index) *Propagator { return &Propagator{ix: ix} }
+
+// fillRepScores evaluates score on every representative's cached annotation
+// into a dense slice indexed by record ID. Entries for non-representatives
+// are stale garbage that no read path touches: neighbor lists only ever name
+// representatives.
+func (p *Propagator) fillRepScores(score ScoreFunc) ([]float64, error) {
+	ix := p.ix
+	n := ix.NumRecords()
+	if cap(p.repScores) < n {
+		p.repScores = make([]float64, n)
+	}
+	rs := p.repScores[:n]
+	for _, rep := range ix.Table.Reps {
+		ann, ok := ix.Annotations[rep]
+		if !ok {
+			return nil, fmt.Errorf("%w: representative %d", ErrNoAnnotation, rep)
+		}
+		rs[rep] = score(ann)
+	}
+	return rs, nil
+}
+
+// scratchOut returns the reusable n-entry output buffer.
+func (p *Propagator) scratchOut(n int) []float64 {
+	if cap(p.out) < n {
+		p.out = make([]float64, n)
+	}
+	return p.out[:n]
+}
+
+// PropagateK computes the inverse-distance-weighted proxy score of every
+// record over its k nearest representatives, like Index.PropagateK, but into
+// the Propagator's reusable output buffer — the returned slice is valid
+// until the next call.
+func (p *Propagator) PropagateK(score ScoreFunc, k int) ([]float64, error) {
+	ix := p.ix
 	if k <= 0 || k > ix.Table.K {
 		return nil, fmt.Errorf("core: propagation k=%d outside [1,%d]", k, ix.Table.K)
 	}
-	defer ix.observePropagate("weighted", time.Now())
-	repScores, err := ix.repScores(score)
+	defer ix.observePropagate(metricPropagateWeighted, time.Now())
+	rs, err := p.fillRepScores(score)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, ix.NumRecords())
-	parallel.For(ix.cfg.Parallelism, ix.NumRecords(), func(i int) {
-		nbrs := ix.Table.Neighbors[i]
+	n := ix.NumRecords()
+	out := p.scratchOut(n)
+	// The serial path is a plain method call: a closure handed to
+	// parallel.For would escape to the heap and break the zero-allocation
+	// guarantee. Both paths run the identical per-record computation, so the
+	// output is bitwise identical at every worker count.
+	if parallel.Workers(ix.cfg.Parallelism) == 1 {
+		propagateKRange(out, ix.Table.Neighbors, rs, k, 0, n)
+	} else {
+		parallel.ForChunks(ix.cfg.Parallelism, n, func(_ int, s parallel.Span) {
+			propagateKRange(out, ix.Table.Neighbors, rs, k, s.Lo, s.Hi)
+		})
+	}
+	return out, nil
+}
+
+// propagateKRange scores records [lo, hi): the exact score for zero-distance
+// records (representatives), the inverse-distance-weighted mean of the k
+// nearest representatives elsewhere.
+func propagateKRange(out []float64, neighbors [][]cluster.Neighbor, repScores []float64, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		nbrs := neighbors[i]
 		if len(nbrs) > k {
 			nbrs = nbrs[:k]
 		}
@@ -68,7 +132,7 @@ func (ix *Index) PropagateK(score ScoreFunc, k int) ([]float64, error) {
 		// gets the exact score.
 		if nbrs[0].Dist == 0 {
 			out[i] = repScores[nbrs[0].Rep]
-			return
+			continue
 		}
 		num, den := 0.0, 0.0
 		for _, nb := range nbrs {
@@ -77,7 +141,31 @@ func (ix *Index) PropagateK(score ScoreFunc, k int) ([]float64, error) {
 			den += w
 		}
 		out[i] = num / den
-	})
+	}
+}
+
+// Propagate computes a proxy score for every record: the exact score on
+// representatives and the inverse-distance-weighted mean of the k nearest
+// representatives' scores elsewhere (Section 4.3).
+//
+// All Propagate* methods shard the per-record loop across
+// Config.Parallelism workers (each record only reads the table and the
+// shared representative scores, so the output is identical at every worker
+// count) and are safe to call concurrently with each other — but not with
+// Crack. Hot query loops that care about steady-state allocations hold a
+// Propagator instead; these methods return freshly allocated slices.
+func (ix *Index) Propagate(score ScoreFunc) ([]float64, error) {
+	return ix.PropagateK(score, ix.Table.K)
+}
+
+// PropagateK is Propagate with an explicit neighbor count k <= Table.K
+// (limit queries use k=1).
+func (ix *Index) PropagateK(score ScoreFunc, k int) ([]float64, error) {
+	p := Propagator{ix: ix}
+	out, err := p.PropagateK(score, k)
+	if err != nil {
+		return nil, err
+	}
 	return out, nil
 }
 
@@ -85,8 +173,9 @@ func (ix *Index) PropagateK(score ScoreFunc, k int) ([]float64, error) {
 // score along with the distance to it, the k=1 scoring with distance
 // tie-breaking that the paper's limit queries use (Section 6.3).
 func (ix *Index) PropagateNearest(score ScoreFunc) (scores, dists []float64, err error) {
-	defer ix.observePropagate("nearest", time.Now())
-	repScores, err := ix.repScores(score)
+	defer ix.observePropagate(metricPropagateNearest, time.Now())
+	p := Propagator{ix: ix}
+	rs, err := p.fillRepScores(score)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -94,7 +183,7 @@ func (ix *Index) PropagateNearest(score ScoreFunc) (scores, dists []float64, err
 	dists = make([]float64, ix.NumRecords())
 	parallel.For(ix.cfg.Parallelism, ix.NumRecords(), func(i int) {
 		nb := ix.Table.Nearest(i)
-		scores[i] = repScores[nb.Rep]
+		scores[i] = rs[nb.Rep]
 		dists[i] = nb.Dist
 	})
 	return scores, dists, nil
@@ -103,7 +192,7 @@ func (ix *Index) PropagateNearest(score ScoreFunc) (scores, dists []float64, err
 // PropagateVote computes a categorical label per record by
 // distance-weighted majority vote over the k nearest representatives.
 func (ix *Index) PropagateVote(label LabelFunc) ([]string, error) {
-	defer ix.observePropagate("vote", time.Now())
+	defer ix.observePropagate(metricPropagateVote, time.Now())
 	labels := make(map[int]string, len(ix.Annotations))
 	for id, ann := range ix.Annotations {
 		labels[id] = label(ann)
@@ -130,20 +219,6 @@ func (ix *Index) PropagateVote(label LabelFunc) ([]string, error) {
 			out[i] = best
 		}
 	})
-	return out, nil
-}
-
-// repScores evaluates the scoring function on every representative's cached
-// annotation.
-func (ix *Index) repScores(score ScoreFunc) (map[int]float64, error) {
-	out := make(map[int]float64, len(ix.Table.Reps))
-	for _, rep := range ix.Table.Reps {
-		ann, ok := ix.Annotations[rep]
-		if !ok {
-			return nil, fmt.Errorf("%w: representative %d", ErrNoAnnotation, rep)
-		}
-		out[rep] = score(ann)
-	}
 	return out, nil
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/vecmath"
 	"repro/internal/xrand"
 )
 
@@ -20,11 +21,11 @@ import (
 func TestTheorem1Bound(t *testing.T) {
 	r := xrand.New(5)
 	const n = 2000
-	embeddings := make([][]float64, n)
+	embeddings := vecmath.NewMatrix(n, 1)
 	truth := make([]float64, n)
 	for i := 0; i < n; i++ {
 		x := r.Float64() * 10
-		embeddings[i] = []float64{x}
+		embeddings.Row(i)[0] = x
 		truth[i] = x
 	}
 

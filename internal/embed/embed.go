@@ -14,6 +14,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/nn"
 	"repro/internal/parallel"
+	"repro/internal/vecmath"
 	"repro/internal/xrand"
 )
 
@@ -30,10 +31,11 @@ type Embedder interface {
 // Pretrained is a fixed random-feature embedder: a seeded Gaussian
 // projection followed by tanh. It is semantically meaningful (nearby raw
 // features stay nearby) but not adapted to any induced schema, exactly the
-// role of a generic pre-trained DNN in the paper.
+// role of a generic pre-trained DNN in the paper. The projection matrix is a
+// contiguous vecmath.Matrix (one row per output dimension), so a forward
+// pass is one DotBatch sweep.
 type Pretrained struct {
-	w   [][]float64
-	dim int
+	w vecmath.Matrix
 }
 
 // NewPretrained builds a random-feature embedder from inputDim to dim,
@@ -43,36 +45,38 @@ func NewPretrained(inputDim, dim int, seed int64) *Pretrained {
 		panic(fmt.Sprintf("embed: invalid dims %d -> %d", inputDim, dim))
 	}
 	r := xrand.Split(seed, "pretrained-embedder")
-	w := make([][]float64, dim)
+	w := vecmath.NewMatrix(dim, inputDim)
 	scale := 1 / math.Sqrt(float64(inputDim))
-	for i := range w {
-		row := make([]float64, inputDim)
+	for i := 0; i < dim; i++ {
+		row := w.Row(i)
 		for j := range row {
 			row[j] = r.NormFloat64() * scale
 		}
-		w[i] = row
 	}
-	return &Pretrained{w: w, dim: dim}
+	return &Pretrained{w: w}
 }
 
 // Embed implements Embedder.
 func (p *Pretrained) Embed(features []float64) []float64 {
-	out := make([]float64, p.dim)
-	for i, row := range p.w {
-		if len(features) != len(row) {
-			panic(fmt.Sprintf("embed: feature dim %d, want %d", len(features), len(row)))
-		}
-		s := 0.0
-		for j, w := range row {
-			s += w * features[j]
-		}
-		out[i] = math.Tanh(s)
-	}
+	out := make([]float64, p.w.Rows())
+	p.EmbedInto(out, features)
 	return out
 }
 
+// EmbedInto embeds features into dst (len Dim()) without allocating, the
+// fast path AllPar uses to fill a preallocated embedding matrix row.
+func (p *Pretrained) EmbedInto(dst, features []float64) {
+	if len(features) != p.w.Dim() {
+		panic(fmt.Sprintf("embed: feature dim %d, want %d", len(features), p.w.Dim()))
+	}
+	vecmath.DotBatch(features, p.w, dst)
+	for i, v := range dst {
+		dst[i] = math.Tanh(v)
+	}
+}
+
 // Dim implements Embedder.
-func (p *Pretrained) Dim() int { return p.dim }
+func (p *Pretrained) Dim() int { return p.w.Rows() }
 
 // Name implements Embedder.
 func (p *Pretrained) Name() string { return "pretrained" }
@@ -97,20 +101,36 @@ func (t *Trained) Dim() int { return t.Net.OutputDim() }
 // Name implements Embedder.
 func (t *Trained) Name() string { return "triplet-trained" }
 
+// intoEmbedder is the optional allocation-free fast path: embedders that can
+// write directly into a preallocated row implement it (Pretrained does).
+type intoEmbedder interface {
+	EmbedInto(dst, features []float64)
+}
+
 // All embeds every record of ds in parallel on all CPUs and returns the
-// embeddings in record order.
-func All(e Embedder, ds *dataset.Dataset) [][]float64 {
+// embeddings in record order as one contiguous matrix.
+func All(e Embedder, ds *dataset.Dataset) vecmath.Matrix {
 	return AllPar(e, ds, 0)
 }
 
 // AllPar is All with an explicit parallelism level p (p <= 0 uses all CPUs).
 // Records embed independently, so the output is identical at every p. The
 // embedder must be safe for concurrent Embed calls; both implementations
-// here are (their forward passes only read model weights).
-func AllPar(e Embedder, ds *dataset.Dataset, p int) [][]float64 {
-	out := make([][]float64, ds.Len())
+// here are (their forward passes only read model weights). Embedders with an
+// EmbedInto fast path fill their matrix rows in place; others embed per
+// record and are copied in.
+func AllPar(e Embedder, ds *dataset.Dataset, p int) vecmath.Matrix {
+	out := vecmath.NewMatrix(ds.Len(), e.Dim())
+	if ie, ok := e.(intoEmbedder); ok {
+		parallel.ForChunks(p, ds.Len(), func(_ int, s parallel.Span) {
+			for i := s.Lo; i < s.Hi; i++ {
+				ie.EmbedInto(out.Row(i), ds.Records[i].Features)
+			}
+		})
+		return out
+	}
 	parallel.For(p, ds.Len(), func(i int) {
-		out[i] = e.Embed(ds.Records[i].Features)
+		copy(out.Row(i), e.Embed(ds.Records[i].Features))
 	})
 	return out
 }

@@ -94,13 +94,13 @@ func TestAllMatchesSequential(t *testing.T) {
 	}
 	p := NewPretrained(ds.FeatureDim(), 16, 4)
 	parallel := All(p, ds)
-	if len(parallel) != ds.Len() {
-		t.Fatalf("got %d embeddings", len(parallel))
+	if parallel.Rows() != ds.Len() {
+		t.Fatalf("got %d embeddings", parallel.Rows())
 	}
 	for i := 0; i < ds.Len(); i += 37 {
 		want := p.Embed(ds.Records[i].Features)
 		for j := range want {
-			if parallel[i][j] != want[j] {
+			if parallel.Row(i)[j] != want[j] {
 				t.Fatalf("record %d dim %d: parallel differs from sequential", i, j)
 			}
 		}

@@ -52,10 +52,22 @@ import (
 // evolution happens through the version field behind it.
 var Magic = [8]byte{'T', 'A', 'S', 'T', 'I', 'S', 'N', 'P'}
 
-// Version is the current container-format version. Readers accept exactly
-// this version: the format is changed only by incrementing it, and old
-// readers fail new files with ErrVersion instead of misparsing them.
-const Version uint32 = 1
+// Version is the current container-format version. Readers accept the range
+// [MinVersion, Version]: the format is changed only by incrementing Version,
+// and old readers fail new files with ErrVersion instead of misparsing them.
+//
+// Version history:
+//
+//	v1 — initial framed format (PR 4); index embeddings as one gob
+//	     [][]float64 frame named "embeddings".
+//	v2 — flat embedding layout: index embeddings as one contiguous
+//	     row-major frame named "embeddings.flat" (rows, dim, backing
+//	     array). v1 files remain readable; readers pick the decoder by
+//	     frame name.
+const Version uint32 = 2
+
+// MinVersion is the oldest container-format version this build still reads.
+const MinVersion uint32 = 1
 
 // DefaultMaxFrameBytes is the sanity cap on a single frame's declared
 // payload length. A frame claiming more is rejected with ErrFrameTooLarge
@@ -96,10 +108,22 @@ type Writer struct {
 	err     error
 }
 
-// NewWriter starts a framed snapshot of the given kind on w.
+// NewWriter starts a framed snapshot of the given kind on w, at the current
+// format version.
 func NewWriter(w io.Writer, kind string) (*Writer, error) {
+	return NewWriterVersion(w, kind, Version)
+}
+
+// NewWriterVersion is NewWriter at an explicit format version in
+// [MinVersion, Version]. Production writers always write Version; the knob
+// exists so compatibility tests can fabricate files of every version this
+// build claims to read.
+func NewWriterVersion(w io.Writer, kind string, version uint32) (*Writer, error) {
 	if len(kind) == 0 || len(kind) > 255 {
 		return nil, fmt.Errorf("snapshot: kind must be 1..255 bytes, got %d", len(kind))
+	}
+	if version < MinVersion || version > Version {
+		return nil, fmt.Errorf("snapshot: cannot write version %d (supported %d..%d)", version, MinVersion, Version)
 	}
 	sw := &Writer{w: w, fileCRC: crc32.New(castagnoli)}
 	if err := sw.write(Magic[:]); err != nil {
@@ -108,7 +132,7 @@ func NewWriter(w io.Writer, kind string) (*Writer, error) {
 	// Header: version, kind, header CRC.
 	var hdr bytes.Buffer
 	var v4 [4]byte
-	binary.BigEndian.PutUint32(v4[:], Version)
+	binary.BigEndian.PutUint32(v4[:], version)
 	hdr.Write(v4[:])
 	hdr.WriteByte(byte(len(kind)))
 	hdr.WriteString(kind)
@@ -205,6 +229,7 @@ type Reader struct {
 	r        io.Reader
 	fileCRC  hash.Hash32
 	kind     string
+	version  uint32
 	maxFrame uint64
 	done     bool
 	err      error
@@ -255,9 +280,10 @@ func NewReaderLimit(r io.Reader, kind string, maxFrame int64) (*Reader, error) {
 	}
 	// Checksum before semantics: only a header that arrived intact gets to
 	// report a version or kind mismatch.
-	if version != Version {
-		return nil, fmt.Errorf("%w: file has v%d, this build reads v%d", ErrVersion, version, Version)
+	if version < MinVersion || version > Version {
+		return nil, fmt.Errorf("%w: file has v%d, this build reads v%d..v%d", ErrVersion, version, MinVersion, Version)
 	}
+	sr.version = version
 	sr.kind = string(kindBuf)
 	if sr.kind != kind {
 		return nil, fmt.Errorf("%w: file holds %q, caller wants %q", ErrKind, sr.kind, kind)
@@ -267,6 +293,10 @@ func NewReaderLimit(r io.Reader, kind string, maxFrame int64) (*Reader, error) {
 
 // Kind returns the artifact kind declared in the header.
 func (sr *Reader) Kind() string { return sr.kind }
+
+// Version returns the format version declared in the header, in
+// [MinVersion, Version].
+func (sr *Reader) Version() uint32 { return sr.version }
 
 // readFull reads exactly len(b) bytes, folding them into the whole-file CRC
 // and mapping EOFs to the given taxonomy error.

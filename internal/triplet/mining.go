@@ -7,23 +7,24 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/vecmath"
 	"repro/internal/xrand"
 )
 
 // MineFPF selects n training records by running furthest-point-first over
 // pre-trained embeddings, the paper's "FPF mining". Diverse training points
 // cover rare events that uniform sampling would miss.
-func MineFPF(r *rand.Rand, pretrained [][]float64, n int) []int {
+func MineFPF(r *rand.Rand, pretrained vecmath.Matrix, n int) []int {
 	return MineFPFPar(r, pretrained, n, 0)
 }
 
 // MineFPFPar is MineFPF with an explicit parallelism level p (p <= 0 uses
 // all CPUs); the mined set is identical at every p.
-func MineFPFPar(r *rand.Rand, pretrained [][]float64, n, p int) []int {
-	if len(pretrained) == 0 || n <= 0 {
+func MineFPFPar(r *rand.Rand, pretrained vecmath.Matrix, n, p int) []int {
+	if pretrained.Rows() == 0 || n <= 0 {
 		return nil
 	}
-	return cluster.FPFPar(pretrained, n, r.Intn(len(pretrained)), p)
+	return cluster.FPFPar(pretrained, n, r.Intn(pretrained.Rows()), p)
 }
 
 // MineRandom selects n training records uniformly without replacement, the

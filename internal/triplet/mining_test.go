@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/embed"
+	"repro/internal/vecmath"
 	"repro/internal/xrand"
 )
 
@@ -45,7 +46,7 @@ func TestMineFPFDiversity(t *testing.T) {
 		}
 		seen[id] = true
 	}
-	if MineFPF(xrand.New(4), nil, 10) != nil {
+	if MineFPF(xrand.New(4), vecmath.Matrix{}, 10) != nil {
 		t.Error("empty embeddings should give nil")
 	}
 	if MineFPF(xrand.New(4), emb, 0) != nil {

@@ -1,0 +1,38 @@
+package vecmath
+
+import "testing"
+
+// Kernel micro-benchmarks: the single-row form measures the kernel's
+// in-cache throughput (call overhead included), the batch form measures the
+// streaming bandwidth the FPF and table sweeps actually see. Comparing the
+// two MB/s numbers shows whether a build is compute- or bandwidth-bound on
+// the machine at hand.
+
+func BenchmarkSqL2Kernel128(b *testing.B) {
+	q := make([]float64, 128)
+	r := make([]float64, 128)
+	for i := range q {
+		q[i] = float64(i)
+		r[i] = float64(i) * 0.5
+	}
+	b.SetBytes(128 * 8 * 2)
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += SquaredL2(q, r)
+	}
+	_ = s
+}
+
+func BenchmarkSqL2Batch128(b *testing.B) {
+	m := NewMatrix(600, 128)
+	q := make([]float64, 128)
+	dst := make([]float64, 600)
+	for i := range q {
+		q[i] = float64(i)
+	}
+	b.SetBytes(600 * 128 * 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SquaredL2Batch(q, m, dst)
+	}
+}

@@ -1,0 +1,94 @@
+//go:build amd64
+
+package vecmath
+
+// useAVX is decided once at process start: true when the CPU exposes
+// AVX2+FMA and the OS saves YMM state. A single per-process choice is what
+// keeps the determinism contract intact — every kernel call (scalar or
+// batch, any goroutine) takes the same code path, so identical inputs give
+// identical bits for the lifetime of the process.
+var useAVX = detectAVX()
+
+// sqL2Kernel dispatches the shared squared-distance kernel. Callers
+// guarantee len(b) >= len(a); the re-slice keeps the assembly's read bounds
+// explicit.
+func sqL2Kernel(a, b []float64) float64 {
+	if useAVX {
+		return sqL2AVX(a, b[:len(a)])
+	}
+	return sqL2Generic(a, b)
+}
+
+// sqL2BatchKernel dispatches the one-to-many squared-distance sweep: dst[r]
+// is the distance from q to the r-th len(q)-sized row of data. On the AVX
+// path the row loop itself lives in assembly, so the millions of per-row
+// calls of an index build collapse into one call per sweep; each entry is
+// still bitwise identical to the scalar kernel.
+func sqL2BatchKernel(q, data, dst []float64) {
+	if useAVX {
+		sqL2BatchAVX(q, data, dst)
+		return
+	}
+	d := len(q)
+	for r := range dst {
+		dst[r] = sqL2Generic(q, data[r*d:r*d+d])
+	}
+}
+
+// dotKernel dispatches the shared inner-product kernel.
+func dotKernel(a, b []float64) float64 {
+	if useAVX {
+		return dotAVX(a, b[:len(a)])
+	}
+	return dotGeneric(a, b)
+}
+
+// sqL2AVX computes the squared L2 distance with AVX2+FMA: 16 float64 per
+// iteration into four independent YMM accumulators, combined in a fixed
+// order (accumulators, then lanes low-to-high, then a scalar tail).
+//
+//go:noescape
+func sqL2AVX(a, b []float64) float64
+
+// dotAVX is the AVX2+FMA inner product with the same shape and combine
+// order as sqL2AVX.
+//
+//go:noescape
+func dotAVX(a, b []float64) float64
+
+// sqL2BatchAVX is the AVX2+FMA one-to-many squared distance; its per-row
+// body is instruction-for-instruction the sqL2AVX body.
+//
+//go:noescape
+func sqL2BatchAVX(q, data, dst []float64)
+
+// cpuidex executes CPUID with the given leaf and subleaf.
+func cpuidex(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (the OS-enabled state mask).
+func xgetbv0() (eax, edx uint32)
+
+// detectAVX reports whether the AVX kernels are safe to run: the CPU must
+// advertise AVX, FMA, and AVX2, and the OS must have enabled XMM+YMM state
+// saving (OSXSAVE set and XCR0 bits 1-2 on).
+func detectAVX() bool {
+	maxLeaf, _, _, _ := cpuidex(0, 0)
+	if maxLeaf < 7 {
+		return false
+	}
+	const (
+		fma     = 1 << 12
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	_, _, c1, _ := cpuidex(1, 0)
+	if c1&fma == 0 || c1&osxsave == 0 || c1&avx == 0 {
+		return false
+	}
+	if xcr0, _ := xgetbv0(); xcr0&6 != 6 {
+		return false
+	}
+	const avx2 = 1 << 5
+	_, b7, _, _ := cpuidex(7, 0)
+	return b7&avx2 != 0
+}

@@ -1,0 +1,57 @@
+//go:build amd64
+
+package vecmath
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+// TestAVXKernelsAgreeWithGeneric cross-checks the assembly kernels against
+// the portable loops. The two paths use different accumulation shapes (and
+// FMA contracts the multiply-add), so agreement is to relative tolerance,
+// not bitwise — the bitwise contract is within a path, pinned by
+// TestBatchKernelsMatchScalarBitwise.
+func TestAVXKernelsAgreeWithGeneric(t *testing.T) {
+	if !useAVX {
+		t.Skip("no AVX2+FMA on this machine")
+	}
+	r := xrand.New(31)
+	for _, d := range []int{0, 1, 3, 4, 7, 8, 15, 16, 17, 31, 32, 33, 48, 64, 100} {
+		a := make([]float64, d)
+		b := make([]float64, d)
+		for i := 0; i < d; i++ {
+			a[i] = r.NormFloat64()
+			b[i] = r.NormFloat64()
+		}
+		checkClose := func(name string, got, want float64) {
+			t.Helper()
+			if diff := math.Abs(got - want); diff > 1e-9*(1+math.Abs(want)) {
+				t.Errorf("d=%d %s: AVX %v vs generic %v", d, name, got, want)
+			}
+		}
+		checkClose("sqL2", sqL2AVX(a, b), sqL2Generic(a, b))
+		checkClose("dot", dotAVX(a, b), dotGeneric(a, b))
+	}
+}
+
+// TestAVXKernelIdenticalVectors pins the property the distance semantics
+// rely on: the distance from a vector to itself is exactly 0 in either
+// kernel (every lane difference is exactly 0 before squaring).
+func TestAVXKernelIdenticalVectors(t *testing.T) {
+	if !useAVX {
+		t.Skip("no AVX2+FMA on this machine")
+	}
+	r := xrand.New(32)
+	for _, d := range []int{1, 5, 16, 33} {
+		a := make([]float64, d)
+		for i := range a {
+			a[i] = r.NormFloat64()
+		}
+		if got := sqL2AVX(a, a); got != 0 {
+			t.Errorf("d=%d: sqL2AVX(a,a) = %v, want exactly 0", d, got)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+//go:build !amd64
+
+package vecmath
+
+// Without a vectorized implementation for the platform, the shared kernels
+// are the portable unrolled loops.
+
+func sqL2Kernel(a, b []float64) float64 { return sqL2Generic(a, b) }
+
+func sqL2BatchKernel(q, data, dst []float64) {
+	d := len(q)
+	for r := range dst {
+		dst[r] = sqL2Generic(q, data[r*d:r*d+d])
+	}
+}
+
+func dotKernel(a, b []float64) float64 { return dotGeneric(a, b) }

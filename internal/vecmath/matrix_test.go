@@ -1,0 +1,232 @@
+package vecmath
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/xrand"
+)
+
+func TestNewMatrixShape(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Dim() != 4 || len(m.Data()) != 12 {
+		t.Fatalf("shape = %dx%d, data %d", m.Rows(), m.Dim(), len(m.Data()))
+	}
+	for _, v := range m.Data() {
+		if v != 0 {
+			t.Fatal("NewMatrix not zeroed")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative shape did not panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestRowIsZeroCopyAndCapClipped(t *testing.T) {
+	m := NewMatrix(2, 3)
+	r0 := m.Row(0)
+	r0[2] = 7
+	if m.Data()[2] != 7 {
+		t.Fatal("Row is not a view of the backing array")
+	}
+	if cap(r0) != 3 {
+		t.Fatalf("row cap = %d, want clipped to dim 3", cap(r0))
+	}
+	// An append on a row view must reallocate, never clobber the next row.
+	m.Row(1)[0] = 42
+	_ = append(r0, 99)
+	if m.Row(1)[0] != 42 {
+		t.Fatal("append through a row view clobbered the next row")
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := TryFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	m, err := TryFromRows(nil)
+	if err != nil || m.Rows() != 0 {
+		t.Errorf("nil rows: %v, %dx%d", err, m.Rows(), m.Dim())
+	}
+	defer func() {
+		if r := recover(); r == nil || !strings.Contains(r.(string), "ragged") {
+			t.Errorf("FromRows panic = %v", r)
+		}
+	}()
+	FromRows([][]float64{{1}, {2, 3}})
+}
+
+func TestMatrixFromFlatValidation(t *testing.T) {
+	maxInt := int(^uint(0) >> 1)
+	cases := []struct {
+		name      string
+		data      []float64
+		rows, dim int
+		ok        bool
+	}{
+		{"exact", make([]float64, 6), 2, 3, true},
+		{"empty", nil, 0, 0, true},
+		{"zero rows nonzero dim", nil, 0, 5, true},
+		{"short data", make([]float64, 5), 2, 3, false},
+		{"long data", make([]float64, 7), 2, 3, false},
+		{"negative rows", nil, -1, 3, false},
+		{"negative dim", nil, 2, -3, false},
+		{"rows*dim overflow", make([]float64, 8), maxInt/2 + 1, 4, false},
+		{"rows*dim overflow to positive", make([]float64, 8), maxInt / 2, 3, false},
+	}
+	for _, tc := range cases {
+		m, err := MatrixFromFlat(tc.data, tc.rows, tc.dim)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: accepted, got %dx%d", tc.name, m.Rows(), m.Dim())
+		}
+	}
+}
+
+func TestAppendRow(t *testing.T) {
+	var m Matrix
+	m.AppendRow([]float64{1, 2})
+	m.AppendRow([]float64{3, 4})
+	if m.Rows() != 2 || m.Dim() != 2 || m.Row(1)[1] != 4 {
+		t.Fatalf("after appends: %dx%d, %v", m.Rows(), m.Dim(), m.Data())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("width-mismatched append did not panic")
+		}
+	}()
+	m.AppendRow([]float64{5})
+}
+
+func TestRowRangeAndGather(t *testing.T) {
+	m := FromRows([][]float64{{0}, {1}, {2}, {3}})
+	v := m.RowRange(1, 3)
+	if v.Rows() != 2 || v.Row(0)[0] != 1 || v.Row(1)[0] != 2 {
+		t.Fatalf("RowRange view wrong: %+v", v)
+	}
+	v.Row(0)[0] = 9
+	if m.Row(1)[0] != 9 {
+		t.Fatal("RowRange is not a view")
+	}
+	g := GatherRows(m, []int{3, 0})
+	if g.Row(0)[0] != 3 || g.Row(1)[0] != 0 {
+		t.Fatalf("GatherRows = %v", g.Data())
+	}
+	g.Row(0)[0] = -1
+	if m.Row(3)[0] == -1 {
+		t.Fatal("GatherRows did not copy")
+	}
+}
+
+// TestBatchKernelsMatchScalarBitwise is the determinism contract for the
+// blocked kernels: each batch output entry must be bit-identical to the
+// scalar kernel on the same row, across dims that hit the unrolled body,
+// the tail, and the degenerate cases (d=0, d=1).
+func TestBatchKernelsMatchScalarBitwise(t *testing.T) {
+	r := xrand.New(11)
+	for _, d := range []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33, 64} {
+		const n = 17
+		m := NewMatrix(n, d)
+		q := make([]float64, d)
+		for j := range q {
+			q[j] = r.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			row := m.Row(i)
+			for j := range row {
+				row[j] = r.NormFloat64()
+			}
+		}
+		sq := make([]float64, n)
+		dot := make([]float64, n)
+		norms := make([]float64, n)
+		SquaredL2Batch(q, m, sq)
+		DotBatch(q, m, dot)
+		NormsSquared(m, norms)
+		for i := 0; i < n; i++ {
+			if want := SquaredL2(q, m.Row(i)); sq[i] != want {
+				t.Fatalf("d=%d row %d: SquaredL2Batch %v != scalar %v", d, i, sq[i], want)
+			}
+			if want := Dot(q, m.Row(i)); dot[i] != want {
+				t.Fatalf("d=%d row %d: DotBatch %v != scalar %v", d, i, dot[i], want)
+			}
+			if want := Dot(m.Row(i), m.Row(i)); norms[i] != want {
+				t.Fatalf("d=%d row %d: NormsSquared %v != scalar %v", d, i, norms[i], want)
+			}
+		}
+	}
+}
+
+// TestBatchKernelsChunkInvariant pins that computing a batch over row
+// sub-ranges (as the parallel sweeps do, chunk by chunk) gives the same bits
+// as one whole-matrix call — the worker-invariance property at kernel level.
+func TestBatchKernelsChunkInvariant(t *testing.T) {
+	r := xrand.New(12)
+	const n, d = 23, 9
+	m := NewMatrix(n, d)
+	q := make([]float64, d)
+	for j := range q {
+		q[j] = r.NormFloat64()
+	}
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] = r.NormFloat64()
+		}
+	}
+	whole := make([]float64, n)
+	SquaredL2Batch(q, m, whole)
+	chunked := make([]float64, n)
+	for lo := 0; lo < n; lo += 5 {
+		hi := lo + 5
+		if hi > n {
+			hi = n
+		}
+		SquaredL2Batch(q, m.RowRange(lo, hi), chunked[lo:hi])
+	}
+	for i := range whole {
+		if whole[i] != chunked[i] {
+			t.Fatalf("row %d: whole %v != chunked %v", i, whole[i], chunked[i])
+		}
+	}
+}
+
+func TestBatchKernelShapePanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for name, f := range map[string]func(){
+		"query dim": func() { SquaredL2Batch(make([]float64, 2), m, make([]float64, 2)) },
+		"dst len":   func() { SquaredL2Batch(make([]float64, 3), m, make([]float64, 1)) },
+		"dot query": func() { DotBatch(make([]float64, 4), m, make([]float64, 2)) },
+		"dot dst":   func() { DotBatch(make([]float64, 3), m, make([]float64, 3)) },
+		"norms dst": func() { NormsSquared(m, make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestBatchKernelAllocs: the kernels write into caller scratch and must not
+// allocate at any dimension.
+func TestBatchKernelAllocs(t *testing.T) {
+	m := NewMatrix(50, 33)
+	q := make([]float64, 33)
+	dst := make([]float64, 50)
+	if n := testing.AllocsPerRun(100, func() {
+		SquaredL2Batch(q, m, dst)
+		DotBatch(q, m, dst)
+		NormsSquared(m, dst)
+	}); n != 0 {
+		t.Errorf("batch kernels allocate %v per run", n)
+	}
+}

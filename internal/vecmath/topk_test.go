@@ -85,3 +85,56 @@ func TestLargestK(t *testing.T) {
 		t.Errorf("LargestK = %v", got)
 	}
 }
+
+// TestTopKReuseMatchesFresh pins the recycle contract: a TopK reused across
+// queries via Reset (and a reused Sorted destination) selects exactly what a
+// fresh selector would, including on all-tie inputs.
+func TestTopKReuseMatchesFresh(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	tk := NewTopK(0)
+	var dst []IndexedValue
+	for trial := 0; trial < 200; trial++ {
+		n := r.Intn(40) + 1
+		k := r.Intn(n+3) + 1
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(r.Intn(5)) // heavy ties
+		}
+		tk.Reset(k)
+		for i, v := range xs {
+			tk.Offer(i, v)
+		}
+		dst = tk.Sorted(dst[:0])
+		want := SmallestK(xs, k)
+		if len(dst) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(dst), len(want))
+		}
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("trial %d: result %d = %v, want %v", trial, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestTopKZeroAllocWarm: a warm selector with a capacious destination must
+// not allocate per query — this is the property the table scan and IVF
+// probing build on.
+func TestTopKZeroAllocWarm(t *testing.T) {
+	xs := make([]float64, 200)
+	r := rand.New(rand.NewSource(8))
+	for i := range xs {
+		xs[i] = r.NormFloat64()
+	}
+	tk := NewTopK(10)
+	dst := make([]IndexedValue, 0, 10)
+	if n := testing.AllocsPerRun(100, func() {
+		tk.Reset(10)
+		for i, v := range xs {
+			tk.Offer(i, v)
+		}
+		dst = tk.Sorted(dst[:0])
+	}); n != 0 {
+		t.Errorf("warm TopK allocates %v per query", n)
+	}
+}

@@ -1,10 +1,19 @@
-// Package vecmath implements the small dense linear-algebra kernels used by
-// the embedding models, clustering, and score propagation: vector arithmetic,
-// distances, matrix-vector products, and top-k selection.
+// Package vecmath implements the dense linear-algebra engine under the
+// embedding models, clustering, ANN search, and score propagation: a
+// contiguous row-major Matrix layout, one-to-many blocked distance kernels,
+// and bounded top-k selection.
 //
-// Everything operates on []float64 and plain [][]float64 row-major matrices;
-// the workloads here are small enough (embedding dims <= 512) that clarity
-// beats blocking or SIMD tricks.
+// The pairwise kernels (SquaredL2, Dot) and the batch kernels
+// (SquaredL2Batch, DotBatch, NormsSquared) all route through one inner
+// kernel per operation, chosen once at process start: an AVX2+FMA assembly
+// loop on amd64 CPUs that support it, and a 4-way unrolled pure-Go loop
+// (which breaks the loop-carried floating-point dependency chain)
+// everywhere else. Because the choice is fixed for the process and every
+// caller shares it, batch and scalar results are bitwise identical, and any
+// parallel chunking of a batch reproduces the same bits. Each kernel
+// combines its partial sums in one fixed order — accumulators first, lanes
+// low-to-high, tail last — which is the repo-wide determinism contract; see
+// docs/ARCHITECTURE.md, "Memory layout & kernels".
 package vecmath
 
 import (
@@ -13,10 +22,28 @@ import (
 )
 
 // Dot returns the inner product of a and b. It panics on length mismatch.
+// The accumulation order is fixed per process and shared with DotBatch and
+// NormsSquared.
 func Dot(a, b []float64) float64 {
 	checkLen(a, b)
-	s := 0.0
-	for i := range a {
+	return dotKernel(a, b)
+}
+
+// dotGeneric is the portable inner-product loop, the fallback when no
+// vectorized kernel is available (see kernel_amd64.go for the dispatch).
+// b is re-sliced to len(a) to let the compiler drop bounds checks.
+func dotGeneric(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
 		s += a[i] * b[i]
 	}
 	return s
@@ -28,15 +55,91 @@ func L2(a, b []float64) float64 {
 }
 
 // SquaredL2 returns the squared Euclidean distance between a and b. It is
-// the hot loop of FPF clustering and score propagation.
+// the hot loop of FPF clustering and table construction. The accumulation
+// order is fixed per process and shared with SquaredL2Batch, so the scalar
+// and batch paths agree bitwise.
 func SquaredL2(a, b []float64) float64 {
 	checkLen(a, b)
-	s := 0.0
-	for i := range a {
+	return sqL2Kernel(a, b)
+}
+
+// sqL2Generic is the portable squared-distance loop, the fallback when no
+// vectorized kernel is available. Four accumulators break the loop-carried
+// add chain (~3 cycles/element down to ~1 on current x86/arm cores).
+func sqL2Generic(a, b []float64) float64 {
+	b = b[:len(a)]
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		d1 := a[i+1] - b[i+1]
+		d2 := a[i+2] - b[i+2]
+		d3 := a[i+3] - b[i+3]
+		s0 += d0 * d0
+		s1 += d1 * d1
+		s2 += d2 * d2
+		s3 += d3 * d3
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(a); i++ {
 		d := a[i] - b[i]
 		s += d * d
 	}
 	return s
+}
+
+// SquaredL2Batch writes the squared Euclidean distance from q to every row
+// of m into dst and returns dst. dst must have m.Rows() entries. Each entry
+// is bitwise identical to SquaredL2(q, m.Row(i)): this is the one-to-many
+// form of the same kernel, streaming the contiguous backing array instead of
+// chasing per-row pointers.
+func SquaredL2Batch(q []float64, m Matrix, dst []float64) []float64 {
+	if m.dim != len(q) {
+		panic(fmt.Sprintf("vecmath: length mismatch: %d vs %d", m.dim, len(q)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("vecmath: dst has %d entries, want %d", len(dst), m.rows))
+	}
+	sqL2BatchKernel(q, m.data[:m.rows*m.dim], dst)
+	return dst
+}
+
+// DotBatch writes the inner product of q with every row of m into dst and
+// returns dst. dst must have m.Rows() entries; each entry is bitwise
+// identical to Dot(q, m.Row(i)).
+func DotBatch(q []float64, m Matrix, dst []float64) []float64 {
+	if m.dim != len(q) {
+		panic(fmt.Sprintf("vecmath: length mismatch: %d vs %d", m.dim, len(q)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("vecmath: dst has %d entries, want %d", len(dst), m.rows))
+	}
+	d := m.dim
+	for r := range dst {
+		dst[r] = dotKernel(q, m.data[r*d:r*d+d])
+	}
+	return dst
+}
+
+// NormsSquared writes each row's squared Euclidean norm into dst and returns
+// dst; dst must have m.Rows() entries. Each entry is Dot(row, row) with the
+// shared dot kernel, which is what makes the |a|²+|b|²−2a·b decomposition
+// return exactly 0 for identical rows (x + x − 2x is exact in IEEE 754).
+//
+// Decomposed distances do NOT bitwise-match SquaredL2 in general; they are
+// admitted only where the result is a transient comparison key and never
+// persisted or thresholded — see the kernel-choice contract in
+// docs/ARCHITECTURE.md.
+func NormsSquared(m Matrix, dst []float64) []float64 {
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("vecmath: dst has %d entries, want %d", len(dst), m.rows))
+	}
+	d := m.dim
+	for r := range dst {
+		row := m.data[r*d : r*d+d]
+		dst[r] = dotKernel(row, row)
+	}
+	return dst
 }
 
 // Norm returns the Euclidean norm of a.
