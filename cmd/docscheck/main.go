@@ -1,0 +1,127 @@
+// Command docscheck verifies that every relative markdown link in the
+// repository resolves to a file or directory that actually exists, so a
+// rename or deletion cannot silently orphan the documentation graph
+// (README → docs/*.md → each other). CI runs it on every PR.
+//
+// Usage:
+//
+//	go run ./cmd/docscheck           # check the tree rooted at .
+//	go run ./cmd/docscheck -root dir
+//
+// External links (http, https, mailto) and pure in-page anchors (#…) are
+// out of scope — the checker owns exactly what the repository owns. Links
+// inside fenced code blocks are ignored: those are example syntax, not
+// navigation. Exit status 1 lists every broken link as file:line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// linkRE matches the target of an inline markdown link or image:
+// [text](target) / ![alt](target). Reference-style links are not used in
+// this repository.
+var linkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+func main() {
+	root := flag.String("root", ".", "directory tree to check")
+	flag.Parse()
+	files, broken, err := check(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docscheck: %v\n", err)
+		os.Exit(1)
+	}
+	for _, b := range broken {
+		fmt.Fprintln(os.Stderr, b)
+	}
+	if len(broken) > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d broken links in %d markdown files\n", len(broken), files)
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d markdown files, all relative links resolve\n", files)
+}
+
+// check walks every .md file under root and returns the file count plus
+// one "path:line: message" entry per unresolvable relative link.
+func check(root string) (files int, broken []string, err error) {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.EqualFold(filepath.Ext(path), ".md") {
+			return nil
+		}
+		files++
+		b, err := checkFile(path)
+		if err != nil {
+			return err
+		}
+		broken = append(broken, b...)
+		return nil
+	})
+	return files, broken, err
+}
+
+func checkFile(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	var broken []string
+	inFence := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for line := 1; sc.Scan(); line++ {
+		text := sc.Text()
+		if strings.HasPrefix(strings.TrimSpace(text), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		for _, m := range linkRE.FindAllStringSubmatch(text, -1) {
+			target := m[1]
+			if rel, ok := relativeTarget(target); ok {
+				dest := filepath.Join(filepath.Dir(path), filepath.FromSlash(rel))
+				if _, err := os.Stat(dest); err != nil {
+					broken = append(broken, fmt.Sprintf("%s:%d: broken link %q", path, line, target))
+				}
+			}
+		}
+	}
+	return broken, sc.Err()
+}
+
+// relativeTarget reports whether a link target is a repository-relative
+// path this checker owns, returning it with any #fragment stripped.
+func relativeTarget(target string) (string, bool) {
+	switch {
+	case strings.Contains(target, "://"), strings.HasPrefix(target, "mailto:"):
+		return "", false
+	case strings.HasPrefix(target, "#"): // in-page anchor
+		return "", false
+	}
+	if i := strings.IndexByte(target, '#'); i >= 0 {
+		target = target[:i]
+	}
+	if target == "" {
+		return "", false
+	}
+	return target, true
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "docs", "GUIDE.md"), "# Guide\n")
+	write(t, filepath.Join(dir, "README.md"), strings.Join([]string{
+		"# Readme",
+		"Good: [guide](docs/GUIDE.md) and [anchored](docs/GUIDE.md#guide).",
+		"External: [site](https://example.com/x.md) and [mail](mailto:a@b.c).",
+		"Anchor only: [above](#readme).",
+		"```",
+		"fenced [fake](does/not/exist.md) is example syntax",
+		"```",
+		"Bad: [gone](docs/MISSING.md).",
+	}, "\n"))
+	write(t, filepath.Join(dir, "docs", "OTHER.md"),
+		"Up-dir good: [readme](../README.md). Up-dir bad: [nope](../NOPE.md).\n")
+
+	files, broken, err := check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 3 {
+		t.Errorf("checked %d files, want 3", files)
+	}
+	if len(broken) != 2 {
+		t.Fatalf("broken = %v, want exactly the two planted links", broken)
+	}
+	for _, want := range []string{"docs/MISSING.md", "../NOPE.md"} {
+		found := false
+		for _, b := range broken {
+			if strings.Contains(b, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("broken list %v missing the planted %q", broken, want)
+		}
+	}
+}
+
+// TestRepositoryDocs runs the real check over this repository, so `go
+// test` catches a broken doc link even before the dedicated CI step.
+func TestRepositoryDocs(t *testing.T) {
+	files, broken, err := check("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files == 0 {
+		t.Fatal("found no markdown files in the repository")
+	}
+	for _, b := range broken {
+		t.Error(b)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/labeler"
+	"repro/internal/shard"
 	"repro/tasti"
 )
 
@@ -26,11 +27,15 @@ type BenchResult struct {
 	AllocsPerOp int64 `json:"allocs_per_op"`
 }
 
-// BenchReport is the JSON document written by -bench-json.
+// BenchReport is the JSON document written by -bench-json. Kernel names the
+// distance-kernel implementation the run dispatched to (e.g. "avx2+fma"),
+// so perf numbers are attributable to the code path that produced them —
+// cmd/benchgate ignores it, humans comparing reports should not.
 type BenchReport struct {
 	GoVersion  string                 `json:"go_version"`
 	GOARCH     string                 `json:"goarch"`
 	NumCPU     int                    `json:"num_cpu"`
+	Kernel     string                 `json:"kernel"`
 	Benchmarks map[string]BenchResult `json:"benchmarks"`
 }
 
@@ -40,6 +45,7 @@ func runBenchSuite(path string) error {
 		GoVersion:  runtime.Version(),
 		GOARCH:     runtime.GOARCH,
 		NumCPU:     runtime.NumCPU(),
+		Kernel:     tasti.KernelName(),
 		Benchmarks: map[string]BenchResult{},
 	}
 
@@ -72,6 +78,21 @@ func runBenchSuite(path string) error {
 	rep.Benchmarks["propagate_parallel_w1"] = runBench(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := ix.Propagate(score); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The scatter-gather overhead of sharded serving at the same worker
+	// count: 4 shards over the same corpus, bitwise-identical output.
+	sharded, err := shard.Split(ix, 4)
+	if err != nil {
+		return fmt.Errorf("sharding propagation index: %w", err)
+	}
+	sharded.SetParallelism(1)
+	rep.Benchmarks["propagate_sharded4_w1"] = runBench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sharded.Propagate(score); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -48,6 +48,7 @@ type runOptions struct {
 	recall float64
 	useANN bool
 	par    int
+	shards int
 
 	retries        int
 	labelTimeout   time.Duration
@@ -77,6 +78,7 @@ func main() {
 	flag.Float64Var(&o.recall, "recall", 0.9, "selection recall target")
 	flag.BoolVar(&o.useANN, "ann", false, "build the distance table with the IVF approximate-NN index")
 	flag.IntVar(&o.par, "parallelism", 0, "worker count for index construction and propagation (<= 0 uses all CPUs; results are identical at every value)")
+	flag.IntVar(&o.shards, "shards", 1, "scatter-gather shard count for query processing; results are bitwise identical at every value (<= 1 serves one shard)")
 	flag.IntVar(&o.retries, "retries", 1, "labeler attempts per call, including the first (<= 1 disables retrying)")
 	flag.DurationVar(&o.labelTimeout, "label-timeout", 0, "per-call target-labeler deadline (0 disables)")
 	flag.Float64Var(&o.faultRate, "fault-rate", 0, "inject transient labeler faults at this per-attempt probability")
@@ -146,6 +148,18 @@ func run(o runOptions) error {
 		fmt.Printf("saved index to %s\n", o.save)
 	}
 
+	// Queries always run through the scatter-gather layer; -shards 1 (the
+	// default) is the identity sharding, and every shard count produces
+	// bitwise-identical answers (see docs/SHARDING.md).
+	nShards := o.shards
+	if nShards < 1 {
+		nShards = 1
+	}
+	sharded, err := tasti.SplitIndex(index, nShards)
+	if err != nil {
+		return err
+	}
+
 	score, pred := querySpec(o.dsName, o.class, o.count)
 	counting := tasti.NewCountingLabeler(oracle)
 
@@ -153,7 +167,7 @@ func run(o runOptions) error {
 	switch o.query {
 	case "agg":
 		ps := qs.Child("propagate")
-		scores, err := index.Propagate(score)
+		scores, err := sharded.Propagate(score)
 		ps.End()
 		if err != nil {
 			return err
@@ -170,7 +184,7 @@ func run(o runOptions) error {
 		fmt.Printf("aggregate = %.4f ± %.4f (%d target calls)\n", res.Estimate, res.HalfWidth, res.LabelerCalls)
 	case "select":
 		ps := qs.Child("propagate")
-		scores, err := index.Propagate(tasti.MatchScore(pred))
+		scores, err := sharded.Propagate(tasti.MatchScore(pred))
 		ps.End()
 		if err != nil {
 			return err
@@ -188,13 +202,14 @@ func run(o runOptions) error {
 			len(res.Returned), res.Threshold, res.OracleCalls)
 	case "limit":
 		ps := qs.Child("propagate")
-		scores, dists, err := index.PropagateNearest(score)
+		scores, dists, err := sharded.PropagateNearest(score)
 		ps.End()
 		if err != nil {
 			return err
 		}
 		ss := qs.Child("scan")
-		res, err := tasti.FindLimit(o.k, scores, dists, pred, counting)
+		order := sharded.LimitOrder(scores, dists)
+		res, err := tasti.FindLimitScan(tasti.LimitOptions{}, o.k, order, pred, counting)
 		ss.End()
 		if err != nil {
 			return err

@@ -17,11 +17,18 @@
 //	POST /query/select     {"class":"car","count":1,"budget":300,"recall":0.9}
 //	POST /query/limit      {"class":"car","count":5,"k":10,"crack":true}
 //	POST /admin/reload     swap in the -snapshot file with zero downtime
+//	POST /admin/reload?shard=i  swap in one shard, peers untouched
 //
 // -snapshot names the index's durable home: loaded at startup when present
 // (skipping the labeling spend of a rebuild), written after a fresh build,
 // and hot-reloaded — with checksum verification and validation, falling back
 // to the serving index on any failure — via POST /admin/reload or SIGHUP.
+//
+// -shards partitions the corpus into N contiguous record-range shards served
+// through a scatter-gather layer: query results are bitwise identical at
+// every shard count, while snapshots gain a per-shard layout, /metrics gains
+// per-shard series, and /admin/reload?shard=i swaps one shard at a time. See
+// docs/SHARDING.md for the lifecycle and runbook.
 //
 // -pprof-addr serves net/http/pprof on a second listener (keep it off
 // public interfaces); -log-format selects text or JSON structured logs.
@@ -54,6 +61,7 @@ func main() {
 		reps   = flag.Int("reps", 900, "cluster representatives to annotate")
 		addr   = flag.String("addr", ":8080", "listen address")
 		par    = flag.Int("parallelism", 0, "worker count for index construction, propagation, and cracking (<= 0 uses all CPUs)")
+		shards = flag.Int("shards", 1, "scatter-gather shard count; results are bitwise identical at every value (<= 1 serves one shard)")
 
 		queryTimeout  = flag.Duration("query-timeout", 60*time.Second, "per-request budget for /query/ endpoints (0 disables)")
 		labelTimeout  = flag.Duration("label-timeout", 0, "per-call target-labeler deadline (0 disables)")
@@ -88,6 +96,7 @@ func main() {
 		reps:          *reps,
 		seed:          *seed,
 		parallelism:   *par,
+		shards:        *shards,
 		queryTimeout:  *queryTimeout,
 		labelTimeout:  *labelTimeout,
 		allowDegraded: *allowDegraded,

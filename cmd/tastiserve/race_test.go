@@ -91,10 +91,12 @@ func TestServeQueriesConcurrentWithCracking(t *testing.T) {
 	}
 	defer srv.release()
 	ix := srv.index.Load()
-	if got := len(ix.Table.Reps); got <= 40 {
+	if got := ix.RepCount(); got <= 40 {
 		t.Errorf("expected cracking to add representatives, still %d", got)
 	}
-	if err := ix.Table.Validate(); err != nil {
-		t.Errorf("table invariants violated after concurrent serve+crack: %v", err)
+	for i := 0; i < ix.NumShards(); i++ {
+		if err := ix.Shard(i).Table.Validate(); err != nil {
+			t.Errorf("shard %d table invariants violated after concurrent serve+crack: %v", i, err)
+		}
 	}
 }

@@ -114,7 +114,7 @@ func TestServeReloadCorruptSnapshotKeepsServing(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	repsNow := len(srv.index.Load().Table.Reps)
+	repsNow := srv.index.Load().RepCount()
 
 	// Corrupt the snapshot mid-file and try to reload it.
 	bad := append([]byte(nil), good...)
@@ -135,7 +135,7 @@ func TestServeReloadCorruptSnapshotKeepsServing(t *testing.T) {
 			srv.reg.Counter("tasti_snapshot_reload_failures_total").Value())
 	}
 	// The cracked index must still be serving, untouched.
-	if got := len(srv.index.Load().Table.Reps); got != repsNow {
+	if got := srv.index.Load().RepCount(); got != repsNow {
 		t.Errorf("failed reload changed the serving index: %d reps, want %d", got, repsNow)
 	}
 	resp, err = http.Post(ts.URL+"/query/aggregate", "application/json",
@@ -161,7 +161,7 @@ func TestServeReloadCorruptSnapshotKeepsServing(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("reload of repaired snapshot: status %d, body %v", resp.StatusCode, body)
 	}
-	if got := len(srv.index.Load().Table.Reps); got != 200 {
+	if got := srv.index.Load().RepCount(); got != 200 {
 		t.Errorf("reloaded index has %d reps, want the snapshot's 200", got)
 	}
 }
@@ -187,12 +187,13 @@ func TestServeStartupLoadsSnapshot(t *testing.T) {
 	if got.NumRecords() != want.NumRecords() {
 		t.Fatalf("restored index has %d records, want %d", got.NumRecords(), want.NumRecords())
 	}
-	if len(got.Table.Reps) != len(want.Table.Reps) {
-		t.Fatalf("restored index has %d reps, want %d", len(got.Table.Reps), len(want.Table.Reps))
+	gotReps, wantReps := got.Shard(0).Table.Reps, want.Shard(0).Table.Reps
+	if len(gotReps) != len(wantReps) {
+		t.Fatalf("restored index has %d reps, want %d", len(gotReps), len(wantReps))
 	}
-	for i, rep := range want.Table.Reps {
-		if got.Table.Reps[i] != rep {
-			t.Fatalf("restored rep[%d] = %d, want %d", i, got.Table.Reps[i], rep)
+	for i, rep := range wantReps {
+		if gotReps[i] != rep {
+			t.Fatalf("restored rep[%d] = %d, want %d", i, gotReps[i], rep)
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,11 @@ type serverOptions struct {
 	reps        int
 	seed        int64
 	parallelism int
+	// shards is the scatter-gather shard count (<= 1 serves one shard,
+	// preserving the single-index snapshot format on disk). Results are
+	// bitwise identical at every shard count; the knob trades per-shard
+	// build, snapshot, and reload granularity. See docs/SHARDING.md.
+	shards int
 
 	// queryTimeout bounds each /query/ request end to end (0 = unbounded).
 	queryTimeout time.Duration
@@ -50,6 +56,14 @@ type serverOptions struct {
 	// the file exists (skipping the build), written after a fresh build, and
 	// re-read by POST /admin/reload and SIGHUP. Empty disables persistence.
 	snapshotPath string
+}
+
+// shardCount normalizes the shard knob: anything below 1 serves one shard.
+func (o serverOptions) shardCount() int {
+	if o.shards < 1 {
+		return 1
+	}
+	return o.shards
 }
 
 // server owns an index over one corpus and answers queries over HTTP. A
@@ -88,11 +102,13 @@ type server struct {
 	target  tasti.Labeler // serve-path labeler: retry(breaker(deadline(base)))
 	breaker *tasti.Breaker
 
-	// index is swapped atomically by hot reload. Handlers load it once per
-	// request after taking sem; the swap itself also takes sem, so a request
-	// always sees one consistent index end to end and the swap lands only at
+	// index is the sharded serving index, swapped atomically by hot reload
+	// — wholesale, or one shard at a time through ShardedIndex's own
+	// per-shard pointers (POST /admin/reload?shard=i). Handlers load it once
+	// per request after taking sem; every swap also takes sem, so a request
+	// always sees one consistent index end to end and swaps land only at
 	// request boundaries — never under an in-flight query.
-	index atomic.Pointer[tasti.Index]
+	index atomic.Pointer[tasti.ShardedIndex]
 	// reloading serializes reloads: a second reload arriving while one is
 	// loading and validating is rejected, not queued.
 	reloading atomic.Bool
@@ -113,6 +129,12 @@ func newServerShell(opts serverOptions) *server {
 	reg.Help("tasti_snapshot_reload_total", "Index hot-reload attempts, by outcome.")
 	reg.Help("tasti_snapshot_reload_failures_total", "Hot reloads that failed validation and left the previous index serving.")
 	reg.Help("tasti_snapshot_reload_seconds", "Hot-reload latency in seconds: snapshot load, validation, and swap.")
+	reg.Help("tasti_shard_records", "Records owned by each shard, by shard.")
+	reg.Help("tasti_shard_reps", "Cluster representatives carried by each shard's table, by shard.")
+	reg.Help("tasti_shard_propagate_total", "Per-shard propagation passes served, by shard.")
+	reg.Help("tasti_shard_reload_total", "Single-shard hot-reload attempts, by shard and outcome.")
+	reg.Help("tasti_vecmath_kernel", "Active vector-distance kernel implementation (value is always 1; the label carries the name).")
+	reg.Gauge(fmt.Sprintf("tasti_vecmath_kernel{kernel=%q}", tasti.KernelName())).Set(1)
 	return &server{
 		sem:      make(chan struct{}, 1),
 		opts:     opts,
@@ -189,17 +211,20 @@ func (s *server) buildIndex() error {
 	// corruption is contained by the typed snapshot errors and the server
 	// falls back to building fresh. A fresh build is saved back to the same
 	// path (atomically), so the next start — and every hot reload — has it.
-	var index *tasti.Index
+	// One shard keeps the single-index container on disk; more shards write
+	// the sharded container (manifest + one nested container per shard).
+	var index *tasti.ShardedIndex
 	if opts.snapshotPath != "" {
 		if _, err := os.Stat(opts.snapshotPath); err == nil {
-			index, err = loadIndexSnapshot(opts.snapshotPath, ds, opts.parallelism)
+			index, err = loadServingSnapshot(opts.snapshotPath, ds, opts.parallelism, opts.shardCount())
 			if err != nil {
 				s.log.Warn("snapshot unusable; building fresh",
 					"path", opts.snapshotPath, "err", err.Error())
 				index = nil
 			} else {
 				s.log.Info("index loaded from snapshot",
-					"path", opts.snapshotPath, "records", index.NumRecords())
+					"path", opts.snapshotPath, "records", index.NumRecords(),
+					"shards", index.NumShards())
 			}
 		}
 	}
@@ -210,17 +235,31 @@ func (s *server) buildIndex() error {
 		cfg.LabelTimeout = opts.labelTimeout
 		cfg.AllowDegraded = opts.allowDegraded
 		cfg.Telemetry = s.reg
-		index, err = tasti.Build(cfg, ds, base)
+		built, err := tasti.Build(cfg, ds, base)
 		if err != nil {
 			return err
 		}
-		if opts.snapshotPath != "" {
-			if err := tasti.WriteFileAtomic(opts.snapshotPath, index.Save); err != nil {
+		// The single-shard snapshot must be written before SplitIndex takes
+		// ownership of the built index.
+		if opts.snapshotPath != "" && opts.shardCount() == 1 {
+			if err := tasti.WriteFileAtomic(opts.snapshotPath, built.Save); err != nil {
 				return fmt.Errorf("saving index snapshot: %w", err)
 			}
 			s.log.Info("index snapshot saved", "path", opts.snapshotPath)
 		}
+		index, err = tasti.SplitIndex(built, opts.shardCount())
+		if err != nil {
+			return err
+		}
+		if opts.snapshotPath != "" && opts.shardCount() > 1 {
+			if err := tasti.WriteFileAtomic(opts.snapshotPath, index.Save); err != nil {
+				return fmt.Errorf("saving index snapshot: %w", err)
+			}
+			s.log.Info("sharded index snapshot saved",
+				"path", opts.snapshotPath, "shards", index.NumShards())
+		}
 	}
+	index.SetTelemetry(s.reg)
 
 	// Serve-path chain, outermost first: retries recover transient faults,
 	// the breaker fails fast while the tier is unhealthy (and feeds
@@ -249,7 +288,8 @@ func (s *server) buildIndex() error {
 	s.log.Info("index built",
 		"dataset", s.name,
 		"records", ds.Len(),
-		"representatives", len(index.Table.Reps),
+		"shards", index.NumShards(),
+		"representatives", index.RepCount(),
 		"label_calls", index.Stats.TotalLabelCalls(),
 		"stats", index.Stats.String())
 	return nil
@@ -277,6 +317,36 @@ func loadIndexSnapshot(path string, ds *tasti.Dataset, parallelism int) (*tasti.
 	return ix, nil
 }
 
+// loadServingSnapshot restores the sharded serving index from a snapshot of
+// either generation: a sharded container is loaded as saved (the snapshot's
+// shard layout wins over the -shards flag, since per-shard reload must agree
+// with the file's frames), while a legacy single-index container — framed or
+// pre-framing gob — is loaded through the existing single-index path and
+// re-sharded to the configured count.
+func loadServingSnapshot(path string, ds *tasti.Dataset, parallelism, shards int) (*tasti.ShardedIndex, error) {
+	var sx *tasti.ShardedIndex
+	err := tasti.ReadSnapshotFile(path, func(r io.Reader) error {
+		var lerr error
+		sx, lerr = tasti.LoadShardedIndex(r)
+		return lerr
+	})
+	if err != nil {
+		if !errors.Is(err, tasti.ErrSnapshotKind) && !errors.Is(err, tasti.ErrSnapshotBadMagic) {
+			return nil, err
+		}
+		ix, lerr := loadIndexSnapshot(path, ds, parallelism)
+		if lerr != nil {
+			return nil, lerr
+		}
+		return tasti.SplitIndex(ix, shards)
+	}
+	if sx.NumRecords() != ds.Len() {
+		return nil, fmt.Errorf("snapshot indexes %d records, the serving corpus has %d", sx.NumRecords(), ds.Len())
+	}
+	sx.SetParallelism(parallelism)
+	return sx, nil
+}
+
 // errReloadInProgress rejects a reload that arrives while another is still
 // loading and validating.
 var errReloadInProgress = errors.New("reload already in progress")
@@ -296,7 +366,7 @@ func (s *server) reload(ctx context.Context) error {
 	defer s.reloading.Store(false)
 
 	start := time.Now()
-	next, err := loadIndexSnapshot(s.opts.snapshotPath, s.ds, s.opts.parallelism)
+	next, err := loadServingSnapshot(s.opts.snapshotPath, s.ds, s.opts.parallelism, s.opts.shardCount())
 	if err != nil {
 		s.reg.Counter(`tasti_snapshot_reload_total{outcome="error"}`).Inc()
 		s.reg.Counter("tasti_snapshot_reload_failures_total").Inc()
@@ -304,6 +374,7 @@ func (s *server) reload(ctx context.Context) error {
 			"path", s.opts.snapshotPath, "err", err.Error())
 		return err
 	}
+	next.SetTelemetry(s.reg)
 	if err := s.acquire(ctx); err != nil {
 		s.reg.Counter(`tasti_snapshot_reload_total{outcome="error"}`).Inc()
 		s.reg.Counter("tasti_snapshot_reload_failures_total").Inc()
@@ -317,15 +388,70 @@ func (s *server) reload(ctx context.Context) error {
 	s.log.Info("index reloaded",
 		"path", s.opts.snapshotPath,
 		"records", next.NumRecords(),
-		"representatives", len(next.Table.Reps),
-		"previous_representatives", len(prev.Table.Reps),
+		"shards", next.NumShards(),
+		"representatives", next.RepCount(),
+		"previous_representatives", prev.RepCount(),
+		"elapsed_ms", float64(elapsed.Microseconds())/1000)
+	return nil
+}
+
+// reloadShard replaces the single shard i from the snapshot file, leaving
+// its peers serving untouched — the rolling-upgrade primitive. Like reload,
+// the shard is read and validated entirely off the request path; only the
+// per-shard pointer swap takes the index lock. Requires a sharded snapshot:
+// a single-index container fails with the snapshot-kind error and the old
+// shard keeps serving.
+func (s *server) reloadShard(ctx context.Context, i int) error {
+	if s.opts.snapshotPath == "" {
+		return errors.New("no -snapshot path configured")
+	}
+	if !s.reloading.CompareAndSwap(false, true) {
+		return errReloadInProgress
+	}
+	defer s.reloading.Store(false)
+
+	fail := func(err error) error {
+		s.reg.Counter(fmt.Sprintf(`tasti_shard_reload_total{shard="%d",outcome="error"}`, i)).Inc()
+		s.reg.Counter("tasti_snapshot_reload_failures_total").Inc()
+		s.log.Error("shard reload failed; previous shard keeps serving",
+			"path", s.opts.snapshotPath, "shard", i, "err", err.Error())
+		return err
+	}
+	start := time.Now()
+	var sh *tasti.Shard
+	err := tasti.ReadSnapshotFile(s.opts.snapshotPath, func(r io.Reader) error {
+		var lerr error
+		sh, lerr = tasti.LoadShard(r, i)
+		return lerr
+	})
+	if err != nil {
+		return fail(err)
+	}
+	if err := s.acquire(ctx); err != nil {
+		return fail(fmt.Errorf("canceled waiting to swap shard %d: %w", i, err))
+	}
+	err = s.index.Load().ReplaceShard(i, sh)
+	s.release()
+	if err != nil {
+		return fail(err)
+	}
+	elapsed := time.Since(start)
+	s.reg.Counter(fmt.Sprintf(`tasti_shard_reload_total{shard="%d",outcome="ok"}`, i)).Inc()
+	s.reg.Histogram("tasti_snapshot_reload_seconds", tasti.DefLatencyBuckets).Observe(elapsed.Seconds())
+	s.log.Info("shard reloaded",
+		"path", s.opts.snapshotPath,
+		"shard", i,
+		"records", sh.NumRecords(),
+		"representatives", len(sh.Table.Reps),
 		"elapsed_ms", float64(elapsed.Microseconds())/1000)
 	return nil
 }
 
 // handleReload is POST /admin/reload: re-read the snapshot file and swap it
-// in. SIGHUP triggers the same path. 409 marks a reload already running, 502
-// a snapshot that failed to load or validate (the old index keeps serving).
+// in — the whole index, or a single shard with ?shard=i (zero downtime for
+// its peers). SIGHUP triggers the whole-index path. 409 marks a reload
+// already running, 502 a snapshot that failed to load or validate (the old
+// index or shard keeps serving).
 func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "use POST")
@@ -334,7 +460,20 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if s.notReady(w) {
 		return
 	}
-	if err := s.reload(r.Context()); err != nil {
+	body := map[string]interface{}{"status": "reloaded"}
+	var err error
+	if arg := r.URL.Query().Get("shard"); arg != "" {
+		var i int
+		if i, err = strconv.Atoi(arg); err != nil {
+			httpError(w, http.StatusBadRequest, "bad shard number: "+arg)
+			return
+		}
+		err = s.reloadShard(r.Context(), i)
+		body["shard"] = i
+	} else {
+		err = s.reload(r.Context())
+	}
+	if err != nil {
 		switch {
 		case errors.Is(err, errReloadInProgress):
 			httpError(w, http.StatusConflict, err.Error())
@@ -343,10 +482,8 @@ func (s *server) handleReload(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]interface{}{
-		"status":  "reloaded",
-		"records": s.index.Load().NumRecords(),
-	})
+	body["records"] = s.index.Load().NumRecords()
+	writeJSON(w, http.StatusOK, body)
 }
 
 // acquire takes the index lock, giving up when ctx is canceled — a
@@ -393,6 +530,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.ready.Load() {
 		s.reg.Gauge("tasti_breaker_state").Set(float64(s.breaker.State()))
+		// Per-shard record/representative gauges refresh at scrape time, so
+		// cracks and rolling reloads between scrapes still read correctly.
+		s.index.Load().PublishMetrics()
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w) //nolint:errcheck // best-effort response write
@@ -533,6 +673,7 @@ func (s *server) notReady(w http.ResponseWriter) bool {
 type indexInfo struct {
 	Dataset         string `json:"dataset"`
 	Records         int    `json:"records"`
+	Shards          int    `json:"shards"`
 	Representatives int    `json:"representatives"`
 	LabelCalls      int64  `json:"index_label_calls"`
 	DegradedReps    int    `json:"degraded_reps"`
@@ -556,7 +697,8 @@ func (s *server) handleIndex(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, indexInfo{
 		Dataset:         s.name,
 		Records:         ix.NumRecords(),
-		Representatives: len(ix.Table.Reps),
+		Shards:          ix.NumShards(),
+		Representatives: ix.RepCount(),
 		LabelCalls:      ix.Stats.TotalLabelCalls(),
 		DegradedReps:    len(ix.Stats.DegradedReps),
 		LabelRetries:    ix.Stats.LabelRetries,
@@ -707,7 +849,7 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := tasti.SelectWithRecall(tasti.SelectOptions{
 		Budget: req.Budget, Target: req.Recall, Delta: 0.05, Seed: s.seed + 2,
-		Telemetry: s.reg,
+		Telemetry: s.reg, Parallelism: s.opts.parallelism,
 	}, s.ds.Len(), scores, pred, tasti.LabelerWithContext(ctx, s.target))
 	if err != nil {
 		s.queryError(w, ctx, err)
@@ -747,17 +889,20 @@ func (s *server) handleLimit(w http.ResponseWriter, r *http.Request) {
 		s.queryError(w, ctx, err)
 		return
 	}
-	res, err := tasti.FindLimitOpts(tasti.LimitOptions{Telemetry: s.reg},
-		req.K, scores, dists, pred, tasti.LabelerWithContext(ctx, s.target))
+	// Per-shard sorted runs merged under limitq's comparator: the scan order
+	// is bitwise identical to the unsharded sort over the full vectors.
+	order := ix.LimitOrder(scores, dists)
+	res, err := tasti.FindLimitScan(tasti.LimitOptions{Telemetry: s.reg},
+		req.K, order, pred, tasti.LabelerWithContext(ctx, s.target))
 	if err != nil {
 		s.queryError(w, ctx, err)
 		return
 	}
 	cracked := 0
 	if req.Crack {
-		before := len(ix.Table.Reps)
+		before := ix.RepCount()
 		ix.CrackAll(res.Labeled)
-		cracked = len(ix.Table.Reps) - before
+		cracked = ix.RepCount() - before
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"found":       res.Found,

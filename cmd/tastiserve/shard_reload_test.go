@@ -1,0 +1,172 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// shardedServer builds a 2-shard server whose sharded snapshot lives in a
+// temp file, plus the httptest listener in front of it.
+func shardedServer(t *testing.T) (*server, *httptest.Server, string) {
+	t.Helper()
+	snap := filepath.Join(t.TempDir(), "index.snap")
+	srv, err := newServer(serverOptions{
+		dataset: "night-street", size: 1500, train: 250, reps: 200, seed: 1,
+		snapshotPath: snap, shards: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("fresh sharded build did not save the snapshot: %v", err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, snap
+}
+
+// TestChaosShardReloadUnderLoad is the per-shard zero-downtime acceptance
+// check: while query traffic runs flat out against a 2-shard index, repeated
+// POST /admin/reload?shard=1 swaps must never fail a request — every query
+// answers 200, every shard reload answers 200 (or 409 when it collides with
+// a whole-index reload guard).
+func TestChaosShardReloadUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	srv, ts, _ := shardedServer(t)
+
+	const clients, iters = 4, 6
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*iters*2+iters)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				resp, err := http.Post(ts.URL+"/query/aggregate", "application/json",
+					strings.NewReader(`{"class":"car","err":0.5}`))
+				if err != nil {
+					errs <- err
+					continue
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("query during shard reload: status %d", resp.StatusCode)
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < iters; i++ {
+			resp, err := http.Post(ts.URL+"/admin/reload?shard=1", "application/json", nil)
+			if err != nil {
+				errs <- err
+				continue
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+				errs <- fmt.Errorf("shard reload: status %d", resp.StatusCode)
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if srv.reg.Counter(`tasti_shard_reload_total{shard="1",outcome="ok"}`).Value() == 0 {
+		t.Error("no successful shard reload recorded")
+	}
+	if got := srv.reg.Counter(`tasti_shard_reload_total{shard="1",outcome="error"}`).Value(); got != 0 {
+		t.Errorf("%d shard reload failures under a healthy snapshot", got)
+	}
+	ix := srv.index.Load()
+	if ix.NumShards() != 2 {
+		t.Fatalf("serving index has %d shards, want 2", ix.NumShards())
+	}
+	for i := 0; i < ix.NumShards(); i++ {
+		if err := ix.Shard(i).Validate(); err != nil {
+			t.Errorf("shard %d invalid after reload storm: %v", i, err)
+		}
+	}
+}
+
+// TestServeShardedEndpoints pins the sharded serving surface: /index reports
+// the shard count, /metrics exports the per-shard series, a bad shard number
+// answers 400, and a restart from the sharded snapshot restores the layout.
+func TestServeShardedEndpoints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	_, ts, snap := shardedServer(t)
+
+	resp, err := http.Get(ts.URL + "/index")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decodeBody(t, resp)
+	if got, ok := body["shards"].(float64); !ok || got != 2 {
+		t.Errorf("/index shards = %v, want 2", body["shards"])
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		`tasti_shard_records{shard="0"}`,
+		`tasti_shard_records{shard="1"}`,
+		`tasti_shard_reps{shard="0"}`,
+		`tasti_vecmath_kernel{kernel=`,
+	} {
+		if !strings.Contains(string(metrics), series) {
+			t.Errorf("/metrics missing %s", series)
+		}
+	}
+
+	resp, err = http.Post(ts.URL+"/admin/reload?shard=notanumber", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("reload with a garbage shard number: status %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/admin/reload?shard=7", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("reload of an out-of-range shard answered 200")
+	}
+
+	// A restart pointed at the sharded snapshot restores the same layout —
+	// the snapshot's shard count wins even when the flag disagrees.
+	restarted, err := newServer(serverOptions{
+		dataset: "night-street", size: 1500, train: 250, reps: 200, seed: 1,
+		snapshotPath: snap, shards: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := restarted.index.Load().NumShards(); got != 2 {
+		t.Errorf("restart from a 2-shard snapshot serves %d shards, want 2", got)
+	}
+}

@@ -227,13 +227,23 @@ func (t *Table) AddRepresentativePar(embeddings vecmath.Matrix, rep, p int) {
 	if rep < 0 || rep >= embeddings.Rows() {
 		panic(fmt.Sprintf("cluster: representative %d out of range [0,%d)", rep, embeddings.Rows()))
 	}
+	t.AddRepresentativeEmb(embeddings, rep, embeddings.Row(rep), p)
+}
+
+// AddRepresentativeEmb is AddRepresentativePar with the representative's
+// embedding row supplied explicitly, for tables whose record rows cover only
+// a slice of the corpus: a sharded index records the representative under its
+// corpus-global ID rep, which need not index embeddings — the shard that owns
+// the record supplies repEmb. Each record's update reads only its own
+// embedding row, repEmb, and its own neighbor list, so the table mutation is
+// bitwise identical whether the corpus is one table or many shard-local ones.
+func (t *Table) AddRepresentativeEmb(embeddings vecmath.Matrix, rep int, repEmb []float64, p int) {
 	for _, existing := range t.Reps {
 		if existing == rep {
 			return
 		}
 	}
 	t.Reps = append(t.Reps, rep)
-	repEmb := embeddings.Row(rep)
 	parallel.ForChunks(p, embeddings.Rows(), func(_ int, s parallel.Span) {
 		for i := s.Lo; i < s.Hi; i++ {
 			d := math.Sqrt(vecmath.SquaredL2(embeddings.Row(i), repEmb))

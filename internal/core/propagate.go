@@ -110,19 +110,25 @@ func (p *Propagator) PropagateK(score ScoreFunc, k int) ([]float64, error) {
 	// guarantee. Both paths run the identical per-record computation, so the
 	// output is bitwise identical at every worker count.
 	if parallel.Workers(ix.cfg.Parallelism) == 1 {
-		propagateKRange(out, ix.Table.Neighbors, rs, k, 0, n)
+		PropagateKRange(out, ix.Table.Neighbors, rs, k, 0, n)
 	} else {
 		parallel.ForChunks(ix.cfg.Parallelism, n, func(_ int, s parallel.Span) {
-			propagateKRange(out, ix.Table.Neighbors, rs, k, s.Lo, s.Hi)
+			PropagateKRange(out, ix.Table.Neighbors, rs, k, s.Lo, s.Hi)
 		})
 	}
 	return out, nil
 }
 
-// propagateKRange scores records [lo, hi): the exact score for zero-distance
+// PropagateKRange scores records [lo, hi): the exact score for zero-distance
 // records (representatives), the inverse-distance-weighted mean of the k
-// nearest representatives elsewhere.
-func propagateKRange(out []float64, neighbors [][]cluster.Neighbor, repScores []float64, k, lo, hi int) {
+// nearest representatives elsewhere. out and neighbors share the same index
+// base; repScores is indexed by the representative IDs the neighbor lists
+// name, which need not be bounded by len(out) — internal/shard runs this
+// kernel over shard-local rows whose neighbor lists carry corpus-global
+// representative IDs. Each record's value depends only on its own neighbor
+// list and the representative scores, so any partition of [0, n) into ranges
+// produces bitwise-identical output.
+func PropagateKRange(out []float64, neighbors [][]cluster.Neighbor, repScores []float64, k, lo, hi int) {
 	for i := lo; i < hi; i++ {
 		nbrs := neighbors[i]
 		if len(nbrs) > k {

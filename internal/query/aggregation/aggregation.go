@@ -88,7 +88,11 @@ func Estimate(opts Options, n int, proxy []float64, score ScoreFunc, lab labeler
 	}
 
 	// The control variate has known mean: the proxy average over the whole
-	// dataset is free to compute.
+	// dataset is free to compute. The mean is a serial left fold over the
+	// full gathered vector — floating-point addition is not associative, so
+	// combining per-shard partial means would change bits. Sharded serving
+	// therefore scatters the propagation and gathers the proxy vector before
+	// this estimator runs (see internal/shard and docs/SHARDING.md).
 	proxyMean := 0.0
 	if proxy != nil {
 		proxyMean = stats.Mean(proxy)

@@ -13,6 +13,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/labeler"
 	"repro/internal/telemetry"
+	"repro/internal/vecmath"
 )
 
 // Predicate reports whether a target-labeler output matches the query.
@@ -56,27 +57,73 @@ func RunOpts(opts Options, limit int, proxy, tieDist []float64, pred Predicate, 
 	if n == 0 {
 		return Result{}, errors.New("limitq: empty dataset")
 	}
-	if limit <= 0 {
-		return Result{}, fmt.Errorf("limitq: limit must be positive, got %d", limit)
-	}
 	if tieDist != nil && len(tieDist) != n {
 		return Result{}, fmt.Errorf("limitq: %d tie distances for %d records", len(tieDist), n)
 	}
+	return RunScan(opts, limit, Order(proxy, tieDist), pred, lab)
+}
 
-	order := make([]int, n)
-	for i := range order {
-		order[i] = i
+// Order returns every record ID in scan order: descending proxy score, ties
+// broken by ascending tieDist (nil disables the tie distance), then by
+// ascending ID. The comparator is a strict total order, so the permutation is
+// unique — which is what lets a sharded index compute OrderRange per shard
+// and merge the sorted runs into the identical global order.
+func Order(proxy, tieDist []float64) []int {
+	return OrderRange(proxy, tieDist, 0, len(proxy))
+}
+
+// OrderRange orders the record IDs [lo, hi) by the scan comparator, reading
+// proxy (and tieDist, when non-nil) at the global IDs. Without tie distances
+// the comparator is exactly vecmath.TopK's ascending (value, index) order on
+// negated scores, so the selection runs through the shared bounded heap; with
+// tie distances the composite key cannot be encoded in a single float64 and a
+// comparison sort produces the same unique permutation.
+func OrderRange(proxy, tieDist []float64, lo, hi int) []int {
+	m := hi - lo
+	order := make([]int, m)
+	if tieDist == nil {
+		tk := vecmath.NewTopK(m)
+		for i := lo; i < hi; i++ {
+			tk.Offer(i, -proxy[i])
+		}
+		for j, iv := range tk.Sorted(make([]vecmath.IndexedValue, 0, m)) {
+			order[j] = iv.Index
+		}
+		return order
+	}
+	for j := range order {
+		order[j] = lo + j
 	}
 	sort.Slice(order, func(a, b int) bool {
-		i, j := order[a], order[b]
-		if proxy[i] != proxy[j] {
-			return proxy[i] > proxy[j]
-		}
-		if tieDist != nil && tieDist[i] != tieDist[j] {
-			return tieDist[i] < tieDist[j]
-		}
-		return i < j
+		return Less(proxy, tieDist, order[a], order[b])
 	})
+	return order
+}
+
+// Less reports whether record i scans before record j under the comparator
+// Order sorts by. Exported so scatter-gather layers can merge per-shard
+// sorted runs with the very same ordering.
+func Less(proxy, tieDist []float64, i, j int) bool {
+	if proxy[i] != proxy[j] {
+		return proxy[i] > proxy[j]
+	}
+	if tieDist != nil && tieDist[i] != tieDist[j] {
+		return tieDist[i] < tieDist[j]
+	}
+	return i < j
+}
+
+// RunScan labels records in the given scan order until limit matches are
+// found. It is the labeling half of RunOpts, split out so callers that build
+// the order themselves — a sharded index merging per-shard candidate runs —
+// reuse the identical scan loop.
+func RunScan(opts Options, limit int, order []int, pred Predicate, lab labeler.Labeler) (Result, error) {
+	if len(order) == 0 {
+		return Result{}, errors.New("limitq: empty dataset")
+	}
+	if limit <= 0 {
+		return Result{}, fmt.Errorf("limitq: limit must be positive, got %d", limit)
+	}
 
 	opts.Telemetry.Counter(`tasti_query_runs_total{type="limit"}`).Inc()
 	mCalls := opts.Telemetry.Counter(`tasti_query_label_calls_total{type="limit"}`)

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/labeler"
+	"repro/internal/parallel"
 	"repro/internal/telemetry"
 	"repro/internal/xrand"
 )
@@ -36,6 +37,11 @@ type Options struct {
 	// spend (tasti_query_runs_total / tasti_query_label_calls_total with
 	// type="select"). Record-only: the sampling design is unaffected.
 	Telemetry *telemetry.Registry
+	// Parallelism bounds the workers used to assemble the returned set over
+	// the full corpus (<= 0 uses all CPUs). The sampling design, threshold
+	// search, and returned set are identical at every worker count: only the
+	// embarrassingly parallel per-record threshold test is sharded.
+	Parallelism int
 }
 
 // DefaultOptions mirrors the paper's SUPG setup: recall target 0.9 with 95%
@@ -146,7 +152,7 @@ func RecallTarget(opts Options, n int, proxy []float64, pred Predicate, lab labe
 		}
 	}
 
-	returned := assemble(n, proxy, threshold, s)
+	returned := assemble(opts, n, proxy, threshold, s)
 	return Result{Returned: returned, OracleCalls: int64(len(s.ids)), Threshold: threshold}, nil
 }
 
@@ -206,7 +212,7 @@ func PrecisionTarget(opts Options, n int, proxy []float64, pred Predicate, lab l
 		}
 	}
 
-	returned := assemble(n, proxy, threshold, s)
+	returned := assemble(opts, n, proxy, threshold, s)
 	return Result{Returned: returned, OracleCalls: int64(len(s.ids)), Threshold: threshold}, nil
 }
 
@@ -278,13 +284,18 @@ func drawSample(opts Options, n int, proxy []float64, pred Predicate, lab labele
 
 // assemble builds the returned set: every record at or above the threshold
 // plus all sampled positives (which are known matches and free to include).
-func assemble(n int, proxy []float64, threshold float64, s *sample) []int {
+// The threshold test writes disjoint per-record cells, so it shards across
+// Options.Parallelism workers; the sample overrides and the ascending-ID
+// collect stay serial, making the output invariant in worker count.
+func assemble(opts Options, n int, proxy []float64, threshold float64, s *sample) []int {
 	include := make([]bool, n)
-	for i, p := range proxy {
-		if p >= threshold {
-			include[i] = true
+	parallel.ForChunks(opts.Parallelism, n, func(_ int, sp parallel.Span) {
+		for i := sp.Lo; i < sp.Hi; i++ {
+			if proxy[i] >= threshold {
+				include[i] = true
+			}
 		}
-	}
+	})
 	for i, id := range s.ids {
 		if s.labels[i] {
 			include[id] = true

@@ -1,0 +1,460 @@
+// Package shard partitions a built TASTI index into record-range shards and
+// serves every query through a scatter-gather layer that is bitwise
+// indistinguishable from the unsharded index.
+//
+// # Partitioning
+//
+// Split carves a *core.Index into n shards by contiguous record-ID range:
+// shard s owns [s*total/n, (s+1)*total/n). Each shard is self-contained — it
+// holds a zero-copy row-range view of the embedding matrix, its own min-k
+// table (shard-local neighbor rows naming corpus-global representative IDs),
+// and its own annotation cache — so a shard can be snapshotted, validated,
+// and hot-swapped independently of its peers (see persist.go and
+// cmd/tastiserve's per-shard reload).
+//
+// # Determinism contract
+//
+// Every scatter-gather path produces output bitwise identical to the
+// unsharded index, for any shard count and any worker count:
+//
+//   - Propagation (PropagateK, PropagateNearest) writes each record's score
+//     from only that record's neighbor row and the shared representative
+//     scores, so any partition of the record space — across shards or across
+//     workers within a shard — computes the same bits (core.PropagateKRange).
+//   - Limit-query ordering (LimitOrder) computes per-shard sorted runs and
+//     merges them under the same strict total order limitq sorts by; a strict
+//     total order has exactly one sorted permutation, so the merge equals the
+//     global sort.
+//   - Cracking (Crack, CrackAll) updates each record's neighbor row from only
+//     that row, the record's own embedding, and the new representative's
+//     embedding — supplied by the owning shard — so per-shard tables evolve
+//     exactly as one global table would.
+//
+// What deliberately does NOT scatter: estimator-side reductions. Floating-
+// point addition is not associative, so combining per-shard partial sums
+// (e.g. the EBS control-variate proxy mean) would change bits. Query
+// processors therefore consume the gathered, corpus-global proxy vector; the
+// parallelism lives below them, in the propagation scatter.
+//
+// # Concurrency
+//
+// Like core.Index, an Index is safe for concurrent reads (Propagate*,
+// LimitOrder, RepCount) but Crack/CrackAll and ReplaceShard mutate state and
+// must be serialized against all other use by the caller — cmd/tastiserve
+// holds its query semaphore for exactly this.
+package shard
+
+import (
+	"fmt"
+	"maps"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/parallel"
+	"repro/internal/query/limitq"
+	"repro/internal/telemetry"
+	"repro/internal/vecmath"
+)
+
+// Pre-built metric names shared with core's propagation observers, plus the
+// per-shard families documented in docs/OBSERVABILITY.md. Per-shard handles
+// are resolved once in SetTelemetry so the query path never formats a name.
+const (
+	metricPropagateWeighted = `tasti_propagate_total{kind="weighted"}`
+	metricPropagateNearest  = `tasti_propagate_total{kind="nearest"}`
+	metricPropagateSeconds  = "tasti_propagate_seconds"
+)
+
+// Shard is one contiguous record-range slice of the index. Its Table rows
+// and embedding matrix are indexed locally (record id - Lo) while
+// Table.Reps, the neighbor entries' Rep fields, and the Annotations keys
+// stay corpus-global — the invariant that lets shard-local propagation reuse
+// the exact core kernels.
+type Shard struct {
+	// Lo and Hi bound the owned record IDs: [Lo, Hi).
+	Lo, Hi int
+	// Embeddings holds rows Lo..Hi-1 of the corpus matrix, locally indexed.
+	Embeddings vecmath.Matrix
+	// Table is the shard-local min-k table: Neighbors[i] describes record
+	// Lo+i, naming corpus-global representative IDs.
+	Table *cluster.Table
+	// Annotations caches target-labeler outputs for every representative,
+	// keyed by corpus-global record ID. Each shard owns its map so a shard
+	// snapshot is self-contained.
+	Annotations map[int]dataset.Annotation
+}
+
+// NumRecords returns the number of records the shard owns.
+func (sh *Shard) NumRecords() int { return sh.Hi - sh.Lo }
+
+// Validate checks the shard's internal invariants: range shape, matrix/table
+// row agreement, and the table's own invariants.
+func (sh *Shard) Validate() error {
+	if sh.Lo < 0 || sh.Hi < sh.Lo {
+		return fmt.Errorf("shard: invalid range [%d,%d)", sh.Lo, sh.Hi)
+	}
+	if n := sh.NumRecords(); sh.Embeddings.Rows() != n || len(sh.Table.Neighbors) != n {
+		return fmt.Errorf("shard: range [%d,%d) has %d embedding rows and %d neighbor lists",
+			sh.Lo, sh.Hi, sh.Embeddings.Rows(), len(sh.Table.Neighbors))
+	}
+	return sh.Table.Validate()
+}
+
+// fillRepScores evaluates score on this shard's representative annotations
+// into rs, a dense slice indexed by corpus-global record ID (len >= total).
+// Entries for non-representatives are stale garbage no read path touches.
+func (sh *Shard) fillRepScores(rs []float64, score core.ScoreFunc) error {
+	for _, rep := range sh.Table.Reps {
+		ann, ok := sh.Annotations[rep]
+		if !ok {
+			return fmt.Errorf("%w: representative %d", core.ErrNoAnnotation, rep)
+		}
+		rs[rep] = score(ann)
+	}
+	return nil
+}
+
+// Index is a sharded TASTI index: N self-contained shards behind one
+// scatter-gather query surface. Shards sit behind atomic pointers so
+// cmd/tastiserve can hot-swap a single shard at a request boundary without
+// disturbing its peers.
+type Index struct {
+	shards []atomic.Pointer[Shard]
+	total  int
+	par    int
+
+	// Stats carries the build metadata of the source index (labeler spend,
+	// phase timings, degraded representatives) for /readyz and /index.
+	Stats core.BuildStats
+
+	tel      *telemetry.Registry
+	mProp    []*telemetry.Counter // tasti_shard_propagate_total{shard="s"}
+	gRecords []*telemetry.Gauge   // tasti_shard_records{shard="s"}
+	gReps    []*telemetry.Gauge   // tasti_shard_reps{shard="s"}
+}
+
+// Split partitions a built index into n contiguous-range shards, taking
+// ownership of ix: the shards alias its embedding matrix and neighbor rows
+// (zero-copy views with disjoint write ranges), so the source index must not
+// be used afterwards. Parallelism and telemetry carry over from ix's config;
+// each shard receives its own copy of the representative list and annotation
+// map so later per-shard snapshots and reloads stay self-contained.
+//
+// Split(ix, 1) is the identity sharding: one shard holding the whole index,
+// with every query path byte-for-byte equivalent to ix's own.
+func Split(ix *core.Index, n int) (*Index, error) {
+	total := ix.NumRecords()
+	if n < 1 || n > total {
+		return nil, fmt.Errorf("shard: cannot split %d records into %d shards", total, n)
+	}
+	cfg := ix.Config()
+	x := &Index{
+		shards: make([]atomic.Pointer[Shard], n),
+		total:  total,
+		par:    cfg.Parallelism,
+		Stats:  ix.Stats,
+	}
+	for s := 0; s < n; s++ {
+		lo, hi := s*total/n, (s+1)*total/n
+		sh := &Shard{
+			Lo:         lo,
+			Hi:         hi,
+			Embeddings: ix.Embeddings.RowRange(lo, hi),
+			Table: &cluster.Table{
+				K:         ix.Table.K,
+				Reps:      append([]int(nil), ix.Table.Reps...),
+				Neighbors: ix.Table.Neighbors[lo:hi:hi],
+			},
+			Annotations: maps.Clone(ix.Annotations),
+		}
+		x.shards[s].Store(sh)
+	}
+	x.SetTelemetry(cfg.Telemetry)
+	return x, nil
+}
+
+// NumShards returns the shard count.
+func (x *Index) NumShards() int { return len(x.shards) }
+
+// NumRecords returns the number of records across all shards.
+func (x *Index) NumRecords() int { return x.total }
+
+// K returns the min-k table depth (identical across shards).
+func (x *Index) K() int { return x.shards[0].Load().Table.K }
+
+// Shard returns the live shard at position i.
+func (x *Index) Shard(i int) *Shard { return x.shards[i].Load() }
+
+// SetParallelism bounds the per-shard worker count used inside each shard's
+// propagation and cracking scatter (p <= 0 uses all CPUs). Output is
+// identical at every p.
+func (x *Index) SetParallelism(p int) { x.par = p }
+
+// Parallelism reports the per-shard worker bound.
+func (x *Index) Parallelism() int { return x.par }
+
+// SetTelemetry points the index at a metrics registry (nil disables) and
+// pre-resolves the per-shard handles so the query path never formats a
+// metric name. Safe to call before serving only: it is not synchronized
+// against concurrent queries.
+func (x *Index) SetTelemetry(reg *telemetry.Registry) {
+	x.tel = reg
+	n := len(x.shards)
+	x.mProp = make([]*telemetry.Counter, n)
+	x.gRecords = make([]*telemetry.Gauge, n)
+	x.gReps = make([]*telemetry.Gauge, n)
+	for s := 0; s < n; s++ {
+		x.mProp[s] = reg.Counter(fmt.Sprintf(`tasti_shard_propagate_total{shard="%d"}`, s))
+		x.gRecords[s] = reg.Gauge(fmt.Sprintf(`tasti_shard_records{shard="%d"}`, s))
+		x.gReps[s] = reg.Gauge(fmt.Sprintf(`tasti_shard_reps{shard="%d"}`, s))
+	}
+	x.PublishMetrics()
+}
+
+// PublishMetrics refreshes the per-shard gauges (record and representative
+// counts) from the live shards. cmd/tastiserve calls it on /metrics scrapes
+// and after reloads and cracks, so gauge staleness is bounded by scrape
+// cadence.
+func (x *Index) PublishMetrics() {
+	if x.tel == nil {
+		return
+	}
+	for s := range x.shards {
+		sh := x.shards[s].Load()
+		x.gRecords[s].Set(float64(sh.NumRecords()))
+		x.gReps[s].Set(float64(len(sh.Table.Reps)))
+	}
+}
+
+// ReplaceShard atomically swaps in a replacement for shard i after checking
+// it covers the identical record range — the one shard-shape invariant a
+// hot reload must not bend. The caller serializes it against queries and
+// cracking (cmd/tastiserve holds its query semaphore).
+func (x *Index) ReplaceShard(i int, sh *Shard) error {
+	if i < 0 || i >= len(x.shards) {
+		return fmt.Errorf("shard: shard %d out of range [0,%d)", i, len(x.shards))
+	}
+	cur := x.shards[i].Load()
+	if sh.Lo != cur.Lo || sh.Hi != cur.Hi {
+		return fmt.Errorf("shard: replacement covers [%d,%d), serving shard %d covers [%d,%d)",
+			sh.Lo, sh.Hi, i, cur.Lo, cur.Hi)
+	}
+	if err := sh.Validate(); err != nil {
+		return err
+	}
+	x.shards[i].Store(sh)
+	x.PublishMetrics()
+	return nil
+}
+
+// RepCount returns the number of distinct representatives across shards. In
+// steady state every shard carries the identical list; after a rolling
+// per-shard reload the union reports honestly across generations.
+func (x *Index) RepCount() int {
+	seen := make(map[int]struct{})
+	for s := range x.shards {
+		for _, rep := range x.shards[s].Load().Table.Reps {
+			seen[rep] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// scatter runs fn concurrently over the live shards — one goroutine per
+// shard, each writing only its [Lo, Hi) slice of any gathered output — and
+// returns the lowest-numbered shard's error, so the reported failure is
+// deterministic even when several shards fail.
+func (x *Index) scatter(fn func(s int, sh *Shard) error) error {
+	if len(x.shards) == 1 {
+		return fn(0, x.shards[0].Load())
+	}
+	errs := make([]error, len(x.shards))
+	var wg sync.WaitGroup
+	for s := range x.shards {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = fn(s, x.shards[s].Load())
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observePropagate mirrors core's propagation observability: one count and
+// one latency observation per gather, nothing per record or per shard beyond
+// the pre-resolved per-shard counters.
+func (x *Index) observePropagate(metric string, start time.Time) {
+	if x.tel == nil {
+		return
+	}
+	x.tel.Counter(metric).Inc()
+	x.tel.Histogram(metricPropagateSeconds, nil).Observe(time.Since(start).Seconds())
+}
+
+// Propagate computes the corpus-global proxy-score vector over each record's
+// K nearest representatives, scattering across shards and gathering into one
+// slice — bitwise identical to core.Index.Propagate on the unsharded index.
+func (x *Index) Propagate(score core.ScoreFunc) ([]float64, error) {
+	return x.PropagateK(score, x.K())
+}
+
+// PropagateK is Propagate with an explicit neighbor count k <= K. Each shard
+// evaluates its own representative annotations (shards agree on the
+// representative set in steady state, and a rolling reload only ever scores
+// a shard with its own table's generation) and runs the shared
+// core.PropagateKRange kernel over its local rows into its disjoint slice of
+// the output.
+func (x *Index) PropagateK(score core.ScoreFunc, k int) ([]float64, error) {
+	if kMax := x.K(); k <= 0 || k > kMax {
+		return nil, fmt.Errorf("shard: propagation k=%d outside [1,%d]", k, kMax)
+	}
+	defer x.observePropagate(metricPropagateWeighted, time.Now())
+	out := make([]float64, x.total)
+	err := x.scatter(func(s int, sh *Shard) error {
+		rs := make([]float64, x.total)
+		if err := sh.fillRepScores(rs, score); err != nil {
+			return err
+		}
+		x.countPropagate(s)
+		localN := sh.NumRecords()
+		local := out[sh.Lo:sh.Hi]
+		if parallel.Workers(x.par) == 1 {
+			core.PropagateKRange(local, sh.Table.Neighbors, rs, k, 0, localN)
+		} else {
+			parallel.ForChunks(x.par, localN, func(_ int, sp parallel.Span) {
+				core.PropagateKRange(local, sh.Table.Neighbors, rs, k, sp.Lo, sp.Hi)
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PropagateNearest gathers each record's nearest representative's exact
+// score and the distance to it — the k=1 scoring with distance tie-breaking
+// that limit queries use — bitwise identical to core.Index.PropagateNearest.
+func (x *Index) PropagateNearest(score core.ScoreFunc) (scores, dists []float64, err error) {
+	defer x.observePropagate(metricPropagateNearest, time.Now())
+	scores = make([]float64, x.total)
+	dists = make([]float64, x.total)
+	err = x.scatter(func(s int, sh *Shard) error {
+		rs := make([]float64, x.total)
+		if err := sh.fillRepScores(rs, score); err != nil {
+			return err
+		}
+		x.countPropagate(s)
+		localScores, localDists := scores[sh.Lo:sh.Hi], dists[sh.Lo:sh.Hi]
+		parallel.ForChunks(x.par, sh.NumRecords(), func(_ int, sp parallel.Span) {
+			for i := sp.Lo; i < sp.Hi; i++ {
+				nb := sh.Table.Neighbors[i][0]
+				localScores[i] = rs[nb.Rep]
+				localDists[i] = nb.Dist
+			}
+		})
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return scores, dists, nil
+}
+
+// countPropagate bumps the per-shard propagation counter.
+func (x *Index) countPropagate(s int) {
+	if x.mProp != nil {
+		x.mProp[s].Inc()
+	}
+}
+
+// LimitOrder returns every record ID in the limit-query scan order —
+// descending proxy, ties by ascending tieDist (nil disables) then ascending
+// ID — by ordering each shard's range concurrently and merging the sorted
+// runs under limitq's comparator. The comparator is a strict total order, so
+// the merged permutation is bitwise identical to limitq.Order over the full
+// vectors. proxy (and tieDist, when non-nil) must have NumRecords entries.
+func (x *Index) LimitOrder(proxy, tieDist []float64) []int {
+	if len(proxy) != x.total {
+		panic(fmt.Sprintf("shard: %d proxy scores for %d records", len(proxy), x.total))
+	}
+	runs := make([][]int, len(x.shards))
+	_ = x.scatter(func(s int, sh *Shard) error {
+		runs[s] = limitq.OrderRange(proxy, tieDist, sh.Lo, sh.Hi)
+		return nil
+	})
+	if len(runs) == 1 {
+		return runs[0]
+	}
+	out := make([]int, 0, x.total)
+	heads := make([]int, len(runs))
+	for len(out) < x.total {
+		best := -1
+		for s, run := range runs {
+			if heads[s] == len(run) {
+				continue
+			}
+			if best == -1 || limitq.Less(proxy, tieDist, run[heads[s]], runs[best][heads[best]]) {
+				best = s
+			}
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// Crack adds a target-labeler observation as a new representative on every
+// shard: the owning shard supplies the new representative's embedding row,
+// then each shard records the annotation and updates its own table rows —
+// the same per-record computation the unsharded Table.AddRepresentative
+// runs, so the sharded tables stay bitwise identical to the global one.
+// Cracking a record that is already annotated is a no-op, mirroring
+// core.Index.Crack. Callers serialize Crack against all other index use.
+func (x *Index) Crack(id int, ann dataset.Annotation) {
+	if id < 0 || id >= x.total {
+		panic(fmt.Sprintf("shard: crack id %d out of range [0,%d)", id, x.total))
+	}
+	owner := x.owner(id)
+	if _, ok := owner.Annotations[id]; ok {
+		return
+	}
+	repEmb := owner.Embeddings.Row(id - owner.Lo)
+	for s := range x.shards {
+		sh := x.shards[s].Load()
+		sh.Annotations[id] = ann
+		sh.Table.AddRepresentativeEmb(sh.Embeddings, id, repEmb, x.par)
+	}
+	x.PublishMetrics()
+}
+
+// CrackAll cracks a batch of observations in ascending ID order — the fixed
+// order that makes batch cracking deterministic regardless of map iteration.
+func (x *Index) CrackAll(anns map[int]dataset.Annotation) {
+	ids := make([]int, 0, len(anns))
+	for id := range anns {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		x.Crack(id, anns[id])
+	}
+}
+
+// owner returns the live shard whose range contains id.
+func (x *Index) owner(id int) *Shard {
+	s := sort.Search(len(x.shards), func(s int) bool { return x.shards[s].Load().Hi > id })
+	return x.shards[s].Load()
+}

@@ -9,6 +9,19 @@ package vecmath
 // identical bits for the lifetime of the process.
 var useAVX = detectAVX()
 
+// KernelName reports which distance-kernel implementation this process
+// dispatches to: "avx2+fma" when the vectorized path is active, "scalar"
+// otherwise. Observability only — both paths are bitwise identical — so
+// cmd/tastiserve exposes it as the tasti_vecmath_kernel gauge and
+// cmd/tastibench stamps it into -bench-json reports, making perf numbers
+// attributable to the kernel that produced them.
+func KernelName() string {
+	if useAVX {
+		return "avx2+fma"
+	}
+	return "scalar"
+}
+
 // sqL2Kernel dispatches the shared squared-distance kernel. Callers
 // guarantee len(b) >= len(a); the re-slice keeps the assembly's read bounds
 // explicit.

@@ -5,6 +5,10 @@ package vecmath
 // Without a vectorized implementation for the platform, the shared kernels
 // are the portable unrolled loops.
 
+// KernelName reports which distance-kernel implementation this process
+// dispatches to; platforms without a vectorized path always run "scalar".
+func KernelName() string { return "scalar" }
+
 func sqL2Kernel(a, b []float64) float64 { return sqL2Generic(a, b) }
 
 func sqL2BatchKernel(q, data, dst []float64) {

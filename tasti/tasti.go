@@ -43,7 +43,9 @@ import (
 	"repro/internal/query/predagg"
 	"repro/internal/query/selection"
 	"repro/internal/query/supg"
+	"repro/internal/shard"
 	"repro/internal/snapshot"
+	"repro/internal/vecmath"
 	"repro/internal/telemetry"
 	"repro/internal/triplet"
 )
@@ -260,6 +262,44 @@ func Build(cfg Config, ds *Dataset, lab Labeler) (*Index, error) {
 // LoadIndex deserializes an index saved with Index.Save.
 var LoadIndex = core.Load
 
+// Sharded serving. A built index can be partitioned into contiguous
+// record-range shards that answer every query through a scatter-gather layer
+// bitwise identical to the unsharded index — the unit of parallel building,
+// snapshotting, and zero-downtime per-shard reload in cmd/tastiserve. See
+// docs/SHARDING.md for the assignment function, determinism contract, and
+// reload runbook.
+type (
+	// ShardedIndex is a sharded TASTI index: N self-contained shards behind
+	// one scatter-gather query surface with per-shard hot swap.
+	ShardedIndex = shard.Index
+	// Shard is one contiguous record-range slice of a sharded index.
+	Shard = shard.Shard
+)
+
+// SplitIndex partitions a built index into n contiguous record-range shards,
+// taking ownership of ix (it must not be used afterwards). SplitIndex(ix, 1)
+// is the identity sharding.
+func SplitIndex(ix *Index, n int) (*ShardedIndex, error) { return shard.Split(ix, n) }
+
+// LoadShardedIndex deserializes a sharded index saved with
+// ShardedIndex.Save ("tasti-shard-index" containers). Single-index snapshots
+// fail with ErrSnapshotKind; load those with LoadIndex and re-shard with
+// SplitIndex.
+var LoadShardedIndex = shard.Load
+
+// LoadShard lifts one shard out of a sharded snapshot without decoding its
+// peers — the input to ShardedIndex.ReplaceShard for per-shard hot reload.
+var LoadShard = shard.LoadShard
+
+// ShardSnapshotKind is the framed-container artifact type of sharded
+// snapshots.
+const ShardSnapshotKind = shard.IndexKind
+
+// KernelName reports which vector-distance kernel implementation this
+// process dispatches to (e.g. "avx2+fma" or "scalar"). Observability only:
+// every implementation is bitwise identical.
+func KernelName() string { return vecmath.KernelName() }
+
 // Durable persistence. Index.Save, Checkpoint.Save, and Dataset.Save write a
 // framed, checksummed container (magic, format version, per-section and
 // whole-file CRC-32C); the Load functions verify it end to end and classify
@@ -369,6 +409,13 @@ func FindLimit(limit int, proxy, tieDist []float64, pred func(Annotation) bool, 
 // FindLimitOpts is FindLimit with instrumentation options.
 func FindLimitOpts(opts LimitOptions, limit int, proxy, tieDist []float64, pred func(Annotation) bool, lab Labeler) (LimitResult, error) {
 	return limitq.RunOpts(opts, limit, proxy, tieDist, pred, lab)
+}
+
+// FindLimitScan is FindLimit over a caller-supplied scan order — typically
+// ShardedIndex.LimitOrder's merge of per-shard sorted runs, which is bitwise
+// identical to the order FindLimit computes itself.
+func FindLimitScan(opts LimitOptions, limit int, order []int, pred func(Annotation) bool, lab Labeler) (LimitResult, error) {
+	return limitq.RunScan(opts, limit, order, pred, lab)
 }
 
 // Observability: a dependency-free metrics registry and span tracer that
