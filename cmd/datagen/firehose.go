@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/dataset"
+)
+
+// firehoseRecord mirrors tastiserve's POST /ingest record schema.
+type firehoseRecord struct {
+	Features   []float64                  `json:"features"`
+	Annotation dataset.AnnotationEnvelope `json:"annotation"`
+}
+
+type firehoseRequest struct {
+	Records []firehoseRecord `json:"records"`
+}
+
+// firehose streams generated records into a tastiserve /ingest endpoint at a
+// paced rate for the given duration and reports sustained throughput and ack
+// latency. Every 200 is a durability receipt (the server fsynced the batch's
+// WAL frame before answering); 429s are the server's backpressure and are
+// counted, waited out, and retried with the next batch.
+func firehose(serverURL, name string, size int, seed int64, rate float64, dur time.Duration, batch int, tenant string) error {
+	if rate <= 0 || batch <= 0 || dur <= 0 {
+		return fmt.Errorf("firehose needs positive -rate, -batch, and -duration")
+	}
+	src, err := dataset.Generate(name, size, seed)
+	if err != nil {
+		return err
+	}
+	// Pre-encode nothing; wrap per batch so records cycle when the run
+	// outlasts the corpus.
+	envs := make([]dataset.AnnotationEnvelope, src.Len())
+	for i, ann := range src.Truth {
+		if envs[i], err = dataset.EnvelopeOf(ann); err != nil {
+			return err
+		}
+	}
+
+	interval := time.Duration(float64(batch) / rate * float64(time.Second))
+	client := &http.Client{Timeout: 30 * time.Second}
+	var (
+		acked, rejected, failed int
+		lats                    []time.Duration
+		next                    int
+	)
+	deadline := time.Now().Add(dur)
+	start := time.Now()
+	for time.Now().Before(deadline) {
+		recs := make([]firehoseRecord, batch)
+		for i := range recs {
+			recs[i] = firehoseRecord{Features: src.Records[next].Features, Annotation: envs[next]}
+			next = (next + 1) % src.Len()
+		}
+		body, err := json.Marshal(firehoseRequest{Records: recs})
+		if err != nil {
+			return err
+		}
+		req, err := http.NewRequest(http.MethodPost, serverURL+"/ingest", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if tenant != "" {
+			req.Header.Set("X-Tasti-Tenant", tenant)
+		}
+		sent := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			return fmt.Errorf("firehose: %w", err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			acked += batch
+			lats = append(lats, time.Since(sent))
+		case http.StatusTooManyRequests:
+			rejected += batch
+			time.Sleep(time.Second)
+		case http.StatusServiceUnavailable:
+			// Index still building or WAL replaying; wait it out.
+			time.Sleep(time.Second)
+		default:
+			failed++
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+			fmt.Printf("  %s: %s\n", resp.Status, bytes.TrimSpace(msg))
+		}
+		if err := resp.Body.Close(); err != nil {
+			return err
+		}
+		if sleep := interval - time.Since(sent); sleep > 0 {
+			time.Sleep(sleep)
+		}
+	}
+	elapsed := time.Since(start)
+
+	fmt.Printf("== firehose %s -> %s ==\n", name, serverURL)
+	fmt.Printf("  acked     %d records in %.1fs (%.0f rec/s sustained)\n",
+		acked, elapsed.Seconds(), float64(acked)/elapsed.Seconds())
+	fmt.Printf("  rejected  %d records (429 backpressure)\n", rejected)
+	if failed > 0 {
+		fmt.Printf("  failed    %d batches\n", failed)
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		fmt.Printf("  ack latency p50 %.2fms  p99 %.2fms  max %.2fms\n",
+			ms(lats[len(lats)/2]), ms(lats[len(lats)*99/100]), ms(lats[len(lats)-1]))
+	}
+	if failed > 0 {
+		return fmt.Errorf("firehose: %d batches failed", failed)
+	}
+	return nil
+}
+
+func ms(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

@@ -6,6 +6,16 @@
 //
 //	datagen -dataset night-street -size 20000
 //	datagen -all -size 4000
+//
+// -firehose streams generated records into a running tastiserve's
+// POST /ingest endpoint instead of summarizing, pacing batches at -rate
+// records per second for -duration and reporting sustained throughput plus
+// ack-latency percentiles — each ack is a durability receipt, fsynced into
+// the server's WAL before the response:
+//
+//	tastiserve -dataset night-street -size 10000 -wal-dir /var/lib/tasti/wal &
+//	datagen -dataset night-street -size 4000 -seed 99 \
+//	        -firehose http://localhost:8080 -rate 500 -duration 30s
 package main
 
 import (
@@ -13,6 +23,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/snapshot"
@@ -26,9 +37,22 @@ func main() {
 		all  = flag.Bool("all", false, "summarize every corpus")
 		out  = flag.String("out", "", "save the generated corpus to this file")
 		in   = flag.String("in", "", "load and summarize a corpus saved with -out instead of generating")
+
+		fire     = flag.String("firehose", "", "stream generated records into this tastiserve base URL's /ingest endpoint instead of summarizing")
+		rate     = flag.Float64("rate", 200, "firehose target records per second")
+		duration = flag.Duration("duration", 10*time.Second, "firehose run length")
+		batch    = flag.Int("batch", 16, "firehose records per request")
+		tenant   = flag.String("tenant", "", "firehose X-Tasti-Tenant header (empty uses the server default)")
 	)
 	flag.Parse()
 
+	if *fire != "" {
+		if err := firehose(*fire, *name, *size, *seed, *rate, *duration, *batch, *tenant); err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *in != "" {
 		if err := summarizeFile(*in); err != nil {
 			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)

@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
 	"runtime"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/ingest"
 	"repro/internal/labeler"
 	"repro/internal/shard"
 	"repro/tasti"
@@ -16,9 +18,10 @@ import (
 
 // The benchmark suite mirrors the shapes of internal/core's
 // BenchmarkBuildParallel and BenchmarkPropagateParallel at workers=1, so a
-// committed baseline (BENCH_5.json) stays comparable with `go test -bench`
-// output while being runnable from the built binary. cmd/benchgate compares
-// two of these reports.
+// committed baseline (BENCH_7.json) stays comparable with `go test -bench`
+// output while being runnable from the built binary, and adds the streaming
+// write path (WAL append with fsync, index AppendRecords). cmd/benchgate
+// compares two of these reports.
 
 // BenchResult is one benchmark's steady-state cost.
 type BenchResult struct {
@@ -93,6 +96,47 @@ func runBenchSuite(path string) error {
 	rep.Benchmarks["propagate_sharded4_w1"] = runBench(func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := sharded.Propagate(score); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The streaming write path: one WAL frame per op, fsync included — this
+	// is the floor under every /ingest ack.
+	walDir, err := os.MkdirTemp("", "tasti-bench-wal-")
+	if err != nil {
+		return fmt.Errorf("creating bench WAL dir: %w", err)
+	}
+	defer os.RemoveAll(walDir) //nolint:errcheck // best-effort temp cleanup
+	wal, err := ingest.OpenWAL(walDir, 0, ingest.WALOptions{})
+	if err != nil {
+		return fmt.Errorf("opening bench WAL: %w", err)
+	}
+	defer wal.Close() //nolint:errcheck // bench-only, temp dir removed anyway
+	walFeats := make([][]float64, 16)
+	walAnns := make([]dataset.Annotation, 16)
+	for i := range walFeats {
+		walFeats[i] = buildDS.Records[i].Features
+		walAnns[i] = buildDS.Truth[i]
+	}
+	rep.Benchmarks["wal_append_fsync_b16"] = runBench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := wal.Append(ingest.Batch{Base: wal.NextID(), Features: walFeats, Anns: walAnns}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// AppendRecords at workers=1: embed + min-k scan per appended record,
+	// the apply-side cost of streaming ingest.
+	appendIx, err := core.Build(core.PretrainedConfig(600, 2), buildDS, buildLab)
+	if err != nil {
+		return fmt.Errorf("building append index: %w", err)
+	}
+	appendIx.SetParallelism(1)
+	rep.Benchmarks["append_records_w1_b16"] = runBench(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := appendIx.AppendRecords(walFeats); err != nil {
 				b.Fatal(err)
 			}
 		}

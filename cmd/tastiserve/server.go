@@ -56,6 +56,69 @@ type serverOptions struct {
 	// the file exists (skipping the build), written after a fresh build, and
 	// re-read by POST /admin/reload and SIGHUP. Empty disables persistence.
 	snapshotPath string
+
+	// walDir enables streaming ingest: appended records are fsynced into a
+	// write-ahead log here before they are acked, replayed into the index at
+	// boot, and folded into the snapshot by POST /admin/refresh. Empty
+	// disables POST /ingest (it answers 501). See docs/RELIABILITY.md.
+	walDir string
+	// walSegmentBytes bounds a WAL segment before rotation (<= 0 uses the
+	// library default, 16 MiB).
+	walSegmentBytes int64
+	// ingestQueue bounds requests awaiting the ingest writer loop; a full
+	// queue answers 429 (<= 0 uses the library default).
+	ingestQueue int
+	// ingestBatch bounds how many records one WAL frame (and fsync)
+	// coalesces (<= 0 uses the library default).
+	ingestBatch int
+	// ingestMaxBody caps a POST /ingest body in bytes; larger bodies answer
+	// 413 (<= 0: 8 MiB).
+	ingestMaxBody int64
+	// ingestTenantPending caps records a single tenant (X-Tasti-Tenant) may
+	// have in flight through the ingest pipeline; beyond it the tenant gets
+	// 429 while others keep writing (<= 0: 4096).
+	ingestTenantPending int
+	// driftWindow is how many recent appends the drift detector averages
+	// over (<= 0: 256).
+	driftWindow int
+	// driftThreshold triggers a refresh once the windowed mean
+	// nearest-representative distance exceeds threshold x the build-time
+	// baseline (<= 0: 1.5).
+	driftThreshold float64
+	// refreshBudget bounds representatives added per refresh (<= 0 uses the
+	// library default).
+	refreshBudget int
+	// refreshAuto lets drift trigger background refreshes; POST
+	// /admin/refresh works either way.
+	refreshAuto bool
+}
+
+// ingestMaxBodyBytes resolves the body cap default.
+func (o serverOptions) ingestMaxBodyBytes() int64 {
+	if o.ingestMaxBody <= 0 {
+		return 8 << 20
+	}
+	return o.ingestMaxBody
+}
+
+// tenantPendingCap resolves the per-tenant pending-records default.
+func (o serverOptions) tenantPendingCap() int {
+	if o.ingestTenantPending <= 0 {
+		return 4096
+	}
+	return o.ingestTenantPending
+}
+
+// driftParams resolves the drift-detector defaults.
+func (o serverOptions) driftParams() (window int, threshold float64) {
+	window, threshold = o.driftWindow, o.driftThreshold
+	if window <= 0 {
+		window = 256
+	}
+	if threshold <= 0 {
+		threshold = 1.5
+	}
+	return window, threshold
 }
 
 // shardCount normalizes the shard knob: anything below 1 serves one shard.
@@ -102,6 +165,15 @@ type server struct {
 	target  tasti.Labeler // serve-path labeler: retry(breaker(deadline(base)))
 	breaker *tasti.Breaker
 
+	// corpusLen mirrors ds.Len() and dim mirrors ds.FeatureDim() for
+	// handlers that run OUTSIDE the index semaphore (request decoding,
+	// /ingest validation). With streaming ingest on, ds grows under the
+	// semaphore; reading its slice headers unsynchronized would race, so
+	// lock-free paths read this atomic instead. dim never changes after
+	// build, so the ready flag alone orders it.
+	corpusLen atomic.Int64
+	dim       int
+
 	// index is the sharded serving index, swapped atomically by hot reload
 	// — wholesale, or one shard at a time through ShardedIndex's own
 	// per-shard pointers (POST /admin/reload?shard=i). Handlers load it once
@@ -112,6 +184,15 @@ type server struct {
 	// reloading serializes reloads: a second reload arriving while one is
 	// loading and validating is rejected, not queued.
 	reloading atomic.Bool
+
+	// Streaming ingest state, populated by initIngest when -wal-dir is set
+	// (nil otherwise). The ingester's Apply callback and the refresher both
+	// serialize index access through sem like every query handler.
+	wal       *tasti.WAL
+	ingester  *tasti.Ingester
+	drift     *tasti.DriftDetector
+	refresher *tasti.Refresher
+	tenants   tenantLimiter
 }
 
 // newServerShell returns a server that is alive (serves /healthz and
@@ -133,6 +214,29 @@ func newServerShell(opts serverOptions) *server {
 	reg.Help("tasti_shard_reps", "Cluster representatives carried by each shard's table, by shard.")
 	reg.Help("tasti_shard_propagate_total", "Per-shard propagation passes served, by shard.")
 	reg.Help("tasti_shard_reload_total", "Single-shard hot-reload attempts, by shard and outcome.")
+	reg.Help("tasti_wal_frames_total", "WAL frames appended and fsynced.")
+	reg.Help("tasti_wal_bytes_total", "Bytes appended to WAL segments.")
+	reg.Help("tasti_wal_segments_total", "WAL segments created, including rotations.")
+	reg.Help("tasti_wal_fsync_errors_total", "WAL frame fsyncs that failed; the affected batch was not acked.")
+	reg.Help("tasti_wal_replay_records", "Records recovered from the WAL at the last boot.")
+	reg.Help("tasti_wal_replay_skipped", "WAL records below the snapshot floor at the last boot.")
+	reg.Help("tasti_wal_replay_segments", "WAL segments walked by the last boot's replay.")
+	reg.Help("tasti_wal_replay_truncations_total", "Boot replays that dropped a torn or corrupt WAL tail.")
+	reg.Help("tasti_ingest_records_total", "Records written into durable WAL frames.")
+	reg.Help("tasti_ingest_acked_total", "Records acknowledged to submitters after their WAL fsync.")
+	reg.Help("tasti_ingest_rejected_total", "Records rejected by ingest queue saturation.")
+	reg.Help("tasti_ingest_batches_total", "Coalesced WAL frames written by the ingest writer loop.")
+	reg.Help("tasti_ingest_queue_depth", "Requests waiting for the ingest writer loop.")
+	reg.Help("tasti_ingest_ack_seconds", "Submit-to-ack latency in seconds, including the WAL fsync.")
+	reg.Help("tasti_ingest_batch_records", "Records per coalesced WAL frame.")
+	reg.Help("tasti_ingest_tenant_rejections_total", "Ingest requests rejected by the per-tenant pending-records cap.")
+	reg.Help("tasti_drift_ratio", "Mean nearest-representative distance of recent appends over the baseline.")
+	reg.Help("tasti_drift_baseline_distance", "Baseline mean nearest-representative distance, reset at build, replay, and refresh.")
+	reg.Help("tasti_refresh_total", "Background index refresh attempts.")
+	reg.Help("tasti_refresh_failed_total", "Background index refreshes that failed; the previous index keeps serving.")
+	reg.Help("tasti_refresh_cracked_total", "Appended records cracked into representatives by refreshes.")
+	reg.Help("tasti_refresh_running", "1 while a background refresh is running.")
+	reg.Help("tasti_refresh_seconds", "Refresh latency in seconds: clone, crack, catch-up, swap.")
 	reg.Help("tasti_vecmath_kernel", "Active vector-distance kernel implementation (value is always 1; the label carries the name).")
 	reg.Gauge(fmt.Sprintf("tasti_vecmath_kernel{kernel=%q}", tasti.KernelName())).Set(1)
 	return &server{
@@ -182,6 +286,13 @@ func (s *server) buildIndex() error {
 	if err != nil {
 		return err
 	}
+	// With ingest enabled, the corpus may have grown past the generated base:
+	// the refresh path saves the extended dataset next to the WAL, and it is
+	// the ground truth for every appended record. Restore it before snapshot
+	// validation so an extended index snapshot is accepted.
+	if opts.walDir != "" {
+		ds = s.restoreIngestDataset(ds)
+	}
 	cost := tasti.MaskRCNNCost
 	if opts.dataset == "wikisql" || opts.dataset == "common-voice" {
 		cost = tasti.HumanCost
@@ -213,10 +324,16 @@ func (s *server) buildIndex() error {
 	// path (atomically), so the next start — and every hot reload — has it.
 	// One shard keeps the single-index container on disk; more shards write
 	// the sharded container (manifest + one nested container per shard).
+	// With ingest enabled a snapshot may cover any prefix from the base
+	// corpus through the full extended dataset — WAL replay fills the rest.
+	minRecords := ds.Len()
+	if opts.walDir != "" {
+		minRecords = opts.size
+	}
 	var index *tasti.ShardedIndex
 	if opts.snapshotPath != "" {
 		if _, err := os.Stat(opts.snapshotPath); err == nil {
-			index, err = loadServingSnapshot(opts.snapshotPath, ds, opts.parallelism, opts.shardCount())
+			index, err = loadServingSnapshot(opts.snapshotPath, ds, opts.parallelism, opts.shardCount(), minRecords)
 			if err != nil {
 				s.log.Warn("snapshot unusable; building fresh",
 					"path", opts.snapshotPath, "err", err.Error())
@@ -260,6 +377,13 @@ func (s *server) buildIndex() error {
 		}
 	}
 	index.SetTelemetry(s.reg)
+	// Replay the WAL into the index and start the ingest pipeline before the
+	// server flips ready: POST /ingest answers 503 for the whole replay.
+	if opts.walDir != "" {
+		if err := s.initIngest(index, ds); err != nil {
+			return err
+		}
+	}
 
 	// Serve-path chain, outermost first: retries recover transient faults,
 	// the breaker fails fast while the tier is unhealthy (and feeds
@@ -281,6 +405,8 @@ func (s *server) buildIndex() error {
 	}
 
 	s.ds = ds
+	s.dim = ds.FeatureDim()
+	s.corpusLen.Store(int64(ds.Len()))
 	s.target = serveLab
 	s.breaker = breaker
 	s.index.Store(index)
@@ -298,8 +424,11 @@ func (s *server) buildIndex() error {
 // loadIndexSnapshot reads, checksum-verifies, and validates an index
 // snapshot, and checks it actually describes the server's corpus — a
 // snapshot of the wrong dataset propagates garbage scores, so it is rejected
-// like any other corruption.
-func loadIndexSnapshot(path string, ds *tasti.Dataset, parallelism int) (*tasti.Index, error) {
+// like any other corruption. Without ingest, minRecords equals the corpus
+// size and the check is exact; with ingest, a snapshot may cover any prefix
+// from the base corpus (minRecords) through the full extended dataset, and
+// WAL replay supplies the remainder.
+func loadIndexSnapshot(path string, ds *tasti.Dataset, parallelism, minRecords int) (*tasti.Index, error) {
 	var ix *tasti.Index
 	err := tasti.ReadSnapshotFile(path, func(r io.Reader) error {
 		var lerr error
@@ -309,8 +438,9 @@ func loadIndexSnapshot(path string, ds *tasti.Dataset, parallelism int) (*tasti.
 	if err != nil {
 		return nil, err
 	}
-	if ix.NumRecords() != ds.Len() {
-		return nil, fmt.Errorf("snapshot indexes %d records, the serving corpus has %d", ix.NumRecords(), ds.Len())
+	if ix.NumRecords() < minRecords || ix.NumRecords() > ds.Len() {
+		return nil, fmt.Errorf("snapshot indexes %d records, the serving corpus covers [%d,%d]",
+			ix.NumRecords(), minRecords, ds.Len())
 	}
 	// The persisted snapshot does not carry the build configuration.
 	ix.SetParallelism(parallelism)
@@ -323,7 +453,7 @@ func loadIndexSnapshot(path string, ds *tasti.Dataset, parallelism int) (*tasti.
 // with the file's frames), while a legacy single-index container — framed or
 // pre-framing gob — is loaded through the existing single-index path and
 // re-sharded to the configured count.
-func loadServingSnapshot(path string, ds *tasti.Dataset, parallelism, shards int) (*tasti.ShardedIndex, error) {
+func loadServingSnapshot(path string, ds *tasti.Dataset, parallelism, shards, minRecords int) (*tasti.ShardedIndex, error) {
 	var sx *tasti.ShardedIndex
 	err := tasti.ReadSnapshotFile(path, func(r io.Reader) error {
 		var lerr error
@@ -334,14 +464,15 @@ func loadServingSnapshot(path string, ds *tasti.Dataset, parallelism, shards int
 		if !errors.Is(err, tasti.ErrSnapshotKind) && !errors.Is(err, tasti.ErrSnapshotBadMagic) {
 			return nil, err
 		}
-		ix, lerr := loadIndexSnapshot(path, ds, parallelism)
+		ix, lerr := loadIndexSnapshot(path, ds, parallelism, minRecords)
 		if lerr != nil {
 			return nil, lerr
 		}
 		return tasti.SplitIndex(ix, shards)
 	}
-	if sx.NumRecords() != ds.Len() {
-		return nil, fmt.Errorf("snapshot indexes %d records, the serving corpus has %d", sx.NumRecords(), ds.Len())
+	if sx.NumRecords() < minRecords || sx.NumRecords() > ds.Len() {
+		return nil, fmt.Errorf("snapshot indexes %d records, the serving corpus covers [%d,%d]",
+			sx.NumRecords(), minRecords, ds.Len())
 	}
 	sx.SetParallelism(parallelism)
 	return sx, nil
@@ -360,13 +491,19 @@ func (s *server) reload(ctx context.Context) error {
 	if s.opts.snapshotPath == "" {
 		return errors.New("no -snapshot path configured")
 	}
+	if s.opts.walDir != "" {
+		// With streaming ingest, the snapshot on disk may lag the live index
+		// by acked appends; swapping it in would fork record IDs from the
+		// WAL. The refresh path owns snapshotting instead.
+		return errors.New("hot reload is disabled while streaming ingest is on; POST /admin/refresh re-cracks and snapshots instead")
+	}
 	if !s.reloading.CompareAndSwap(false, true) {
 		return errReloadInProgress
 	}
 	defer s.reloading.Store(false)
 
 	start := time.Now()
-	next, err := loadServingSnapshot(s.opts.snapshotPath, s.ds, s.opts.parallelism, s.opts.shardCount())
+	next, err := loadServingSnapshot(s.opts.snapshotPath, s.ds, s.opts.parallelism, s.opts.shardCount(), s.ds.Len())
 	if err != nil {
 		s.reg.Counter(`tasti_snapshot_reload_total{outcome="error"}`).Inc()
 		s.reg.Counter("tasti_snapshot_reload_failures_total").Inc()
@@ -404,6 +541,9 @@ func (s *server) reload(ctx context.Context) error {
 func (s *server) reloadShard(ctx context.Context, i int) error {
 	if s.opts.snapshotPath == "" {
 		return errors.New("no -snapshot path configured")
+	}
+	if s.opts.walDir != "" {
+		return errors.New("hot reload is disabled while streaming ingest is on; POST /admin/refresh re-cracks and snapshots instead")
 	}
 	if !s.reloading.CompareAndSwap(false, true) {
 		return errReloadInProgress
@@ -516,7 +656,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/query/aggregate", s.handleAggregate)
 	mux.HandleFunc("/query/select", s.handleSelect)
 	mux.HandleFunc("/query/limit", s.handleLimit)
+	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/admin/reload", s.handleReload)
+	mux.HandleFunc("/admin/refresh", s.handleRefresh)
 	return s.recoverPanics(s.instrument(s.withQueryTimeout(mux)))
 }
 
@@ -555,7 +697,7 @@ func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/index", "/metrics",
 		"/query/aggregate", "/query/select", "/query/limit",
-		"/admin/reload":
+		"/ingest", "/admin/reload", "/admin/refresh":
 		return path
 	}
 	return "other"
@@ -736,7 +878,7 @@ func (s *server) decode(r *http.Request, req *queryRequest) error {
 		req.Err = 0.05
 	}
 	if req.Budget <= 0 {
-		req.Budget = max(100, s.ds.Len()/40)
+		req.Budget = max(100, int(s.corpusLen.Load())/40)
 	}
 	if req.Recall <= 0 || req.Recall >= 1 {
 		req.Recall = 0.9

@@ -82,6 +82,19 @@ func TestAppendRecordsEmpty(t *testing.T) {
 
 func TestAppendRecordsNoEmbedder(t *testing.T) {
 	ix, _, _ := buildTestIndex(t, PretrainedConfig(20, 2), "night-street", 200)
+	ix.Embedder = nil
+	if _, err := ix.AppendRecords([][]float64{make([]float64, 52)}); !errors.Is(err, ErrNoEmbedder) {
+		t.Errorf("err = %v, want ErrNoEmbedder", err)
+	}
+}
+
+// TestAppendRecordsAfterReload pins the restored-embedder contract: a
+// snapshot round trip keeps the embedding model, and appending the same
+// features to the original and the reloaded index produces bitwise-identical
+// embeddings and neighbor rows — the invariant WAL replay after a restart
+// depends on.
+func TestAppendRecordsAfterReload(t *testing.T) {
+	ix, ds, _ := buildTestIndex(t, PretrainedConfig(20, 2), "night-street", 200)
 	var buf bytes.Buffer
 	if err := ix.Save(&buf); err != nil {
 		t.Fatal(err)
@@ -90,7 +103,48 @@ func TestAppendRecordsNoEmbedder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := loaded.AppendRecords([][]float64{make([]float64, 52)}); !errors.Is(err, ErrNoEmbedder) {
-		t.Errorf("err = %v, want ErrNoEmbedder", err)
+	if loaded.Embedder == nil {
+		t.Fatal("snapshot round trip lost the embedder")
 	}
+	extra, err := dataset.Generate("night-street", 250, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var features [][]float64
+	for _, r := range extra.Records[200:] {
+		features = append(features, r.Features)
+	}
+	idsA, err := ix.AppendRecords(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idsB, err := loaded.AppendRecords(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idsA) != len(features) || len(idsB) != len(features) {
+		t.Fatalf("appended %d and %d ids, want %d", len(idsA), len(idsB), len(features))
+	}
+	for i := range idsA {
+		id := idsA[i]
+		if idsB[i] != id {
+			t.Fatalf("id %d: original %d, reloaded %d", i, id, idsB[i])
+		}
+		a, b := ix.Embeddings.Row(id), loaded.Embeddings.Row(id)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("record %d embedding dim %d: %v vs %v", id, j, a[j], b[j])
+			}
+		}
+		na, nb := ix.Table.Neighbors[id], loaded.Table.Neighbors[id]
+		if len(na) != len(nb) {
+			t.Fatalf("record %d: %d vs %d neighbors", id, len(na), len(nb))
+		}
+		for j := range na {
+			if na[j] != nb[j] {
+				t.Fatalf("record %d neighbor %d: %+v vs %+v", id, j, na[j], nb[j])
+			}
+		}
+	}
+	_ = ds
 }

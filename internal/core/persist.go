@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/dataset"
+	"repro/internal/embed"
 	"repro/internal/snapshot"
 	"repro/internal/vecmath"
 )
@@ -36,6 +37,15 @@ const (
 	embeddingsFlatFrame   = "embeddings.flat"
 	embeddingsLegacyFrame = "embeddings"
 )
+
+// embedderFrame is the optional trailing frame carrying the embedding model
+// (embed.Snapshot), so a restored index can keep appending records with
+// bitwise-identical embeddings — the prerequisite for WAL replay after a
+// restart. Optional on both sides: snapshots written before this frame
+// existed load with Embedder == nil exactly as they always did, and readers
+// from before it skip unknown trailing frames in Drain, so no container
+// version bump is needed.
+const embedderFrame = "embedder"
 
 // indexMeta is the first frame of an index snapshot: everything cheap, so a
 // reader can reject a damaged or mismatched file before decoding the bulky
@@ -95,6 +105,17 @@ func (ix *Index) Save(w io.Writer) error {
 			return fmt.Errorf("core: saving index: %w", err)
 		}
 	}
+	if ix.Embedder != nil {
+		es, err := embed.NewSnapshot(ix.Embedder)
+		if err != nil {
+			// An unserializable embedder degrades the snapshot to the historic
+			// contract (loads with Embedder == nil, no appends after restart)
+			// instead of failing the save.
+			slog.Warn("core: index snapshot omits the embedding model; appends will be unavailable after a restore", "err", err.Error())
+		} else if err := sw.Encode(embedderFrame, es); err != nil {
+			return fmt.Errorf("core: saving index: %w", err)
+		}
+	}
 	if err := sw.Close(); err != nil {
 		return fmt.Errorf("core: saving index: %w", err)
 	}
@@ -146,8 +167,10 @@ func decodeEmbeddingsFrame(sr *snapshot.Reader) (vecmath.Matrix, error) {
 // ErrTruncated, ...), with the embeddings section accepted in both the v2
 // flat layout and the v1 per-row layout; anything else falls back to the
 // legacy bare-gob decoder for pre-framing snapshots, with a deprecation
-// warning. The returned index propagates scores and supports cracking;
-// Embedder is nil because the embedding model is not persisted.
+// warning. The returned index propagates scores and supports cracking; when
+// the snapshot carries the optional embedder frame (see embedderFrame) the
+// embedding model is restored too, so AppendRecords keeps working — older
+// snapshots load with Embedder == nil exactly as before.
 func Load(r io.Reader) (*Index, error) {
 	framed, replay, err := snapshot.Sniff(r)
 	if err != nil {
@@ -155,6 +178,7 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	var snap gobSnapshot
 	var embeddings vecmath.Matrix
+	var embedder embed.Embedder
 	if framed {
 		sr, err := snapshot.NewReader(replay, indexKind)
 		if err != nil {
@@ -177,10 +201,28 @@ func Load(r io.Reader) (*Index, error) {
 		if err := sr.Decode("stats", &snap.Stats); err != nil {
 			return nil, fmt.Errorf("core: loading index: %w", err)
 		}
-		// Walk the trailer so the whole-file checksum is verified before any
-		// of the decoded state is trusted.
-		if err := sr.Drain(); err != nil {
-			return nil, fmt.Errorf("core: loading index: %w", err)
+		// Walk every remaining frame through the trailer, so the whole-file
+		// checksum is verified before any decoded state is trusted. Optional
+		// trailing frames (today: the embedder) are decoded by name; unknown
+		// ones are skipped for forward compatibility.
+		for {
+			name, payload, err := sr.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: loading index: %w", err)
+			}
+			if name != embedderFrame {
+				continue
+			}
+			var es embed.Snapshot
+			if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&es); err != nil {
+				return nil, fmt.Errorf("core: loading index: decoding frame %q: %w", name, err)
+			}
+			if embedder, err = es.Embedder(); err != nil {
+				return nil, fmt.Errorf("core: loading index: %w", err)
+			}
 		}
 	} else {
 		if err := gob.NewDecoder(replay).Decode(&snap); err != nil {
@@ -196,7 +238,12 @@ func Load(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("core: loaded index invalid: %d embedding rows for %d neighbor lists",
 			embeddings.Rows(), len(snap.Neighbors))
 	}
+	if embedder != nil && embeddings.Rows() > 0 && embedder.Dim() != embeddings.Dim() {
+		return nil, fmt.Errorf("core: loaded index invalid: embedder outputs dim %d, embeddings have dim %d",
+			embedder.Dim(), embeddings.Dim())
+	}
 	ix := &Index{
+		Embedder:   embedder,
 		Embeddings: embeddings,
 		Table: &cluster.Table{
 			K:         snap.K,

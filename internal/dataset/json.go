@@ -1,0 +1,64 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+)
+
+// AnnotationEnvelope is the tagged JSON representation of an Annotation
+// interface value, used on the wire by tastiserve's POST /ingest body and by
+// datagen's -firehose client. Kind selects which pointer is populated:
+//
+//	{"kind":"video","video":{"Boxes":[{"Class":"car","X":0.4, ...}]}}
+//	{"kind":"text","text":{"Operator":"SELECT","NumPredicates":1}}
+//	{"kind":"speech","speech":{"Gender":"female","AgeYears":34}}
+//
+// gob snapshots carry Annotation values natively (see the registration in
+// persist.go); this envelope exists only because encoding/json cannot decode
+// into an interface without a tag.
+type AnnotationEnvelope struct {
+	Kind   string            `json:"kind"`
+	Video  *VideoAnnotation  `json:"video,omitempty"`
+	Text   *TextAnnotation   `json:"text,omitempty"`
+	Speech *SpeechAnnotation `json:"speech,omitempty"`
+}
+
+// EnvelopeOf wraps an Annotation for JSON transport.
+func EnvelopeOf(a Annotation) (AnnotationEnvelope, error) {
+	switch v := a.(type) {
+	case VideoAnnotation:
+		return AnnotationEnvelope{Kind: v.Kind(), Video: &v}, nil
+	case TextAnnotation:
+		return AnnotationEnvelope{Kind: v.Kind(), Text: &v}, nil
+	case SpeechAnnotation:
+		return AnnotationEnvelope{Kind: v.Kind(), Speech: &v}, nil
+	case nil:
+		return AnnotationEnvelope{}, errors.New("dataset: nil annotation")
+	default:
+		return AnnotationEnvelope{}, fmt.Errorf("dataset: unsupported annotation type %T", a)
+	}
+}
+
+// Annotation unwraps the envelope, checking the tag names exactly one
+// populated payload of the matching schema.
+func (e AnnotationEnvelope) Annotation() (Annotation, error) {
+	switch e.Kind {
+	case "video":
+		if e.Video == nil || e.Text != nil || e.Speech != nil {
+			return nil, errors.New(`dataset: annotation kind "video" must carry exactly the video payload`)
+		}
+		return *e.Video, nil
+	case "text":
+		if e.Text == nil || e.Video != nil || e.Speech != nil {
+			return nil, errors.New(`dataset: annotation kind "text" must carry exactly the text payload`)
+		}
+		return *e.Text, nil
+	case "speech":
+		if e.Speech == nil || e.Video != nil || e.Text != nil {
+			return nil, errors.New(`dataset: annotation kind "speech" must carry exactly the speech payload`)
+		}
+		return *e.Speech, nil
+	default:
+		return nil, fmt.Errorf("dataset: unknown annotation kind %q", e.Kind)
+	}
+}

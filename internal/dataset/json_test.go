@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+// TestAnnotationEnvelopeRoundTrip checks every schema survives
+// wrap -> JSON -> unwrap bit-for-bit.
+func TestAnnotationEnvelopeRoundTrip(t *testing.T) {
+	anns := []Annotation{
+		VideoAnnotation{Boxes: []Box{{Class: "car", X: 0.25, Y: 0.5, W: 0.1, H: 0.2}}},
+		VideoAnnotation{}, // empty frame
+		TextAnnotation{Operator: "SELECT", NumPredicates: 2},
+		SpeechAnnotation{Gender: "female", AgeYears: 34},
+	}
+	for _, ann := range anns {
+		env, err := EnvelopeOf(ann)
+		if err != nil {
+			t.Fatalf("%T: %v", ann, err)
+		}
+		data, err := json.Marshal(env)
+		if err != nil {
+			t.Fatalf("%T: %v", ann, err)
+		}
+		var back AnnotationEnvelope
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("%T: %v", ann, err)
+		}
+		got, err := back.Annotation()
+		if err != nil {
+			t.Fatalf("%T: %v", ann, err)
+		}
+		if !reflect.DeepEqual(got, ann) {
+			t.Fatalf("round trip %T: got %+v, want %+v", ann, got, ann)
+		}
+	}
+}
+
+// TestAnnotationEnvelopeRejects pins the malformed-envelope errors: nil and
+// unsupported inputs on the wrap side; unknown kinds, missing payloads, and
+// kind/payload mismatches on the unwrap side.
+func TestAnnotationEnvelopeRejects(t *testing.T) {
+	if _, err := EnvelopeOf(nil); err == nil {
+		t.Error("EnvelopeOf(nil) succeeded")
+	}
+	bad := []AnnotationEnvelope{
+		{},
+		{Kind: "bogus"},
+		{Kind: "video"},
+		{Kind: "video", Text: &TextAnnotation{}},
+		{Kind: "video", Video: &VideoAnnotation{}, Text: &TextAnnotation{}},
+		{Kind: "text", Speech: &SpeechAnnotation{}},
+		{Kind: "speech", Video: &VideoAnnotation{}},
+	}
+	for i, env := range bad {
+		if _, err := env.Annotation(); err == nil {
+			t.Errorf("envelope %d (%+v) unwrapped without error", i, env)
+		}
+	}
+}

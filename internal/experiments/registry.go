@@ -37,6 +37,7 @@ var registry = []struct {
 	{"extra-prec", "extension (not in paper): precision-target SUPG selection", RunExtraPrecision},
 	{"extra-groupby", "extension (not in paper): grouped aggregation via vote propagation", RunExtraGroupBy},
 	{"faults", "robustness (not in paper): construction cost inflation under labeler faults", RunFaults},
+	{"ingest", "robustness (not in paper): streaming append throughput and ack latency under a query storm", RunIngest},
 }
 
 // IDs returns the experiment identifiers in the paper's order.

@@ -1,0 +1,72 @@
+package ingest
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDriftDetector(t *testing.T) {
+	d := NewDriftDetector(4, 1.5, nil)
+	d.Reset(1.0)
+	if d.Triggered() || d.Ratio() != 0 {
+		t.Fatalf("fresh detector: triggered=%v ratio=%v", d.Triggered(), d.Ratio())
+	}
+
+	// A partial window never triggers, however extreme.
+	d.Observe(100)
+	d.Observe(100)
+	d.Observe(100)
+	if d.Triggered() {
+		t.Fatal("triggered on a partial window")
+	}
+	if d.Full() {
+		t.Fatal("window reported full at 3/4")
+	}
+
+	d.Observe(100)
+	if !d.Full() || !d.Triggered() {
+		t.Fatalf("full drifted window: full=%v triggered=%v ratio=%v", d.Full(), d.Triggered(), d.Ratio())
+	}
+	if got := d.Ratio(); got != 100 {
+		t.Fatalf("ratio = %v, want 100", got)
+	}
+
+	// The ring forgets: four in-baseline observations wash the spike out.
+	for i := 0; i < 4; i++ {
+		d.Observe(1.0)
+	}
+	if d.Triggered() {
+		t.Fatalf("triggered at ratio %v after recovery", d.Ratio())
+	}
+	if got := d.Ratio(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("ratio = %v, want 1.0", got)
+	}
+
+	// Reset clears the window and installs the new baseline.
+	d.Reset(2.0)
+	if d.Ratio() != 0 || d.Full() || d.Baseline() != 2.0 {
+		t.Fatalf("after reset: ratio=%v full=%v baseline=%v", d.Ratio(), d.Full(), d.Baseline())
+	}
+	for i := 0; i < 4; i++ {
+		d.Observe(2.5)
+	}
+	if d.Triggered() {
+		t.Fatalf("ratio %v <= threshold yet triggered", d.Ratio())
+	}
+	for i := 0; i < 4; i++ {
+		d.Observe(4.0)
+	}
+	if !d.Triggered() {
+		t.Fatalf("ratio %v > threshold yet not triggered", d.Ratio())
+	}
+}
+
+func TestDriftDetectorZeroBaseline(t *testing.T) {
+	d := NewDriftDetector(2, 1.5, nil)
+	d.Reset(0)
+	d.Observe(5)
+	d.Observe(5)
+	if d.Ratio() != 0 || d.Triggered() {
+		t.Fatalf("zero baseline: ratio=%v triggered=%v", d.Ratio(), d.Triggered())
+	}
+}

@@ -1,0 +1,474 @@
+// Package ingest turns the index's append primitive into a crash-safe
+// streaming write path: a write-ahead log in the snapshot frame format, a
+// single-writer apply loop that acks records only after their WAL frame is
+// fsynced, a drift detector over recent appends, and a background refresher
+// that re-cracks a cloned index and hot-swaps it without blocking queries.
+//
+// # WAL on-disk format
+//
+// A WAL is a directory of segment files named
+//
+//	wal-<firstID %016d>.<seq %08d>.seg
+//
+// where firstID is the corpus-global ID of the first record the segment can
+// contain and seq is a monotonic segment sequence number (so names stay
+// unique when a crash-restart reopens the log at the same record count).
+// Lexicographic filename order is record order. Each segment is a snapshot
+// container of kind "tasti-wal" — magic, header, then length-prefixed
+// CRC-32C frames — with NO trailer: segments are append-only and are read
+// back with snapshot.NewLogReader, which treats a clean end-of-file at a
+// frame boundary as EOF and anything else as typed corruption. Each frame is
+// one gob-encoded Batch. The durability unit is the frame: Append returns
+// only after the frame bytes are fsynced, so kill -9 at any instant loses at
+// most the one frame whose Append had not yet returned.
+//
+// Segments rotate once the active one exceeds a size bound; rotation creates
+// the new segment with O_EXCL, fsyncs it and the directory before any frame
+// is acked into it. Opening a WAL always rotates to a fresh segment rather
+// than appending to a possibly-torn tail. See docs/RELIABILITY.md for the
+// full spec and the replay/truncation semantics.
+package ingest
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/dataset"
+	"repro/internal/snapshot"
+	"repro/internal/telemetry"
+)
+
+// WALKind is the snapshot container kind of every WAL segment.
+const WALKind = "tasti-wal"
+
+// batchFrame names every WAL frame; the record range lives in the payload.
+const batchFrame = "batch"
+
+// DefaultSegmentBytes bounds a segment before rotation (16 MiB) — small
+// enough that snapshot-driven truncation reclaims space promptly, large
+// enough that rotation cost vanishes against fsync cost.
+const DefaultSegmentBytes = 16 << 20
+
+// segPrefix/segSuffix frame the segment filename format.
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+// Batch is one WAL frame: a contiguous run of appended records. Base is the
+// corpus-global ID of Features[0]; record i is Base+i. Anns[i] is record i's
+// ground-truth annotation (required non-nil — it is what a later crack of
+// the record labels with, and what keeps the replayed dataset valid).
+type Batch struct {
+	Base     int
+	Features [][]float64
+	Anns     []dataset.Annotation
+}
+
+// Validate checks the batch invariants Append enforces.
+func (b Batch) Validate() error {
+	if len(b.Features) == 0 {
+		return errors.New("ingest: empty batch")
+	}
+	if b.Base < 0 {
+		return fmt.Errorf("ingest: batch base %d", b.Base)
+	}
+	if len(b.Anns) != len(b.Features) {
+		return fmt.Errorf("ingest: batch with %d features and %d annotations", len(b.Features), len(b.Anns))
+	}
+	for i := range b.Features {
+		if len(b.Features[i]) == 0 {
+			return fmt.Errorf("ingest: batch record %d has no features", i)
+		}
+		if b.Anns[i] == nil {
+			return fmt.Errorf("ingest: batch record %d has nil annotation", i)
+		}
+	}
+	return nil
+}
+
+// End returns the ID one past the batch's last record.
+func (b Batch) End() int { return b.Base + len(b.Features) }
+
+// WALOptions tunes OpenWAL. The zero value is usable.
+type WALOptions struct {
+	// SegmentBytes bounds the active segment before rotation
+	// (<= 0: DefaultSegmentBytes).
+	SegmentBytes int64
+	// Telemetry receives the tasti_wal_* counters (nil disables).
+	Telemetry *telemetry.Registry
+}
+
+// WAL is the crash-safe append log. A mutex serializes the file-state
+// methods: the Ingester's single writer loop owns Append/Close, while
+// TruncateThrough arrives from the snapshot path on another goroutine.
+type WAL struct {
+	dir          string
+	segmentBytes int64
+
+	mu      sync.Mutex
+	f       *os.File
+	sw      *snapshot.Writer
+	written int64
+	nextID  int    // ID the next appended record receives
+	seq     uint64 // sequence of the active segment
+
+	mFrames    *telemetry.Counter
+	mBytes     *telemetry.Counter
+	mSegments  *telemetry.Counter
+	mFsyncErrs *telemetry.Counter
+}
+
+// segName formats the segment filename for a first record ID and sequence.
+func segName(firstID int, seq uint64) string {
+	return fmt.Sprintf("%s%016d.%08d%s", segPrefix, firstID, seq, segSuffix)
+}
+
+// parseSegName recovers (firstID, seq) from a segment filename.
+func parseSegName(name string) (firstID int, seq uint64, ok bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, 0, false
+	}
+	body := name[len(segPrefix) : len(name)-len(segSuffix)]
+	if _, err := fmt.Sscanf(body, "%016d.%08d", &firstID, &seq); err != nil || firstID < 0 {
+		return 0, 0, false
+	}
+	return firstID, seq, true
+}
+
+// listSegments returns the WAL directory's segment filenames in lexicographic
+// (= record) order, ignoring foreign files.
+func listSegments(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("ingest: listing WAL %s: %w", dir, err)
+	}
+	var segs []string
+	for _, e := range entries {
+		if _, _, ok := parseSegName(e.Name()); ok && !e.IsDir() {
+			segs = append(segs, e.Name())
+		}
+	}
+	sort.Strings(segs)
+	return segs, nil
+}
+
+// OpenWAL opens (creating if needed) the WAL directory and rotates to a
+// fresh segment whose records start at nextID — the record count of the
+// index after snapshot restore and replay. Existing segments are left in
+// place for TruncateThrough; the torn tail of a crashed segment is never
+// appended to.
+func OpenWAL(dir string, nextID int, opts WALOptions) (*WAL, error) {
+	if nextID < 0 {
+		return nil, fmt.Errorf("ingest: opening WAL at record %d", nextID)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest: opening WAL: %w", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	var maxSeq uint64
+	for _, s := range segs {
+		if _, seq, ok := parseSegName(s); ok && seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	w := &WAL{
+		dir:          dir,
+		segmentBytes: opts.SegmentBytes,
+		nextID:       nextID,
+		seq:          maxSeq,
+	}
+	if w.segmentBytes <= 0 {
+		w.segmentBytes = DefaultSegmentBytes
+	}
+	if reg := opts.Telemetry; reg != nil {
+		w.mFrames = reg.Counter("tasti_wal_frames_total")
+		w.mBytes = reg.Counter("tasti_wal_bytes_total")
+		w.mSegments = reg.Counter("tasti_wal_segments_total")
+		w.mFsyncErrs = reg.Counter("tasti_wal_fsync_errors_total")
+	}
+	if err := w.rotate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Dir returns the WAL directory.
+func (w *WAL) Dir() string { return w.dir }
+
+// NextID returns the ID the next appended record will receive.
+func (w *WAL) NextID() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.nextID
+}
+
+// rotate seals the active segment (if any) and starts a fresh one. The new
+// segment's header is fsynced — file and directory — before rotate returns,
+// so a frame acked into it can never land in a file a crash unlinks.
+func (w *WAL) rotate() error {
+	if w.f != nil {
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("ingest: sealing WAL segment: %w", err)
+		}
+		w.f, w.sw = nil, nil
+	}
+	w.seq++
+	path := filepath.Join(w.dir, segName(w.nextID, w.seq))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("ingest: creating WAL segment: %w", err)
+	}
+	sw, err := snapshot.NewWriter(f, WALKind)
+	if err == nil {
+		err = f.Sync()
+	}
+	if err == nil {
+		err = snapshot.SyncDir(w.dir)
+	}
+	if err != nil {
+		f.Close()                //nolint:errcheck // already failing
+		os.Remove(path)          //nolint:errcheck // best-effort cleanup
+		return fmt.Errorf("ingest: starting WAL segment: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close() //nolint:errcheck // already failing
+		return fmt.Errorf("ingest: starting WAL segment: %w", err)
+	}
+	w.f, w.sw, w.written = f, sw, st.Size()
+	w.mSegments.Inc()
+	return nil
+}
+
+// Append writes the batch as one frame and fsyncs it. When Append returns
+// nil the batch is durable: replay after kill -9 reproduces it. The batch's
+// Base must equal NextID; on success NextID advances past the batch.
+func (w *WAL) Append(b Batch) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return errors.New("ingest: append on closed WAL")
+	}
+	if err := b.Validate(); err != nil {
+		return err
+	}
+	if b.Base != w.nextID {
+		return fmt.Errorf("ingest: batch base %d, WAL at record %d", b.Base, w.nextID)
+	}
+	if w.written >= w.segmentBytes {
+		if err := w.rotate(); err != nil {
+			return err
+		}
+	}
+	// The snapshot.Writer streams straight to the file; a partial write that
+	// crashes mid-frame is exactly the torn tail replay truncates at.
+	if err := w.sw.Encode(batchFrame, b); err != nil {
+		return fmt.Errorf("ingest: appending WAL frame: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.mFsyncErrs.Inc()
+		return fmt.Errorf("ingest: fsyncing WAL frame: %w", err)
+	}
+	off, err := w.f.Seek(0, io.SeekCurrent)
+	if err != nil {
+		return fmt.Errorf("ingest: appending WAL frame: %w", err)
+	}
+	w.mBytes.Add(off - w.written)
+	w.written = off
+	w.nextID = b.End()
+	w.mFrames.Inc()
+	return nil
+}
+
+// Close seals the active segment. The WAL stays replayable; a later OpenWAL
+// resumes with a fresh segment.
+func (w *WAL) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.f.Close()
+	w.f, w.sw = nil, nil
+	if err != nil {
+		return fmt.Errorf("ingest: closing WAL: %w", err)
+	}
+	return nil
+}
+
+// TruncateThrough deletes every segment made fully redundant by a snapshot
+// covering records [0, n): segment i may go once some later segment exists
+// whose first record is <= n (so no record >= n lives only in segment i).
+// The active segment always survives. Returns the number of segments
+// removed; the directory is fsynced after any removal.
+func (w *WAL) TruncateThrough(n int) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return 0, err
+	}
+	active := ""
+	if w.f != nil {
+		active = filepath.Base(w.f.Name())
+	}
+	removed := 0
+	for i := 0; i+1 < len(segs); i++ {
+		nextFirst, _, ok := parseSegName(segs[i+1])
+		if !ok || nextFirst > n || segs[i] == active {
+			break
+		}
+		if err := os.Remove(filepath.Join(w.dir, segs[i])); err != nil {
+			return removed, fmt.Errorf("ingest: truncating WAL: %w", err)
+		}
+		removed++
+	}
+	if removed > 0 {
+		if err := snapshot.SyncDir(w.dir); err != nil {
+			return removed, fmt.Errorf("ingest: truncating WAL: %w", err)
+		}
+	}
+	return removed, nil
+}
+
+// ReplayStats reports what Replay recovered and where (if anywhere) it
+// stopped. A truncation is NOT an error return: boot proceeds with the clean
+// prefix, the torn tail is lost by design (it was never acked), and the
+// operator sees the details in telemetry and logs.
+type ReplayStats struct {
+	// Segments and Frames count what was successfully decoded.
+	Segments, Frames int
+	// Records counts records applied; Skipped counts records below the
+	// replay floor (already covered by the restored snapshot).
+	Records, Skipped int
+	// Truncated reports that frames were dropped somewhere; TruncatedSegment
+	// names the first affected segment and Err holds its typed corruption
+	// (snapshot.ErrTruncated, snapshot.ErrChecksum, ...) or gap description.
+	// A torn tail from a previous crash epoch sets Truncated even when every
+	// acked record replays, because a later epoch's segment continues
+	// contiguously past the tear.
+	Truncated        bool
+	TruncatedSegment string
+	Err              error
+}
+
+// truncate records a dropped-frames event, keeping the first cause.
+func (st *ReplayStats) truncate(segment string, err error) {
+	if st.Truncated {
+		return
+	}
+	st.Truncated, st.TruncatedSegment, st.Err = true, segment, err
+}
+
+// Replay walks the WAL directory in record order and hands every acked batch
+// at or above record `from` to apply, trimming batches that straddle the
+// floor. Corruption inside a segment — bad header, torn or corrupt frame,
+// undecodable payload — drops the rest of THAT segment (frame boundaries
+// cannot be re-found) and replay continues with the next one: a crash leaves
+// a torn tail in its epoch's last segment, and the next boot's segment
+// continues contiguously past the tear. What stops replay outright is a
+// record-ID gap: the next batch starts past the expected record, so acked
+// records are unrecoverable and applying anything later would corrupt ID
+// assignment. Either way boot proceeds with the clean prefix and the stats
+// carry the evidence. apply errors abort replay and are returned.
+func Replay(dir string, from int, apply func(Batch) error) (ReplayStats, error) {
+	var st ReplayStats
+	segs, err := listSegments(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			// No WAL directory: nothing was ever ingested.
+			return st, nil
+		}
+		return st, err
+	}
+	next := from
+	for _, name := range segs {
+		stop, err := replaySegment(dir, name, &next, &st, apply)
+		if err != nil {
+			return st, err
+		}
+		if stop {
+			return st, nil
+		}
+		st.Segments++
+	}
+	return st, nil
+}
+
+// replaySegment replays one segment file. stop=true means replay must not
+// continue into later segments (record gap); a non-nil error only reports
+// apply failures.
+func replaySegment(dir, name string, next *int, st *ReplayStats, apply func(Batch) error) (stop bool, err error) {
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		st.truncate(name, err)
+		return false, nil
+	}
+	defer f.Close() //nolint:errcheck // read-only
+	return replayFrames(f, name, next, st, apply)
+}
+
+// replayFrames walks one segment's frame stream — split out from the file
+// handling so corruption fuzzing can drive it straight from memory.
+func replayFrames(r io.Reader, name string, next *int, st *ReplayStats, apply func(Batch) error) (stop bool, err error) {
+	sr, err := snapshot.NewLogReader(r, WALKind)
+	if err != nil {
+		st.truncate(name, err)
+		return false, nil
+	}
+	for {
+		fname, payload, err := sr.Next()
+		if err == io.EOF {
+			return false, nil
+		}
+		if err != nil {
+			st.truncate(name, err)
+			return false, nil
+		}
+		if fname != batchFrame {
+			// Unknown frame kinds are skipped for forward compatibility; the
+			// frame's own CRC already verified.
+			continue
+		}
+		var b Batch
+		err = gob.NewDecoder(bytes.NewReader(payload)).Decode(&b)
+		if err == nil {
+			err = b.Validate()
+		}
+		if err != nil {
+			st.truncate(name, fmt.Errorf("ingest: bad WAL frame: %w", err))
+			return false, nil
+		}
+		switch {
+		case b.End() <= *next:
+			// Entirely below the floor: covered by the snapshot.
+			st.Skipped += len(b.Features)
+		case b.Base > *next:
+			st.truncate(name, fmt.Errorf("%w: record gap: batch starts at %d, expected %d",
+				snapshot.ErrTruncated, b.Base, *next))
+			return true, nil
+		default:
+			lo := *next - b.Base
+			st.Skipped += lo
+			part := Batch{Base: *next, Features: b.Features[lo:], Anns: b.Anns[lo:]}
+			if err := apply(part); err != nil {
+				return true, fmt.Errorf("ingest: replaying %s: %w", name, err)
+			}
+			st.Records += len(part.Features)
+			*next = b.End()
+		}
+		st.Frames++
+	}
+}

@@ -1,0 +1,403 @@
+package ingest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/snapshot"
+)
+
+// testBatch fabricates a contiguous batch with deterministic features so
+// replay equality checks are exact.
+func testBatch(base, n int) Batch {
+	b := Batch{Base: base}
+	for i := 0; i < n; i++ {
+		id := base + i
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = float64(id*31 + j)
+		}
+		b.Features = append(b.Features, row)
+		b.Anns = append(b.Anns, dataset.VideoAnnotation{Boxes: []dataset.Box{{Class: "car", X: float64(id)}}})
+	}
+	return b
+}
+
+// collectReplay replays dir from the floor and returns the applied batches.
+func collectReplay(t *testing.T, dir string, from int) ([]Batch, ReplayStats) {
+	t.Helper()
+	var got []Batch
+	st, err := Replay(dir, from, func(b Batch) error {
+		got = append(got, b)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return got, st
+}
+
+// checkContiguous verifies the batches cover [from, from+want) in order with
+// the deterministic feature content.
+func checkContiguous(t *testing.T, got []Batch, from, want int) {
+	t.Helper()
+	next := from
+	for _, b := range got {
+		if b.Base != next {
+			t.Fatalf("batch base %d, want %d", b.Base, next)
+		}
+		for i, row := range b.Features {
+			id := b.Base + i
+			for j, v := range row {
+				if v != float64(id*31+j) {
+					t.Fatalf("record %d dim %d = %v, want %v", id, j, v, float64(id*31+j))
+				}
+			}
+		}
+		next = b.End()
+	}
+	if next != from+want {
+		t.Fatalf("replayed through record %d, want %d", next, from+want)
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, 0, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, n := range []int{3, 1, 5} {
+		if err := w.Append(testBatch(total, n)); err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if w.NextID() != total {
+		t.Fatalf("NextID = %d, want %d", w.NextID(), total)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st := collectReplay(t, dir, 0)
+	checkContiguous(t, got, 0, total)
+	if st.Truncated || st.Records != total || st.Frames != 3 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestWALAppendValidation(t *testing.T) {
+	w, err := OpenWAL(t.TempDir(), 10, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close() //nolint:errcheck // test cleanup
+	if err := w.Append(testBatch(0, 2)); err == nil {
+		t.Fatal("misaligned batch base accepted")
+	}
+	if err := w.Append(Batch{Base: 10}); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	bad := testBatch(10, 2)
+	bad.Anns[1] = nil
+	if err := w.Append(bad); err == nil {
+		t.Fatal("nil annotation accepted")
+	}
+	if err := w.Append(testBatch(10, 2)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALRotation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, 0, WALOptions{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < 20; i++ {
+		if err := w.Append(testBatch(total, 2)); err != nil {
+			t.Fatal(err)
+		}
+		total += 2
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 3 {
+		t.Fatalf("%d segments after 20 appends at a 256-byte bound, want rotation", len(segs))
+	}
+	got, st := collectReplay(t, dir, 0)
+	checkContiguous(t, got, 0, total)
+	if st.Segments != len(segs) {
+		t.Fatalf("replayed %d segments of %d", st.Segments, len(segs))
+	}
+}
+
+func TestWALReplayFloor(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, 0, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testBatch(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testBatch(4, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Floor mid-first-batch: the straddling batch is trimmed.
+	got, st := collectReplay(t, dir, 2)
+	checkContiguous(t, got, 2, 6)
+	if st.Skipped != 2 || st.Records != 6 {
+		t.Fatalf("stats %+v", st)
+	}
+	// Floor past everything: nothing applies.
+	got, st = collectReplay(t, dir, 8)
+	if len(got) != 0 || st.Records != 0 || st.Skipped != 8 || st.Truncated {
+		t.Fatalf("stats %+v with %d batches", st, len(got))
+	}
+}
+
+func TestWALReopenAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, 0, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testBatch(0, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Crash: no Close. A reopened WAL rotates to a fresh segment at the
+	// replayed record count and never touches the old tail.
+	got, _ := collectReplay(t, dir, 0)
+	checkContiguous(t, got, 0, 5)
+	w2, err := OpenWAL(dir, 5, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(testBatch(5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st := collectReplay(t, dir, 0)
+	checkContiguous(t, got, 0, 8)
+	if st.Truncated {
+		t.Fatalf("stats %+v", st)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALTornTailThenNewEpoch pins the crash-epoch contract: a torn tail in
+// one boot's last segment only drops that tear — the next boot's segment
+// continues contiguously from the truncation point and replays in full.
+func TestWALTornTailThenNewEpoch(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, 0, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testBatch(0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(testBatch(3, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the second frame: kill -9 mid-write.
+	segs, _ := listSegments(dir)
+	st0, err := os.Stat(filepath.Join(dir, segs[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(filepath.Join(dir, segs[0]), st0.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	got, st := collectReplay(t, dir, 0)
+	checkContiguous(t, got, 0, 3)
+	if !st.Truncated {
+		t.Fatalf("stats %+v", st)
+	}
+	// Next boot: reopen at the truncation point and keep appending.
+	w2, err := OpenWAL(dir, 3, WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Append(testBatch(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, st = collectReplay(t, dir, 0)
+	checkContiguous(t, got, 0, 7)
+	if !st.Truncated || st.Records != 7 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestWALTruncateThrough(t *testing.T) {
+	dir := t.TempDir()
+	w, err := OpenWAL(dir, 0, WALOptions{SegmentBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := 0; i < 20; i++ {
+		if err := w.Append(testBatch(total, 2)); err != nil {
+			t.Fatal(err)
+		}
+		total += 2
+	}
+	before, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot covering half the records frees only fully-covered segments.
+	removed, err := w.TruncateThrough(total / 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed == 0 {
+		t.Fatalf("no segments removed from %d", len(before))
+	}
+	got, st := collectReplay(t, dir, total/2)
+	checkContiguous(t, got, total/2, total-total/2)
+	if st.Truncated {
+		t.Fatalf("stats %+v", st)
+	}
+	// A snapshot covering everything frees all but the active segment.
+	if _, err := w.TruncateThrough(total); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("%d segments after full truncation, want 1 (active)", len(segs))
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALCorruptionTruncates pins the corruption contract: a flipped byte or
+// torn tail stops replay at the last good frame with a typed error in the
+// stats — never a panic, never a hard boot failure.
+func TestWALCorruptionTruncates(t *testing.T) {
+	build := func(t *testing.T) string {
+		dir := t.TempDir()
+		w, err := OpenWAL(dir, 0, WALOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for base := 0; base < 12; base += 4 {
+			if err := w.Append(testBatch(base, 4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("byte flip", func(t *testing.T) {
+		dir := build(t)
+		segs, _ := listSegments(dir)
+		path := filepath.Join(dir, segs[0])
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, st := collectReplay(t, dir, 0)
+		if !st.Truncated || st.Err == nil || st.TruncatedSegment != segs[0] {
+			t.Fatalf("stats %+v", st)
+		}
+		checkContiguous(t, got, 0, st.Records)
+	})
+
+	t.Run("torn tail", func(t *testing.T) {
+		dir := build(t)
+		segs, _ := listSegments(dir)
+		path := filepath.Join(dir, segs[0])
+		st0, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(path, st0.Size()-7); err != nil {
+			t.Fatal(err)
+		}
+		got, st := collectReplay(t, dir, 0)
+		if !st.Truncated || !errors.Is(st.Err, snapshot.ErrTruncated) && !errors.Is(st.Err, snapshot.ErrChecksum) {
+			t.Fatalf("stats %+v", st)
+		}
+		if st.Records != 8 {
+			t.Fatalf("torn last frame lost %d records, want exactly the 4 in it", 12-st.Records)
+		}
+		checkContiguous(t, got, 0, st.Records)
+	})
+
+	t.Run("missing middle segment", func(t *testing.T) {
+		dir := t.TempDir()
+		w, err := OpenWAL(dir, 0, WALOptions{SegmentBytes: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for base := 0; base < 12; base += 4 {
+			if err := w.Append(testBatch(base, 4)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// At a 1-byte bound every append rotates first, so each batch lands in
+		// its own segment (after the header-only segment Open created).
+		// Removing the second batch's segment leaves records 4..7 missing.
+		segs, _ := listSegments(dir)
+		if len(segs) != 4 {
+			t.Fatalf("%d segments, want header-only + one per batch", len(segs))
+		}
+		if err := os.Remove(filepath.Join(dir, segs[2])); err != nil {
+			t.Fatal(err)
+		}
+		got, st := collectReplay(t, dir, 0)
+		if !st.Truncated || !errors.Is(st.Err, snapshot.ErrTruncated) {
+			t.Fatalf("stats %+v", st)
+		}
+		checkContiguous(t, got, 0, 4)
+	})
+}
+
+func TestReplayNoDirectory(t *testing.T) {
+	st, err := Replay(filepath.Join(t.TempDir(), "never-created"), 0, func(Batch) error {
+		t.Fatal("apply called with no WAL")
+		return nil
+	})
+	if err != nil || st.Records != 0 {
+		t.Fatalf("st=%+v err=%v", st, err)
+	}
+}

@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/vecmath"
+)
+
+// AppendRecords ingests newly arrived records through the shard layer: each
+// record is embedded with the shared model and min-k scanned against the
+// corpus-global representative set, and the rows are appended to the LAST
+// shard, whose range grows from [Lo, Hi) to [Lo, Hi+n). Records receive
+// consecutive IDs starting at NumRecords, and the computation is bit-for-bit
+// the one core.Index.AppendRecords runs on the unsharded index — the
+// representative matrix is gathered from the owner shards in the same order,
+// and the same scan kernel runs at the same parallelism contract (output
+// identical at every worker count).
+//
+// The append is copy-on-write: a replacement *Shard with the extended matrix
+// and table is built first and atomically stored, so code that reads shard
+// pointers without the index lock (PublishMetrics) only ever observes a fully
+// formed shard — never a half-appended one. Like Crack, AppendRecords mutates
+// the index and must be serialized by the caller against all other index use
+// (cmd/tastiserve's ingest apply loop holds the query semaphore).
+func (x *Index) AppendRecords(features [][]float64) ([]int, error) {
+	if x.emb == nil {
+		return nil, core.ErrNoEmbedder
+	}
+	if len(features) == 0 {
+		return nil, nil
+	}
+	if len(x.lastShard().Table.Reps) == 0 {
+		return nil, errors.New("shard: appending records: no representatives")
+	}
+	embs := vecmath.NewMatrix(len(features), x.emb.Dim())
+	parallel.ForChunks(x.par, len(features), func(_ int, s parallel.Span) {
+		for i := s.Lo; i < s.Hi; i++ {
+			copy(embs.Row(i), x.emb.Embed(features[i]))
+		}
+	})
+	return x.appendEmbedded(embs), nil
+}
+
+// AppendEmbedded appends records whose embeddings are already computed,
+// scanning them against THIS index's representative set. It exists for the
+// refresh catch-up path: records that arrived while a refreshed clone was
+// being cracked have their embedding rows copied from the live index and
+// re-scanned against the clone's (larger) representative set, so the clone
+// converges to exactly the state a never-refreshed index would have reached
+// by cracking first and appending after. Rows must have the index's embedding
+// dimension. Serialization contract as AppendRecords.
+func (x *Index) AppendEmbedded(rows [][]float64) ([]int, error) {
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	dim := x.lastShard().Embeddings.Dim()
+	for i, r := range rows {
+		if len(r) != dim {
+			return nil, fmt.Errorf("shard: appending embedded row %d: dim %d, want %d", i, len(r), dim)
+		}
+	}
+	if len(x.lastShard().Table.Reps) == 0 {
+		return nil, errors.New("shard: appending records: no representatives")
+	}
+	return x.appendEmbedded(vecmath.FromRows(rows)), nil
+}
+
+// lastShard returns the live highest-range shard — the append target.
+func (x *Index) lastShard() *Shard { return x.shards[len(x.shards)-1].Load() }
+
+// gatherRepEmbeddings assembles the representative embedding matrix from the
+// owner shards, in representative-list order — the same values
+// core.AppendRecords gathers from the unsharded matrix, so the scans stay
+// bitwise identical.
+func (x *Index) gatherRepEmbeddings(reps []int, dim int) vecmath.Matrix {
+	m := vecmath.NewMatrix(len(reps), dim)
+	for j, rep := range reps {
+		owner := x.owner(rep)
+		copy(m.Row(j), owner.Embeddings.Row(rep-owner.Lo))
+	}
+	return m
+}
+
+// appendEmbedded is the shared append tail: scan embedded rows against the
+// representative set, then copy-on-write-extend the last shard.
+func (x *Index) appendEmbedded(embs vecmath.Matrix) []int {
+	last := x.lastShard()
+	reps := last.Table.Reps
+	k := last.Table.K
+	if len(reps) < k {
+		k = len(reps)
+	}
+	repMat := x.gatherRepEmbeddings(reps, embs.Dim())
+	n := embs.Rows()
+	nbrLists := make([][]cluster.Neighbor, n)
+	parallel.ForChunks(x.par, n, func(_ int, s parallel.Span) {
+		var sc cluster.Scanner // per-chunk scratch
+		for i := s.Lo; i < s.Hi; i++ {
+			nbrLists[i] = sc.ScanInto(make([]cluster.Neighbor, 0, k), embs.Row(i), repMat, reps, k)
+		}
+	})
+
+	// Build the replacement shard before publishing anything. The matrix and
+	// neighbor slice grow with append semantics: the first append past the
+	// split-time capacity reallocates, after which growth is amortized — and
+	// writes beyond the previous generation's length are invisible to any
+	// reader still holding the old *Shard.
+	m := last.Embeddings
+	nbrs := last.Table.Neighbors
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = x.total + i
+		m.AppendRow(embs.Row(i))
+		nbrs = append(nbrs, nbrLists[i])
+	}
+	next := &Shard{
+		Lo:         last.Lo,
+		Hi:         last.Hi + n,
+		Embeddings: m,
+		Table: &cluster.Table{
+			K:         last.Table.K,
+			Reps:      last.Table.Reps,
+			Neighbors: nbrs,
+		},
+		Annotations: last.Annotations,
+	}
+	x.shards[len(x.shards)-1].Store(next)
+	x.total += n
+	x.PublishMetrics()
+	return ids
+}
+
+// EmbeddingRow returns record id's embedding row (a live view, not a copy).
+// Callers hold the same serialization the read paths do.
+func (x *Index) EmbeddingRow(id int) []float64 {
+	if id < 0 || id >= x.total {
+		panic(fmt.Sprintf("shard: embedding row %d out of range [0,%d)", id, x.total))
+	}
+	owner := x.owner(id)
+	return owner.Embeddings.Row(id - owner.Lo)
+}
+
+// NearestDistance returns record id's distance to its nearest representative
+// — the per-record signal the ingest drift detector accumulates.
+func (x *Index) NearestDistance(id int) float64 {
+	if id < 0 || id >= x.total {
+		panic(fmt.Sprintf("shard: nearest distance %d out of range [0,%d)", id, x.total))
+	}
+	owner := x.owner(id)
+	return owner.Table.Neighbors[id-owner.Lo][0].Dist
+}
+
+// MeanNearestDistance returns the mean nearest-representative distance across
+// the whole corpus — the build-time (or post-refresh) baseline the drift
+// detector compares recent appends against.
+func (x *Index) MeanNearestDistance() float64 {
+	if x.total == 0 {
+		return 0
+	}
+	sum := 0.0
+	for s := range x.shards {
+		sh := x.shards[s].Load()
+		for i := range sh.Table.Neighbors {
+			sum += sh.Table.Neighbors[i][0].Dist
+		}
+	}
+	return sum / float64(x.total)
+}

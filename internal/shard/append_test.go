@@ -1,0 +1,274 @@
+package shard_test
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/shard"
+)
+
+// extraFeatures generates an out-of-build batch of raw feature vectors, the
+// shape of records arriving on a live ingest stream.
+func extraFeatures(t *testing.T, n int, seed int64) [][]float64 {
+	t.Helper()
+	ds, err := dataset.Generate("night-street", n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := make([][]float64, ds.Len())
+	for i := range features {
+		features[i] = ds.Records[i].Features
+	}
+	return features
+}
+
+// TestShardAppendInvariance pins the append determinism contract: appending
+// the same features to the unsharded index and to a sharded twin — at every
+// shard count and worker count — produces bitwise-identical embeddings,
+// neighbor rows, and downstream propagation.
+func TestShardAppendInvariance(t *testing.T) {
+	const n, reps = 400, 50
+	base, _ := buildIndex(t, n, reps)
+	features := extraFeatures(t, 80, 99)
+	wantIDs, err := base.AppendRecords(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := core.CountScore("car")
+	wantProxy, err := base.Propagate(score)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, shards := range []int{1, 2, 3, 4} {
+		for _, par := range []int{1, 4} {
+			ix, _ := buildIndex(t, n, reps)
+			x, err := shard.Split(ix, shards)
+			if err != nil {
+				t.Fatal(err)
+			}
+			x.SetParallelism(par)
+			ids, err := x.AppendRecords(features)
+			if err != nil {
+				t.Fatalf("shards=%d par=%d: %v", shards, par, err)
+			}
+			sameInts(t, "append ids", ids, wantIDs)
+			if x.NumRecords() != n+len(features) {
+				t.Fatalf("shards=%d: NumRecords = %d, want %d", shards, x.NumRecords(), n+len(features))
+			}
+			for _, id := range ids {
+				sameBits(t, "embedding row", x.EmbeddingRow(id), base.Embeddings.Row(id))
+				if got, want := x.NearestDistance(id), base.Table.Neighbors[id][0].Dist; math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("shards=%d record %d: nearest dist %v, want %v", shards, id, got, want)
+				}
+			}
+			got, err := x.Propagate(score)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameBits(t, "proxy after append", got, wantProxy)
+			for s := 0; s < x.NumShards(); s++ {
+				if err := x.Shard(s).Validate(); err != nil {
+					t.Fatalf("shards=%d shard %d after append: %v", shards, s, err)
+				}
+			}
+		}
+	}
+}
+
+// TestShardAppendThenCrack checks appended records are crackable like any
+// built record: the new representative lands in every shard's table and the
+// tables stay valid.
+func TestShardAppendThenCrack(t *testing.T) {
+	ix, _ := buildIndex(t, 300, 40)
+	x, err := shard.Split(ix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := x.AppendRecords(extraFeatures(t, 30, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := x.RepCount()
+	x.Crack(ids[10], dataset.VideoAnnotation{})
+	if got := x.RepCount(); got != before+1 {
+		t.Fatalf("RepCount = %d after crack, want %d", got, before+1)
+	}
+	for s := 0; s < x.NumShards(); s++ {
+		if err := x.Shard(s).Validate(); err != nil {
+			t.Fatalf("shard %d after crack: %v", s, err)
+		}
+	}
+	if _, err := x.Propagate(core.CountScore("car")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardAppendEmbedded checks the pre-embedded append path scans against
+// the index's own representatives exactly like the embedding path does.
+func TestShardAppendEmbedded(t *testing.T) {
+	features := extraFeatures(t, 25, 13)
+
+	ixA, _ := buildIndex(t, 300, 40)
+	a, err := shard.Split(ixA, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idsA, err := a.AppendRecords(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ixB, _ := buildIndex(t, 300, 40)
+	b, err := shard.Split(ixB, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([][]float64, len(idsA))
+	for i, id := range idsA {
+		rows[i] = a.EmbeddingRow(id)
+	}
+	idsB, err := b.AppendEmbedded(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameInts(t, "embedded append ids", idsB, idsA)
+	for _, id := range idsB {
+		sameBits(t, "embedded append row", b.EmbeddingRow(id), a.EmbeddingRow(id))
+		if math.Float64bits(b.NearestDistance(id)) != math.Float64bits(a.NearestDistance(id)) {
+			t.Fatalf("record %d: nearest dist %v vs %v", id, b.NearestDistance(id), a.NearestDistance(id))
+		}
+	}
+
+	if _, err := b.AppendEmbedded([][]float64{make([]float64, 3)}); err == nil {
+		t.Fatal("wrong-dimension embedded row accepted")
+	}
+}
+
+// TestShardAppendNoEmbedder pins the typed error for a model-less index.
+func TestShardAppendNoEmbedder(t *testing.T) {
+	ix, _ := buildIndex(t, 200, 20)
+	x, err := shard.Split(ix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x.SetEmbedder(nil)
+	if _, err := x.AppendRecords(extraFeatures(t, 1, 3)); !errors.Is(err, core.ErrNoEmbedder) {
+		t.Fatalf("err = %v, want core.ErrNoEmbedder", err)
+	}
+}
+
+// TestShardClone checks clone independence: mutating the clone (append +
+// crack) leaves the original's record count, scores, and tables untouched,
+// and the clone keeps the shared embedding model.
+func TestShardClone(t *testing.T) {
+	ix, _ := buildIndex(t, 300, 40)
+	x, err := shard.Split(ix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	score := core.CountScore("car")
+	wantProxy, err := x.Propagate(score)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := x.Clone()
+	if c.Embedder() == nil {
+		t.Fatal("clone lost the embedder")
+	}
+	ids, err := c.AppendRecords(extraFeatures(t, 20, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Crack(ids[0], dataset.VideoAnnotation{})
+	c.Crack(3, dataset.VideoAnnotation{Boxes: []dataset.Box{{Class: "car"}}})
+
+	if x.NumRecords() != 300 {
+		t.Fatalf("original grew to %d records after clone mutation", x.NumRecords())
+	}
+	got, err := x.Propagate(score)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameBits(t, "original proxy after clone mutation", got, wantProxy)
+	if c.NumRecords() != 320 {
+		t.Fatalf("clone has %d records, want 320", c.NumRecords())
+	}
+	if c.RepCount() != x.RepCount()+2 {
+		t.Fatalf("clone RepCount = %d, original %d", c.RepCount(), x.RepCount())
+	}
+}
+
+// TestShardMeanNearestDistance cross-checks the drift baseline against a
+// direct sum over the unsharded table.
+func TestShardMeanNearestDistance(t *testing.T) {
+	base, _ := buildIndex(t, 250, 30)
+	want := 0.0
+	for _, row := range base.Table.Neighbors {
+		want += row[0].Dist
+	}
+	want /= float64(base.NumRecords())
+
+	ix, _ := buildIndex(t, 250, 30)
+	x, err := shard.Split(ix, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := x.MeanNearestDistance(); math.Float64bits(got) != math.Float64bits(want) {
+		t.Fatalf("MeanNearestDistance = %v, want %v", got, want)
+	}
+}
+
+// TestShardPersistEmbedder checks the embedding model survives a sharded
+// snapshot round trip — and that a model-less index round-trips to a
+// model-less index (the historic contract, and the shape of pre-embedder
+// snapshots, which simply lack the frame).
+func TestShardPersistEmbedder(t *testing.T) {
+	ix, _ := buildIndex(t, 200, 25)
+	x, err := shard.Split(ix, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	features := extraFeatures(t, 10, 21)
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := shard.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Embedder() == nil {
+		t.Fatal("sharded snapshot round trip lost the embedder")
+	}
+	wantIDs, err := x.AppendRecords(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids, err := loaded.AppendRecords(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameInts(t, "reloaded append ids", ids, wantIDs)
+	for _, id := range ids {
+		sameBits(t, "reloaded append row", loaded.EmbeddingRow(id), x.EmbeddingRow(id))
+	}
+
+	x.SetEmbedder(nil)
+	buf.Reset()
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	plain, err := shard.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Embedder() != nil {
+		t.Fatal("model-less save produced an embedder on load")
+	}
+}

@@ -2,11 +2,14 @@ package shard
 
 import (
 	"bytes"
+	"encoding/gob"
 	"fmt"
 	"io"
+	"log/slog"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/embed"
 	"repro/internal/snapshot"
 )
 
@@ -22,6 +25,13 @@ const manifestFrame = "manifest"
 
 // shardFrame names the s-th shard's payload frame.
 func shardFrame(s int) string { return fmt.Sprintf("shard.%d", s) }
+
+// embedderFrame is the optional trailing frame carrying the shared embedding
+// model (embed.Snapshot), mirroring the single-index container's frame of the
+// same name: it is written once at the outer level rather than per shard,
+// since every shard uses the identical model. Older sharded snapshots load
+// with no embedder; older readers skip the frame in Drain.
+const embedderFrame = "embedder"
 
 // manifest is the first frame of a sharded snapshot: the corpus size, every
 // shard's record range, and the build stats.
@@ -102,6 +112,16 @@ func (x *Index) Save(w io.Writer) error {
 			return fmt.Errorf("shard: saving shard %d: %w", s, err)
 		}
 	}
+	if x.emb != nil {
+		es, err := embed.NewSnapshot(x.emb)
+		if err != nil {
+			// Degrade to the historic contract (restores with no embedder, so
+			// no appends after a restart) instead of failing the save.
+			slog.Warn("shard: index snapshot omits the embedding model; appends will be unavailable after a restore", "err", err.Error())
+		} else if err := sw.Encode(embedderFrame, es); err != nil {
+			return fmt.Errorf("shard: saving index: %w", err)
+		}
+	}
 	if err := sw.Close(); err != nil {
 		return fmt.Errorf("shard: saving index: %w", err)
 	}
@@ -146,8 +166,27 @@ func Load(r io.Reader) (*Index, error) {
 		}
 		idx.shards[s].Store(sh)
 	}
-	if err := sr.Drain(); err != nil {
-		return nil, fmt.Errorf("shard: loading index: %w", err)
+	// Walk the remaining frames through the trailer so the whole-file CRC is
+	// verified, decoding the optional embedder frame and skipping unknown
+	// trailing frames for forward compatibility.
+	for {
+		name, payload, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("shard: loading index: %w", err)
+		}
+		if name != embedderFrame {
+			continue
+		}
+		var es embed.Snapshot
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&es); err != nil {
+			return nil, fmt.Errorf("shard: loading index: decoding frame %q: %w", name, err)
+		}
+		if idx.emb, err = es.Embedder(); err != nil {
+			return nil, fmt.Errorf("shard: loading index: %w", err)
+		}
 	}
 	return idx, nil
 }

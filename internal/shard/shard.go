@@ -55,6 +55,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/embed"
 	"repro/internal/parallel"
 	"repro/internal/query/limitq"
 	"repro/internal/telemetry"
@@ -128,6 +129,12 @@ type Index struct {
 	total  int
 	par    int
 
+	// emb is the embedding model shared by every shard, carried over from the
+	// source index (or restored from a snapshot's embedder frame) so the
+	// sharded index can ingest new records (AppendRecords). Nil when the
+	// source had none; immutable once serving starts.
+	emb embed.Embedder
+
 	// Stats carries the build metadata of the source index (labeler spend,
 	// phase timings, degraded representatives) for /readyz and /index.
 	Stats core.BuildStats
@@ -157,6 +164,7 @@ func Split(ix *core.Index, n int) (*Index, error) {
 		shards: make([]atomic.Pointer[Shard], n),
 		total:  total,
 		par:    cfg.Parallelism,
+		emb:    ix.Embedder,
 		Stats:  ix.Stats,
 	}
 	for s := 0; s < n; s++ {
@@ -189,6 +197,15 @@ func (x *Index) K() int { return x.shards[0].Load().Table.K }
 
 // Shard returns the live shard at position i.
 func (x *Index) Shard(i int) *Shard { return x.shards[i].Load() }
+
+// Embedder returns the embedding model shared by the shards, or nil when the
+// index was split from (or restored as) a model-less index.
+func (x *Index) Embedder() embed.Embedder { return x.emb }
+
+// SetEmbedder installs the embedding model AppendRecords uses. Like
+// SetTelemetry it is a wiring call: make it before serving starts, or
+// serialized against all other index use.
+func (x *Index) SetEmbedder(e embed.Embedder) { x.emb = e }
 
 // SetParallelism bounds the per-shard worker count used inside each shard's
 // propagation and cracking scatter (p <= 0 uses all CPUs). Output is
@@ -451,6 +468,16 @@ func (x *Index) CrackAll(anns map[int]dataset.Annotation) {
 	for _, id := range ids {
 		x.Crack(id, anns[id])
 	}
+}
+
+// Annotated reports whether record id is already a representative (has a
+// cached annotation). Callers hold the usual read serialization.
+func (x *Index) Annotated(id int) bool {
+	if id < 0 || id >= x.total {
+		return false
+	}
+	_, ok := x.owner(id).Annotations[id]
+	return ok
 }
 
 // owner returns the live shard whose range contains id.

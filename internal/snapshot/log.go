@@ -1,0 +1,42 @@
+package snapshot
+
+import "io"
+
+// NewLogReader opens an append-only framed log: the same magic, header, and
+// checksummed frames as a snapshot (written with NewWriter + Frame), but with
+// no trailer — the file simply ends after the last complete frame, because an
+// append-only writer can never seal it. internal/ingest's write-ahead log is
+// the canonical producer.
+//
+// Semantics relative to NewReader:
+//
+//   - Next returns io.EOF at a clean end-of-file on a frame boundary — the
+//     normal termination of a log segment.
+//   - A file that ends mid-frame (a torn write from a crash) surfaces as
+//     ErrTruncated on the frame where the bytes ran out; everything before it
+//     decoded with its per-frame CRC verified.
+//   - There is no whole-file CRC: integrity is per frame, which is exactly
+//     the unit of durability a WAL acks.
+//
+// Header validation (magic, header checksum, version range, kind) is
+// identical to NewReader, with the same typed error taxonomy.
+func NewLogReader(r io.Reader, kind string) (*Reader, error) {
+	return NewLogReaderLimit(r, kind, DefaultMaxFrameBytes)
+}
+
+// NewLogReaderLimit is NewLogReader with an explicit per-frame sanity cap.
+func NewLogReaderLimit(r io.Reader, kind string, maxFrame int64) (*Reader, error) {
+	sr, err := NewReaderLimit(r, kind, maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	sr.streaming = true
+	return sr, nil
+}
+
+// SyncDir fsyncs a directory so a just-created, renamed, or removed directory
+// entry survives power loss. It is the directory half of the AtomicWriter
+// protocol, exported for append-only writers (internal/ingest's WAL) that
+// create and delete segment files outside the temp-and-rename path. Platforms
+// whose directory handles reject fsync (notably Windows) skip it.
+func SyncDir(dir string) error { return syncDir(dir) }

@@ -231,8 +231,12 @@ type Reader struct {
 	kind     string
 	version  uint32
 	maxFrame uint64
-	done     bool
-	err      error
+	// streaming marks a log reader (NewLogReader): the file is an append-only
+	// frame stream with no trailer, so a clean EOF at a frame boundary is the
+	// normal end of data rather than a truncation.
+	streaming bool
+	done      bool
+	err       error
 }
 
 // NewReader opens a framed snapshot, validating magic, header checksum,
@@ -330,9 +334,22 @@ func (sr *Reader) Next() (name string, payload []byte, err error) {
 func (sr *Reader) next() (string, []byte, error) {
 	var nl [1]byte
 	if err := sr.readFull(nl[:], ErrTruncated); err != nil {
+		if sr.streaming && errors.Is(err, ErrTruncated) {
+			// A log has no trailer: running out of bytes exactly at a frame
+			// boundary is the normal end of an append-only stream. (A one-byte
+			// read cannot end mid-structure, so ErrTruncated here always means
+			// a clean zero-byte EOF.)
+			sr.done = true
+			return "", nil, io.EOF
+		}
 		return "", nil, err
 	}
 	if nl[0] == 0 {
+		if sr.streaming {
+			// Logs never write a trailer, so a zero name-length byte can only
+			// be the torn beginning of a frame that was mid-write at a crash.
+			return "", nil, fmt.Errorf("%w (torn log frame header)", ErrTruncated)
+		}
 		// Trailer: the whole-file CRC covers everything up to and including
 		// the zero byte just consumed.
 		want := sr.fileCRC.Sum32()

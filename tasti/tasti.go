@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/ingest"
 	"repro/internal/labeler"
 	"repro/internal/parallel"
 	"repro/internal/query/aggregation"
@@ -500,3 +501,65 @@ type (
 func EstimateAggregateWithPredicate(opts PredicateAggregateOptions, n int, proxy []float64, pred func(Annotation) bool, score func(Annotation) float64, lab Labeler) (PredicateAggregateResult, error) {
 	return predagg.Estimate(opts, n, proxy, pred, score, lab)
 }
+
+// Streaming ingest: the crash-safe write path of internal/ingest. A WAL
+// (write-ahead log in the snapshot frame format) makes appends durable before
+// they are acked, an Ingester batches them into the index under the caller's
+// serialization lock, a DriftDetector watches how far recent appends land
+// from their nearest representative, and a Refresher re-cracks a cloned index
+// in the background and hot-swaps it. See docs/RELIABILITY.md for the WAL
+// format and the replay/truncation semantics.
+type (
+	// WAL is the crash-safe append log: a directory of checksummed segments.
+	WAL = ingest.WAL
+	// WALOptions tunes OpenWAL; the zero value is usable.
+	WALOptions = ingest.WALOptions
+	// IngestBatch is one WAL frame: a contiguous run of appended records.
+	IngestBatch = ingest.Batch
+	// ReplayStats reports what ReplayWAL recovered and where it stopped.
+	ReplayStats = ingest.ReplayStats
+	// Ingester is the single-writer streaming append pipeline; a nil Submit
+	// error is a durability receipt.
+	Ingester = ingest.Ingester
+	// IngestConfig wires an Ingester.
+	IngestConfig = ingest.Config
+	// DriftDetector compares recent appends' nearest-representative distance
+	// against the build-time baseline.
+	DriftDetector = ingest.DriftDetector
+	// Refresher re-cracks a cloned index in the background and swaps it in.
+	Refresher = ingest.Refresher
+	// RefreshConfig wires a Refresher.
+	RefreshConfig = ingest.RefreshConfig
+	// RefreshStats summarizes one refresh pass.
+	RefreshStats = ingest.RefreshStats
+	// AnnotationEnvelope is the tagged JSON form of an Annotation, used by
+	// the /ingest HTTP body.
+	AnnotationEnvelope = dataset.AnnotationEnvelope
+)
+
+var (
+	// OpenWAL opens (creating if needed) a WAL directory whose next record is
+	// nextID, rotating to a fresh segment.
+	OpenWAL = ingest.OpenWAL
+	// ReplayWAL walks a WAL directory and hands every acked batch at or above
+	// record `from` to apply.
+	ReplayWAL = ingest.Replay
+	// NewIngester builds an Ingester; call Start to launch its writer loop.
+	NewIngester = ingest.New
+	// NewDriftDetector builds a drift detector over a sliding window of
+	// nearest-representative distances.
+	NewDriftDetector = ingest.NewDriftDetector
+	// NewRefresher builds a background refresher.
+	NewRefresher = ingest.NewRefresher
+	// AnnotationEnvelopeOf wraps an Annotation for JSON transport.
+	AnnotationEnvelopeOf = dataset.EnvelopeOf
+	// LoadDataset deserializes a corpus saved with Dataset.Save.
+	LoadDataset = dataset.Load
+
+	// ErrIngestQueueSaturated is Submit's backpressure signal (HTTP 429).
+	ErrIngestQueueSaturated = ingest.ErrQueueSaturated
+	// ErrIngestClosed is returned by Submit after Close.
+	ErrIngestClosed = ingest.ErrClosed
+	// ErrRefreshInProgress rejects a refresh while another is running.
+	ErrRefreshInProgress = ingest.ErrRefreshInProgress
+)
