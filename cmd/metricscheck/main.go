@@ -1,0 +1,144 @@
+// Command metricscheck verifies that the metric catalogue in
+// docs/OBSERVABILITY.md and the metrics the code actually emits cannot
+// drift apart: every tasti_* metric name found in non-test Go source must
+// appear in a catalogue table row, and every catalogued name must still
+// exist in source. CI runs it on every PR, so adding a metric without
+// documenting it — or documenting one that was renamed away — fails the
+// build with the exact names on each side.
+//
+// Usage:
+//
+//	go run ./cmd/metricscheck              # repo rooted at .
+//	go run ./cmd/metricscheck -root dir -docs docs/OBSERVABILITY.md
+//
+// Source names are matched as tasti_[a-z0-9_]+ literals in .go files
+// (tests excluded — tests may fabricate names on purpose); catalogue names
+// are matched only inside markdown table rows, so prose examples and
+// runbook snippets don't count as documentation. Histogram rendering
+// suffixes (_bucket, _sum, _count) are normalized away on both sides.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// metricRE matches a metric name. Trailing-underscore matches (from prose
+// like "the tasti_ingest_* metrics") are discarded after the fact, since a
+// registered name never ends with an underscore.
+var metricRE = regexp.MustCompile(`tasti_[a-z0-9_]+`)
+
+func main() {
+	root := flag.String("root", ".", "repository root to scan")
+	docs := flag.String("docs", "docs/OBSERVABILITY.md", "metric catalogue path, relative to -root")
+	flag.Parse()
+
+	inSource, err := sourceMetrics(*root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+		os.Exit(1)
+	}
+	inDocs, err := docMetrics(filepath.Join(*root, *docs))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+		os.Exit(1)
+	}
+
+	undocumented := diff(inSource, inDocs)
+	stale := diff(inDocs, inSource)
+	for _, name := range undocumented {
+		fmt.Fprintf(os.Stderr, "metricscheck: %s is emitted by source but missing from %s\n", name, *docs)
+	}
+	for _, name := range stale {
+		fmt.Fprintf(os.Stderr, "metricscheck: %s is catalogued in %s but no source emits it\n", name, *docs)
+	}
+	if len(undocumented)+len(stale) > 0 {
+		fmt.Fprintf(os.Stderr, "metricscheck: %d undocumented, %d stale of %d source / %d catalogued metrics\n",
+			len(undocumented), len(stale), len(inSource), len(inDocs))
+		os.Exit(1)
+	}
+	fmt.Printf("metricscheck: %d metrics, source and %s agree\n", len(inSource), *docs)
+}
+
+// sourceMetrics collects metric names from every non-test .go file under
+// root, skipping this command's own directory (its examples and error
+// strings are not emissions).
+func sourceMetrics(root string) (map[string]bool, error) {
+	names := make(map[string]bool)
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "metricscheck":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		collect(names, string(raw))
+		return nil
+	})
+	return names, err
+}
+
+// docMetrics collects names from the catalogue's markdown table rows.
+func docMetrics(path string) (map[string]bool, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	names := make(map[string]bool)
+	for _, line := range strings.Split(string(raw), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "|") {
+			collect(names, line)
+		}
+	}
+	return names, nil
+}
+
+func collect(into map[string]bool, text string) {
+	for _, m := range metricRE.FindAllString(text, -1) {
+		m = normalize(m)
+		if m != "" {
+			into[m] = true
+		}
+	}
+}
+
+// normalize drops glob-style prose matches and folds histogram rendering
+// suffixes back to the registered family name.
+func normalize(name string) string {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		name = strings.TrimSuffix(name, suffix)
+	}
+	if strings.HasSuffix(name, "_") || name == "tasti" {
+		return ""
+	}
+	return name
+}
+
+// diff returns the names in a but not in b, sorted.
+func diff(a, b map[string]bool) []string {
+	var out []string
+	for name := range a {
+		if !b[name] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -345,6 +345,53 @@ func (s *server) annotationKind() string {
 	}
 }
 
+// decodeIngest reads and validates a POST /ingest body under a "decode"
+// span, writing the 413/400 taxonomy itself; ok is false when a response
+// has already been sent.
+func (s *server) decodeIngest(w http.ResponseWriter, r *http.Request, sc *reqScope) (features [][]float64, anns []tasti.Annotation, ok bool) {
+	dsp := sc.child("decode")
+	defer dsp.End()
+	var req ingestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.ingestMaxBodyBytes())).Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			httpError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d bytes; split the batch", tooBig.Limit))
+			return nil, nil, false
+		}
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return nil, nil, false
+	}
+	if len(req.Records) == 0 {
+		httpError(w, http.StatusBadRequest, "no records")
+		return nil, nil, false
+	}
+	dim := s.dim
+	kind := s.annotationKind()
+	features = make([][]float64, len(req.Records))
+	anns = make([]tasti.Annotation, len(req.Records))
+	for i, rec := range req.Records {
+		if len(rec.Features) != dim {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("record %d has %d feature dims, corpus %s has %d", i, len(rec.Features), s.name, dim))
+			return nil, nil, false
+		}
+		ann, err := rec.Annotation.Annotation()
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("record %d: %v", i, err))
+			return nil, nil, false
+		}
+		if ann.Kind() != kind {
+			httpError(w, http.StatusBadRequest,
+				fmt.Sprintf("record %d has %q annotation, corpus %s needs %q", i, ann.Kind(), s.name, kind))
+			return nil, nil, false
+		}
+		features[i], anns[i] = rec.Features, ann
+	}
+	dsp.SetAttr("records", len(features))
+	return features, anns, true
+}
+
 // handleIngest is POST /ingest: append records durably. A 200 is a
 // durability receipt — the records' WAL frame was fsynced before the
 // response was written, and they replay into the index after kill -9.
@@ -366,58 +413,41 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	if s.notReady(w) {
 		return
 	}
-	var req ingestRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.ingestMaxBodyBytes())).Decode(&req); err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			httpError(w, http.StatusRequestEntityTooLarge,
-				fmt.Sprintf("body exceeds %d bytes; split the batch", tooBig.Limit))
-			return
-		}
-		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+	sc := scopeFrom(r.Context())
+	features, anns, ok := s.decodeIngest(w, r, sc)
+	if !ok {
 		return
-	}
-	if len(req.Records) == 0 {
-		httpError(w, http.StatusBadRequest, "no records")
-		return
-	}
-	dim := s.dim
-	kind := s.annotationKind()
-	features := make([][]float64, len(req.Records))
-	anns := make([]tasti.Annotation, len(req.Records))
-	for i, rec := range req.Records {
-		if len(rec.Features) != dim {
-			httpError(w, http.StatusBadRequest,
-				fmt.Sprintf("record %d has %d feature dims, corpus %s has %d", i, len(rec.Features), s.name, dim))
-			return
-		}
-		ann, err := rec.Annotation.Annotation()
-		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("record %d: %v", i, err))
-			return
-		}
-		if ann.Kind() != kind {
-			httpError(w, http.StatusBadRequest,
-				fmt.Sprintf("record %d has %q annotation, corpus %s needs %q", i, ann.Kind(), s.name, kind))
-			return
-		}
-		features[i], anns[i] = rec.Features, ann
 	}
 
 	tenant := r.Header.Get("X-Tasti-Tenant")
 	if tenant == "" {
 		tenant = "default"
 	}
-	if !s.tenants.reserve(tenant, len(req.Records)) {
+	if !s.tenants.reserve(tenant, len(features)) {
 		s.reg.Counter("tasti_ingest_tenant_rejections_total").Inc()
 		w.Header().Set("Retry-After", "1")
 		httpError(w, http.StatusTooManyRequests,
 			fmt.Sprintf("tenant %q has too many records in flight (cap %d)", tenant, s.tenants.cap))
 		return
 	}
-	defer s.tenants.release(tenant, len(req.Records))
+	defer s.tenants.release(tenant, len(features))
 
-	ids, err := s.ingester.Submit(r.Context(), features, anns)
+	// The submit span covers enqueue through the durability ack; the writer
+	// loop hangs wal/fsync and apply children directly off the request root,
+	// the apply one landing after the ack by design (visibility follows
+	// durability). The server-side ack histogram starts here, past request
+	// parsing, so it isolates the queue + fsync cost the client-side
+	// tasti_ingest_ack_seconds cannot.
+	ssp := sc.child("submit")
+	ssp.SetAttr("records", len(features))
+	ackStart := time.Now()
+	ids, err := s.ingester.SubmitTraced(r.Context(), features, anns, sc.rootSpan())
+	ssp.End()
+	if err == nil {
+		s.reg.Histogram("tasti_ingest_server_ack_seconds", tasti.DefLatencyBuckets).
+			Observe(time.Since(ackStart).Seconds())
+		sc.setCost(int64(len(ids)), 0)
+	}
 	if err != nil {
 		switch {
 		case errors.Is(err, tasti.ErrIngestQueueSaturated):

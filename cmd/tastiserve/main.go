@@ -20,6 +20,9 @@
 //	POST /admin/reload     swap in the -snapshot file with zero downtime
 //	POST /admin/reload?shard=i  swap in one shard, peers untouched
 //	POST /admin/refresh    re-crack drifted appends, snapshot, truncate WAL
+//	GET  /admin/traces     retained sampled request traces (?route=, ?min_ms=)
+//	GET  /admin/ledger     per-tenant query cost ledger + conservation check
+//	GET  /admin/status     one-shot index-health and build-identity snapshot
 //
 // -snapshot names the index's durable home: loaded at startup when present
 // (skipping the labeling spend of a rebuild), written after a fresh build,
@@ -95,6 +98,10 @@ func main() {
 		refreshBudget   = flag.Int("refresh-budget", 0, "worst-covered appended records re-cracked per refresh (<= 0 uses the default)")
 		refreshAuto     = flag.Bool("refresh-auto", false, "start a background refresh automatically when drift trips")
 
+		traceSample    = flag.Float64("trace-sample", 0.01, "fraction of /query and /ingest requests whose full span tree is retained for GET /admin/traces (0 disables, 1 traces everything; never changes results)")
+		traceRing      = flag.Int("trace-ring", 256, "sampled traces retained before the oldest is overwritten (<= 0 uses 256)")
+		healthInterval = flag.Duration("health-interval", 15*time.Second, "index-health collector period feeding the shard-skew, radius, and WAL-lag gauges (0 disables the loop; GET /admin/status still collects on demand)")
+
 		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty disables)")
 	)
@@ -138,6 +145,10 @@ func main() {
 		driftThreshold:      *driftThreshold,
 		refreshBudget:       *refreshBudget,
 		refreshAuto:         *refreshAuto,
+
+		traceSample:    *traceSample,
+		traceRing:      *traceRing,
+		healthInterval: *healthInterval,
 	}
 	if *retries > 1 {
 		opts.retry = tasti.DefaultRetryPolicy(*seed)
@@ -151,6 +162,7 @@ func main() {
 	tasti.SetSnapshotTelemetry(srv.reg)
 	logger.Info("building index in the background", "dataset", *dsName, "records", *size)
 	srv.buildAsync()
+	srv.startHealthLoop()
 
 	// SIGHUP hot-reloads the snapshot, the conventional re-read-your-config
 	// signal. Failures are contained: the serving index stays.

@@ -9,6 +9,7 @@ import (
 	"log/slog"
 	"net/http"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -91,6 +92,28 @@ type serverOptions struct {
 	// refreshAuto lets drift trigger background refreshes; POST
 	// /admin/refresh works either way.
 	refreshAuto bool
+
+	// traceSample is the fraction of /query/* and /ingest requests whose
+	// full span tree is retained for GET /admin/traces (0 disables, >= 1
+	// traces every request). Sampling is deterministic — every 1/rate-th
+	// request — and tracing is record-only: results are bitwise identical
+	// at every rate.
+	traceSample float64
+	// traceRing bounds retained traces; the oldest is overwritten
+	// (<= 0: 256).
+	traceRing int
+	// healthInterval is the index-health collector period feeding the
+	// skew/radius/WAL-lag gauges (0 disables the background loop;
+	// GET /admin/status still collects on demand).
+	healthInterval time.Duration
+}
+
+// traceRingCap resolves the trace-ring default.
+func (o serverOptions) traceRingCap() int {
+	if o.traceRing <= 0 {
+		return 256
+	}
+	return o.traceRing
 }
 
 // ingestMaxBodyBytes resolves the body cap default.
@@ -193,6 +216,16 @@ type server struct {
 	drift     *tasti.DriftDetector
 	refresher *tasti.Refresher
 	tenants   tenantLimiter
+
+	// Observability plane (see cmd/tastiserve/admin.go): sampler decides
+	// which requests retain a span tree in traces; ledger attributes every
+	// query's and ingest's cost per tenant; health is the latest
+	// index-health collection. All record-only — none of it feeds back
+	// into query execution.
+	sampler *tasti.TraceSampler
+	traces  *tasti.TraceRing
+	ledger  *tasti.CostLedger
+	health  atomic.Pointer[healthSnapshot]
 }
 
 // newServerShell returns a server that is alive (serves /healthz and
@@ -239,6 +272,17 @@ func newServerShell(opts serverOptions) *server {
 	reg.Help("tasti_refresh_seconds", "Refresh latency in seconds: clone, crack, catch-up, swap.")
 	reg.Help("tasti_vecmath_kernel", "Active vector-distance kernel implementation (value is always 1; the label carries the name).")
 	reg.Gauge(fmt.Sprintf("tasti_vecmath_kernel{kernel=%q}", tasti.KernelName())).Set(1)
+	reg.Help("tasti_build_info", "Build identity (value is always 1; labels carry the version, Go runtime, vecmath kernel, shard count, and snapshot format version).")
+	reg.Gauge(fmt.Sprintf(`tasti_build_info{version=%q,go=%q,kernel=%q,shards="%d",snapshot="v%d"}`,
+		tasti.Version, runtime.Version(), tasti.KernelName(), opts.shardCount(), tasti.SnapshotFormatVersion)).Set(1)
+	reg.Help("tasti_traces_retained_total", "Sampled request traces pushed into the /admin/traces ring.")
+	reg.Help("tasti_ingest_server_ack_seconds", "Server-side /ingest latency in seconds from decoded request to durability ack.")
+	reg.Help("tasti_wal_lag_records", "Records retained in live WAL segments — the next boot's replay debt; refreshes truncate it.")
+	reg.Help("tasti_wal_lag_segments", "Live WAL segments on disk.")
+	reg.Help("tasti_wal_lag_bytes", "Bytes across live WAL segments on disk.")
+	reg.Help("tasti_shard_record_skew", "Max-over-mean per-shard record count; 1.0 is perfectly balanced, ingest grows it between refreshes.")
+	reg.Help("tasti_shard_rep_skew", "Max-over-mean per-shard representative count; 1.0 is perfectly balanced.")
+	reg.Help("tasti_index_radius", "Nearest-representative distance quantiles across all records, by quantile; rising radii mean propagated scores extrapolate further.")
 	return &server{
 		sem:      make(chan struct{}, 1),
 		opts:     opts,
@@ -248,6 +292,9 @@ func newServerShell(opts serverOptions) *server {
 		log:      lg,
 		reg:      reg,
 		inFlight: reg.Gauge("tasti_http_in_flight"),
+		sampler:  tasti.NewTraceSampler(opts.traceSample),
+		traces:   tasti.NewTraceRing(opts.traceRingCap()),
+		ledger:   tasti.NewCostLedger(0),
 	}
 }
 
@@ -659,6 +706,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("/ingest", s.handleIngest)
 	mux.HandleFunc("/admin/reload", s.handleReload)
 	mux.HandleFunc("/admin/refresh", s.handleRefresh)
+	mux.HandleFunc("/admin/traces", s.handleTraces)
+	mux.HandleFunc("/admin/ledger", s.handleLedger)
+	mux.HandleFunc("/admin/status", s.handleStatus)
 	return s.recoverPanics(s.instrument(s.withQueryTimeout(mux)))
 }
 
@@ -697,7 +747,8 @@ func routeLabel(path string) string {
 	switch path {
 	case "/healthz", "/readyz", "/index", "/metrics",
 		"/query/aggregate", "/query/select", "/query/limit",
-		"/ingest", "/admin/reload", "/admin/refresh":
+		"/ingest", "/admin/reload", "/admin/refresh",
+		"/admin/traces", "/admin/ledger", "/admin/status":
 		return path
 	}
 	return "other"
@@ -705,11 +756,21 @@ func routeLabel(path string) string {
 
 // instrument wraps every request with metrics — request/error counters by
 // route, a latency histogram, the in-flight gauge — and one structured log
-// line carrying route, method, status, latency, and query type. Probe
-// routes log at debug so scrapes don't drown the query log.
+// line carrying route, method, status, latency, trace ID, and query type.
+// Probe routes log at debug so scrapes don't drown the query log. It also
+// owns the request's observability scope: every request gets a trace ID,
+// sampled query/ingest requests get a span tree retained in the trace ring,
+// and costed routes get a ledger entry once the response is written.
 func (s *server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		route := routeLabel(r.URL.Path)
+		kind, costed := costKind(route)
+		sc := &reqScope{id: tasti.NewTraceID()}
+		if costed && s.sampler.Sample() {
+			sc.tr = tasti.NewTrace(route)
+			sc.tr.SetID(sc.id)
+		}
+		r = r.WithContext(withScope(r.Context(), sc))
 		s.inFlight.Inc()
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
@@ -721,12 +782,32 @@ func (s *server) instrument(next http.Handler) http.Handler {
 			s.reg.Counter(fmt.Sprintf(`tasti_http_errors_total{route=%q}`, route)).Inc()
 		}
 		s.reg.Histogram(fmt.Sprintf(`tasti_http_request_seconds{route=%q}`, route), tasti.DefLatencyBuckets).Observe(elapsed.Seconds())
+		if sc.tr != nil {
+			sc.tr.Finish()
+			s.traces.Push(route, sc.tr)
+			s.reg.Counter("tasti_traces_retained_total").Inc()
+		}
+		if costed {
+			s.ledger.Record(tasti.LedgerEntry{
+				Tenant:  r.Header.Get("X-Tasti-Tenant"),
+				Kind:    kind,
+				TraceID: sc.id,
+				Labels:  sc.labels.Load(),
+				Records: sc.records.Load(),
+				Shards:  sc.shards.Load(),
+				Hits:    sc.hits.Load(),
+				WallNS:  elapsed.Nanoseconds(),
+				Status:  rec.code,
+				When:    time.Now(),
+			})
+		}
 
 		attrs := []any{
 			"method", r.Method,
 			"route", route,
 			"status", rec.code,
 			"latency_ms", float64(elapsed.Microseconds()) / 1000,
+			"trace_id", sc.id,
 		}
 		if qt, ok := strings.CutPrefix(route, "/query/"); ok {
 			attrs = append(attrs, "query_type", qt)
@@ -791,7 +872,7 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ix := s.index.Load()
-	writeJSON(w, http.StatusOK, map[string]interface{}{
+	body := map[string]interface{}{
 		"status":           "ready",
 		"dataset":          s.name,
 		"records":          ix.NumRecords(),
@@ -799,7 +880,21 @@ func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
 		"breaker_state":    s.breaker.State().String(),
 		"breaker_trips":    s.breaker.Trips(),
 		"breaker_rejected": s.breaker.Rejected(),
-	})
+	}
+	// The health collector's last snapshot rides along so a readiness probe
+	// (or an operator curling it) sees shard balance and replay debt without
+	// a fresh — semaphore-taking — collection.
+	if h := s.health.Load(); h != nil {
+		body["record_skew"] = h.RecordSkew
+		body["health_age_seconds"] = time.Since(h.At).Seconds()
+		if h.Drift != nil {
+			body["drift_ratio"] = h.Drift.Ratio
+		}
+		if h.WAL != nil {
+			body["wal_lag_records"] = h.WAL.LagRecords
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // notReady rejects a query while the index is still building.
@@ -943,19 +1038,27 @@ func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 	ix := s.index.Load()
+	sc := scopeFrom(ctx)
 	score, _ := s.spec(req)
-	scores, err := ix.Propagate(score)
+	psp := sc.child("propagate")
+	scores, err := ix.PropagateSpan(score, psp)
+	psp.End()
 	if err != nil {
 		s.queryError(w, ctx, err)
 		return
 	}
-	// Bind the sampling labeler to the request context: a disconnected
-	// client cancels the labeling loop instead of burning budget.
-	counting := tasti.NewCountingLabeler(tasti.LabelerWithContext(ctx, s.target))
+	sc.setCost(int64(len(scores)), int64(ix.NumShards()))
+	// Bind the sampling labeler to the request context — a disconnected
+	// client cancels the labeling loop instead of burning budget — and
+	// meter it so the ledger entry carries this request's oracle spend.
+	lab := meter(tasti.LabelerWithContext(ctx, s.target), ix, sc)
+	esp := sc.child("estimate")
 	res, err := tasti.EstimateAggregate(tasti.AggregateOptions{
 		ErrTarget: req.Err, Delta: 0.05, MinSamples: 100, Seed: s.seed + 1,
 		Telemetry: s.reg,
-	}, s.ds.Len(), scores, score, counting)
+	}, s.ds.Len(), scores, score, lab)
+	esp.SetAttr("label_calls", res.LabelerCalls)
+	esp.End()
 	if err != nil {
 		s.queryError(w, ctx, err)
 		return
@@ -983,16 +1086,23 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 	ix := s.index.Load()
+	sc := scopeFrom(ctx)
 	_, pred := s.spec(req)
-	scores, err := ix.Propagate(tasti.MatchScore(pred))
+	psp := sc.child("propagate")
+	scores, err := ix.PropagateSpan(tasti.MatchScore(pred), psp)
+	psp.End()
 	if err != nil {
 		s.queryError(w, ctx, err)
 		return
 	}
+	sc.setCost(int64(len(scores)), int64(ix.NumShards()))
+	ssp := sc.child("sample")
 	res, err := tasti.SelectWithRecall(tasti.SelectOptions{
 		Budget: req.Budget, Target: req.Recall, Delta: 0.05, Seed: s.seed + 2,
 		Telemetry: s.reg, Parallelism: s.opts.parallelism,
-	}, s.ds.Len(), scores, pred, tasti.LabelerWithContext(ctx, s.target))
+	}, s.ds.Len(), scores, pred, meter(tasti.LabelerWithContext(ctx, s.target), ix, sc))
+	ssp.SetAttr("label_calls", res.OracleCalls)
+	ssp.End()
 	if err != nil {
 		s.queryError(w, ctx, err)
 		return
@@ -1025,17 +1135,26 @@ func (s *server) handleLimit(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.release()
 	ix := s.index.Load()
+	sc := scopeFrom(ctx)
 	score, pred := s.spec(req)
-	scores, dists, err := ix.PropagateNearest(score)
+	psp := sc.child("propagate")
+	scores, dists, err := ix.PropagateNearestSpan(score, psp)
+	psp.End()
 	if err != nil {
 		s.queryError(w, ctx, err)
 		return
 	}
+	sc.setCost(int64(len(scores)), int64(ix.NumShards()))
 	// Per-shard sorted runs merged under limitq's comparator: the scan order
 	// is bitwise identical to the unsharded sort over the full vectors.
-	order := ix.LimitOrder(scores, dists)
+	osp := sc.child("order")
+	order := ix.LimitOrderSpan(scores, dists, osp)
+	osp.End()
+	scan := sc.child("scan")
 	res, err := tasti.FindLimitScan(tasti.LimitOptions{Telemetry: s.reg},
-		req.K, order, pred, tasti.LabelerWithContext(ctx, s.target))
+		req.K, order, pred, meter(tasti.LabelerWithContext(ctx, s.target), ix, sc))
+	scan.SetAttr("label_calls", res.OracleCalls)
+	scan.End()
 	if err != nil {
 		s.queryError(w, ctx, err)
 		return

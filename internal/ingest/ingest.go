@@ -50,6 +50,10 @@ type request struct {
 	anns     []dataset.Annotation
 	enqueued time.Time
 	done     chan result
+	// span is the submitter's request span when the request is being traced
+	// (nil otherwise). The writer loop hangs wal/fsync and apply children off
+	// it so a sampled ingest trace shows the full durability pipeline.
+	span *telemetry.Span
 }
 
 type result struct {
@@ -140,6 +144,15 @@ func (g *Ingester) Pending() int { return len(g.queue) }
 // ctx cancellation after enqueue does NOT withdraw the records — they may
 // still be written, replayed, and applied; the caller just stops waiting.
 func (g *Ingester) Submit(ctx context.Context, features [][]float64, anns []dataset.Annotation) ([]int, error) {
+	return g.SubmitTraced(ctx, features, anns, nil)
+}
+
+// SubmitTraced is Submit carrying a request span: the writer loop opens
+// wal/fsync and apply child spans under sp for this request's batch. The
+// apply child lands after the ack — visibility follows durability — so it
+// appears in trace snapshots taken after Apply completes, not in the ack
+// path. A nil sp is exactly Submit.
+func (g *Ingester) SubmitTraced(ctx context.Context, features [][]float64, anns []dataset.Annotation, sp *telemetry.Span) ([]int, error) {
 	if len(features) == 0 {
 		return nil, nil
 	}
@@ -154,7 +167,7 @@ func (g *Ingester) Submit(ctx context.Context, features [][]float64, anns []data
 			return nil, fmt.Errorf("ingest: record %d has no features", i)
 		}
 	}
-	req := &request{features: features, anns: anns, enqueued: time.Now(), done: make(chan result, 1)}
+	req := &request{features: features, anns: anns, enqueued: time.Now(), done: make(chan result, 1), span: sp}
 	// The enqueue attempt stays inside the mutex so Close's channel close
 	// cannot race a send: a Submit either completes its non-blocking send
 	// before Close marks the ingester stopped, or observes stopped.
@@ -235,7 +248,14 @@ func (g *Ingester) run() {
 			b.Features = append(b.Features, r.features...)
 			b.Anns = append(b.Anns, r.anns...)
 		}
-		if err := g.cfg.WAL.Append(b); err != nil {
+		// Traced submitters get a wal/fsync child covering the shared
+		// encode+fsync (annotated with the coalesced batch size, so a slow
+		// fsync attributed to a small request is explainable) and later an
+		// apply child. Untraced batches allocate nothing here.
+		fsync := childSpans(reqs, "wal/fsync", records)
+		err := g.cfg.WAL.Append(b)
+		endSpans(fsync)
+		if err != nil {
 			g.poison(err)
 			for _, r := range reqs {
 				r.done <- result{err: err}
@@ -255,9 +275,33 @@ func (g *Ingester) run() {
 		g.mAccepted.Add(int64(records))
 		g.mBatches.Inc()
 		g.hBatchSize.Observe(float64(records))
+		apply := childSpans(reqs, "apply", records)
 		if err := g.cfg.Apply(b); err != nil {
 			g.poison(fmt.Errorf("ingest: applying batch at %d: %w", b.Base, err))
 		}
+		endSpans(apply)
+	}
+}
+
+// childSpans opens one named child under every traced request in the batch,
+// tagged with the coalesced record count. Returns nil (no allocation) when
+// no request in the batch is traced — the common case.
+func childSpans(reqs []*request, name string, batchRecords int) []*telemetry.Span {
+	var out []*telemetry.Span
+	for _, r := range reqs {
+		if r.span == nil {
+			continue
+		}
+		c := r.span.Child(name)
+		c.SetAttr("batch_records", batchRecords)
+		out = append(out, c)
+	}
+	return out
+}
+
+func endSpans(spans []*telemetry.Span) {
+	for _, c := range spans {
+		c.End()
 	}
 }
 

@@ -238,8 +238,8 @@ func (w *WAL) rotate() error {
 		err = snapshot.SyncDir(w.dir)
 	}
 	if err != nil {
-		f.Close()                //nolint:errcheck // already failing
-		os.Remove(path)          //nolint:errcheck // best-effort cleanup
+		f.Close()       //nolint:errcheck // already failing
+		os.Remove(path) //nolint:errcheck // best-effort cleanup
 		return fmt.Errorf("ingest: starting WAL segment: %w", err)
 	}
 	st, err := f.Stat()
@@ -290,6 +290,45 @@ func (w *WAL) Append(b Batch) error {
 	w.nextID = b.End()
 	w.mFrames.Inc()
 	return nil
+}
+
+// DiskStats is the WAL's on-disk footprint — the "how far behind is the
+// snapshot" half of WAL lag. Bytes and Segments shrink when a snapshot
+// lands and TruncateThrough reclaims covered segments, so a monotonically
+// growing value means snapshots are not keeping up with ingest.
+type DiskStats struct {
+	// Segments and Bytes cover every live segment file, active one included.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// FirstRecord is the lowest record ID any live segment can contain;
+	// NextID is the ID the next appended record receives. NextID minus the
+	// persisted snapshot's record count is the replay debt in records.
+	FirstRecord int `json:"first_record"`
+	NextID      int `json:"next_id"`
+}
+
+// Stat reports the current on-disk footprint. It lists and stats the
+// directory rather than tracking incrementally, so it reflects truncation
+// done by any path — call it from a periodic collector, not a hot loop.
+func (w *WAL) Stat() (DiskStats, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	segs, err := listSegments(w.dir)
+	if err != nil {
+		return DiskStats{}, err
+	}
+	st := DiskStats{Segments: len(segs), FirstRecord: w.nextID, NextID: w.nextID}
+	for i, name := range segs {
+		if firstID, _, ok := parseSegName(name); ok && (i == 0 || firstID < st.FirstRecord) {
+			st.FirstRecord = firstID
+		}
+		fi, err := os.Stat(filepath.Join(w.dir, name))
+		if err != nil {
+			return DiskStats{}, fmt.Errorf("ingest: statting WAL segment: %w", err)
+		}
+		st.Bytes += fi.Size()
+	}
+	return st, nil
 }
 
 // Close seals the active segment. The WAL stays replayable; a later OpenWAL

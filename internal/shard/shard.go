@@ -287,8 +287,25 @@ func (x *Index) RepCount() int {
 // returns the lowest-numbered shard's error, so the reported failure is
 // deterministic even when several shards fail.
 func (x *Index) scatter(fn func(s int, sh *Shard) error) error {
+	return x.scatterSpan(nil, fn)
+}
+
+// scatterSpan is scatter with request tracing: when sp is non-nil, each
+// shard's work runs inside a child span named shard/<s> carrying the shard's
+// record count. Span bookkeeping happens outside fn's hot loops and no-ops
+// entirely on a nil span, so unsampled requests pay one nil check per shard.
+func (x *Index) scatterSpan(sp *telemetry.Span, fn func(s int, sh *Shard) error) error {
+	run := func(s int, sh *Shard) error {
+		c := sp.Child(fmt.Sprintf("shard/%d", s))
+		c.SetAttr("records", sh.NumRecords())
+		defer c.End()
+		return fn(s, sh)
+	}
+	if sp == nil {
+		run = fn
+	}
 	if len(x.shards) == 1 {
-		return fn(0, x.shards[0].Load())
+		return run(0, x.shards[0].Load())
 	}
 	errs := make([]error, len(x.shards))
 	var wg sync.WaitGroup
@@ -296,7 +313,7 @@ func (x *Index) scatter(fn func(s int, sh *Shard) error) error {
 		wg.Add(1)
 		go func(s int) {
 			defer wg.Done()
-			errs[s] = fn(s, x.shards[s].Load())
+			errs[s] = run(s, x.shards[s].Load())
 		}(s)
 	}
 	wg.Wait()
@@ -323,7 +340,13 @@ func (x *Index) observePropagate(metric string, start time.Time) {
 // K nearest representatives, scattering across shards and gathering into one
 // slice — bitwise identical to core.Index.Propagate on the unsharded index.
 func (x *Index) Propagate(score core.ScoreFunc) ([]float64, error) {
-	return x.PropagateK(score, x.K())
+	return x.PropagateKSpan(score, x.K(), nil)
+}
+
+// PropagateSpan is Propagate threading a request span: the scatter opens one
+// child span per shard under sp. A nil sp runs identically with no tracing.
+func (x *Index) PropagateSpan(score core.ScoreFunc, sp *telemetry.Span) ([]float64, error) {
+	return x.PropagateKSpan(score, x.K(), sp)
 }
 
 // PropagateK is Propagate with an explicit neighbor count k <= K. Each shard
@@ -333,12 +356,17 @@ func (x *Index) Propagate(score core.ScoreFunc) ([]float64, error) {
 // core.PropagateKRange kernel over its local rows into its disjoint slice of
 // the output.
 func (x *Index) PropagateK(score core.ScoreFunc, k int) ([]float64, error) {
+	return x.PropagateKSpan(score, k, nil)
+}
+
+// PropagateKSpan is PropagateK threading a request span (see PropagateSpan).
+func (x *Index) PropagateKSpan(score core.ScoreFunc, k int, sp *telemetry.Span) ([]float64, error) {
 	if kMax := x.K(); k <= 0 || k > kMax {
 		return nil, fmt.Errorf("shard: propagation k=%d outside [1,%d]", k, kMax)
 	}
 	defer x.observePropagate(metricPropagateWeighted, time.Now())
 	out := make([]float64, x.total)
-	err := x.scatter(func(s int, sh *Shard) error {
+	err := x.scatterSpan(sp, func(s int, sh *Shard) error {
 		rs := make([]float64, x.total)
 		if err := sh.fillRepScores(rs, score); err != nil {
 			return err
@@ -365,10 +393,16 @@ func (x *Index) PropagateK(score core.ScoreFunc, k int) ([]float64, error) {
 // score and the distance to it — the k=1 scoring with distance tie-breaking
 // that limit queries use — bitwise identical to core.Index.PropagateNearest.
 func (x *Index) PropagateNearest(score core.ScoreFunc) (scores, dists []float64, err error) {
+	return x.PropagateNearestSpan(score, nil)
+}
+
+// PropagateNearestSpan is PropagateNearest threading a request span (see
+// PropagateSpan).
+func (x *Index) PropagateNearestSpan(score core.ScoreFunc, sp *telemetry.Span) (scores, dists []float64, err error) {
 	defer x.observePropagate(metricPropagateNearest, time.Now())
 	scores = make([]float64, x.total)
 	dists = make([]float64, x.total)
-	err = x.scatter(func(s int, sh *Shard) error {
+	err = x.scatterSpan(sp, func(s int, sh *Shard) error {
 		rs := make([]float64, x.total)
 		if err := sh.fillRepScores(rs, score); err != nil {
 			return err
@@ -404,11 +438,17 @@ func (x *Index) countPropagate(s int) {
 // the merged permutation is bitwise identical to limitq.Order over the full
 // vectors. proxy (and tieDist, when non-nil) must have NumRecords entries.
 func (x *Index) LimitOrder(proxy, tieDist []float64) []int {
+	return x.LimitOrderSpan(proxy, tieDist, nil)
+}
+
+// LimitOrderSpan is LimitOrder threading a request span: per-shard ordering
+// runs open one child span per shard under sp (nil sp disables tracing).
+func (x *Index) LimitOrderSpan(proxy, tieDist []float64, sp *telemetry.Span) []int {
 	if len(proxy) != x.total {
 		panic(fmt.Sprintf("shard: %d proxy scores for %d records", len(proxy), x.total))
 	}
 	runs := make([][]int, len(x.shards))
-	_ = x.scatter(func(s int, sh *Shard) error {
+	_ = x.scatterSpan(sp, func(s int, sh *Shard) error {
 		runs[s] = limitq.OrderRange(proxy, tieDist, sh.Lo, sh.Hi)
 		return nil
 	})

@@ -1,0 +1,225 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromSample is one sample line of a Prometheus text-format exposition:
+// a metric name, its parsed label set, and the value.
+type PromSample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// PromFamily is one metric family: the base name (histogram _bucket/_sum/
+// _count samples fold into their base family, matching how Prometheus
+// groups them), the TYPE and HELP metadata, and every sample seen.
+type PromFamily struct {
+	Name    string
+	Type    string
+	Help    string
+	Samples []PromSample
+}
+
+// ParsePrometheus parses a text-format 0.0.4 exposition the way a scraper
+// would, strictly enough to catch rendering bugs: unknown line shapes,
+// malformed label sets, and unparsable values are errors rather than
+// skipped. It is the shared consumer for the /metrics round-trip test and
+// the tastistat CLI.
+func ParsePrometheus(r io.Reader) (map[string]*PromFamily, error) {
+	fams := map[string]*PromFamily{}
+	family := func(name string) *PromFamily {
+		f := fams[name]
+		if f == nil {
+			f = &PromFamily{Name: name}
+			fams[name] = f
+		}
+		return f
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimRight(sc.Text(), " \t")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			family(name).Help = help
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			fields := strings.Fields(rest)
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[1])
+			}
+			family(fields[0]).Type = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal and ignored
+		}
+		sample, err := parsePromSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		base := sample.Name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			trimmed := strings.TrimSuffix(sample.Name, suffix)
+			if trimmed != sample.Name && fams[trimmed] != nil && fams[trimmed].Type == "histogram" {
+				base = trimmed
+				break
+			}
+		}
+		f := family(base)
+		f.Samples = append(f.Samples, sample)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return fams, nil
+}
+
+func parsePromSample(line string) (PromSample, error) {
+	nameEnd := strings.IndexAny(line, "{ \t")
+	if nameEnd <= 0 {
+		return PromSample{}, fmt.Errorf("malformed sample: %q", line)
+	}
+	s := PromSample{Name: line[:nameEnd], Labels: map[string]string{}}
+	if !validMetricName(s.Name) {
+		return PromSample{}, fmt.Errorf("invalid metric name %q", s.Name)
+	}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		close := strings.IndexByte(rest, '}')
+		if close < 0 {
+			return PromSample{}, fmt.Errorf("unterminated label set: %q", line)
+		}
+		if err := parsePromLabels(rest[1:close], s.Labels); err != nil {
+			return PromSample{}, fmt.Errorf("%w in %q", err, line)
+		}
+		rest = rest[close+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 && len(fields) != 2 { // value [timestamp]
+		return PromSample{}, fmt.Errorf("malformed sample tail: %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return PromSample{}, fmt.Errorf("bad value %q: %v", fields[0], err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parsePromLabels(body string, into map[string]string) error {
+	i := 0
+	for i < len(body) {
+		eq := strings.IndexByte(body[i:], '=')
+		if eq < 0 {
+			return fmt.Errorf("label without value: %q", body[i:])
+		}
+		key := body[i : i+eq]
+		if !validLabelName(key) {
+			return fmt.Errorf("invalid label name %q", key)
+		}
+		i += eq + 1
+		if i >= len(body) || body[i] != '"' {
+			return fmt.Errorf("unquoted label value for %q", key)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(body) {
+				return fmt.Errorf("unterminated label value for %q", key)
+			}
+			c := body[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(body) {
+					return fmt.Errorf("dangling escape in label %q", key)
+				}
+				switch body[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return fmt.Errorf("bad escape %q in label %q", body[i:i+2], key)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		into[key] = val.String()
+		if i < len(body) {
+			if body[i] != ',' {
+				return fmt.Errorf("expected ',' after label %q", key)
+			}
+			i++
+		}
+	}
+	return nil
+}
+
+func validMetricName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func validLabelName(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// FamilyNames returns the sorted family names in a parsed exposition — a
+// convenience for diffing scrapes against the documented catalogue.
+func FamilyNames(fams map[string]*PromFamily) []string {
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

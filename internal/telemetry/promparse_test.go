@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePrometheusRoundTrip(t *testing.T) {
+	// Render a registry with all three instrument kinds and re-parse it the
+	// way a scraper would: every line must be consumed without error and the
+	// values must survive.
+	reg := NewRegistry()
+	reg.Help("tasti_test_total", "a counter")
+	reg.Help("tasti_test_gauge", "a gauge")
+	reg.Help("tasti_test_seconds", "a histogram")
+	reg.Counter(`tasti_test_total{route="query"}`).Add(3)
+	reg.Counter(`tasti_test_total{route="ingest"}`).Add(2)
+	reg.Gauge("tasti_test_gauge").Set(1.5)
+	h := reg.Histogram("tasti_test_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("scraper rejected our own exposition: %v\n%s", err, b.String())
+	}
+
+	c := fams["tasti_test_total"]
+	if c == nil || c.Type != "counter" || c.Help != "a counter" {
+		t.Fatalf("counter family missing or mislabeled: %+v", c)
+	}
+	var total float64
+	for _, s := range c.Samples {
+		total += s.Value
+	}
+	if total != 5 {
+		t.Errorf("counter samples sum = %v, want 5", total)
+	}
+
+	g := fams["tasti_test_gauge"]
+	if g == nil || g.Type != "gauge" || len(g.Samples) != 1 || g.Samples[0].Value != 1.5 {
+		t.Fatalf("gauge family wrong: %+v", g)
+	}
+
+	hf := fams["tasti_test_seconds"]
+	if hf == nil || hf.Type != "histogram" {
+		t.Fatalf("histogram family wrong: %+v", hf)
+	}
+	var count, sum float64
+	bucketInf := -1.0
+	for _, s := range hf.Samples {
+		switch {
+		case strings.HasSuffix(s.Name, "_count"):
+			count = s.Value
+		case strings.HasSuffix(s.Name, "_sum"):
+			sum = s.Value
+		case strings.HasSuffix(s.Name, "_bucket") && s.Labels["le"] == "+Inf":
+			bucketInf = s.Value
+		}
+	}
+	if count != 3 || bucketInf != 3 {
+		t.Errorf("histogram count = %v, +Inf bucket = %v, want 3/3", count, bucketInf)
+	}
+	if sum < 5.5 || sum > 5.6 {
+		t.Errorf("histogram sum = %v, want 5.55", sum)
+	}
+}
+
+func TestParsePrometheusLabels(t *testing.T) {
+	in := `metric{a="x",b="with \"quotes\" and \\ and \n"} 42 1700000000`
+	fams, err := ParsePrometheus(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := fams["metric"].Samples[0]
+	if s.Labels["a"] != "x" || s.Labels["b"] != "with \"quotes\" and \\ and \n" {
+		t.Errorf("labels parsed wrong: %+v", s.Labels)
+	}
+	if s.Value != 42 {
+		t.Errorf("value = %v", s.Value)
+	}
+}
+
+func TestParsePrometheusRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"metric{a=x} 1",          // unquoted label value
+		`metric{a="x" 1`,         // unterminated label set
+		"metric one",             // unparsable value
+		"metric",                 // no value
+		"# TYPE metric frobnitz", // unknown type
+		`metric{1bad="x"} 1`,     // invalid label name
+		"9metric 1",              // invalid metric name
+		`metric{a="x\q"} 1`,      // bad escape
+		"metric 1 2 3",           // trailing garbage
+		"# HELP lonely",          // HELP with no text
+		`metric{a="x",,b="y"} 1`, // empty label pair
+	}
+	for _, in := range bad {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted malformed line %q", in)
+		}
+	}
+}
+
+func TestFamilyNames(t *testing.T) {
+	fams, err := ParsePrometheus(strings.NewReader("b_total 1\na_total 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := FamilyNames(fams)
+	if len(names) != 2 || names[0] != "a_total" || names[1] != "b_total" {
+		t.Errorf("FamilyNames = %v", names)
+	}
+}

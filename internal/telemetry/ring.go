@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Sampler decides which requests get a retained trace. It is deterministic
+// and lock-free: request n is sampled when the running product n*rate
+// crosses an integer boundary, which spreads samples evenly at any rate
+// without RNG state. Sampling is observability-only — a sampled request runs
+// the same code as an unsampled one, so the decision cannot perturb results.
+type Sampler struct {
+	rate float64
+	n    atomic.Uint64
+}
+
+// NewSampler returns a sampler that admits roughly rate of requests
+// (rate <= 0 admits none, rate >= 1 admits all). A nil *Sampler admits none.
+func NewSampler(rate float64) *Sampler {
+	return &Sampler{rate: rate}
+}
+
+// Sample reports whether the next request should carry a retained trace.
+func (s *Sampler) Sample() bool {
+	if s == nil || s.rate <= 0 {
+		return false
+	}
+	if s.rate >= 1 {
+		s.n.Add(1)
+		return true
+	}
+	n := s.n.Add(1)
+	return math.Floor(float64(n)*s.rate) != math.Floor(float64(n-1)*s.rate)
+}
+
+// Rate returns the configured sampling rate (0 on nil).
+func (s *Sampler) Rate() float64 {
+	if s == nil {
+		return 0
+	}
+	return s.rate
+}
+
+// TraceEntry is one retained trace in the ring, serialized at read time so
+// spans that finish (or are added) after the trace was pushed — e.g. the
+// ingest apply span, which lands after the ack by design — still appear.
+type TraceEntry struct {
+	Seq        uint64       `json:"seq"`
+	Route      string       `json:"route"`
+	TraceID    string       `json:"trace_id"`
+	DurationNS int64        `json:"duration_ns"`
+	Root       SpanSnapshot `json:"root"`
+}
+
+type ringSlot struct {
+	seq   uint64
+	route string
+	tr    *Trace
+}
+
+// TraceRing is a bounded lock-free ring of retained traces. Push overwrites
+// the oldest entry once full; Snapshot returns surviving entries oldest
+// first. Writers never block each other or readers: each push claims a
+// monotonically increasing sequence number and stores an immutable slot
+// pointer, and readers load slot pointers and render under each trace's own
+// lock.
+type TraceRing struct {
+	slots []atomic.Pointer[ringSlot]
+	next  atomic.Uint64
+}
+
+// NewTraceRing returns a ring retaining the last capacity traces
+// (capacity < 1 is clamped to 1).
+func NewTraceRing(capacity int) *TraceRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &TraceRing{slots: make([]atomic.Pointer[ringSlot], capacity)}
+}
+
+// Push retains a trace under the given route label. Nil receivers and nil
+// traces no-op, so call sites need no sampling guard beyond the trace being
+// nil when unsampled.
+func (r *TraceRing) Push(route string, tr *Trace) {
+	if r == nil || tr == nil {
+		return
+	}
+	seq := r.next.Add(1) - 1
+	r.slots[seq%uint64(len(r.slots))].Store(&ringSlot{seq: seq, route: route, tr: tr})
+}
+
+// Len returns the number of traces currently retained.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := r.next.Load()
+	if n > uint64(len(r.slots)) {
+		return len(r.slots)
+	}
+	return int(n)
+}
+
+// Capacity returns the ring size (0 on nil).
+func (r *TraceRing) Capacity() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Snapshot renders the retained traces oldest first. Entries overwritten
+// concurrently with the read are dropped rather than returned twice: a slot
+// is kept only if its sequence number still belongs to the most recent window
+// at load time.
+func (r *TraceRing) Snapshot() []TraceEntry {
+	if r == nil {
+		return nil
+	}
+	n := r.next.Load()
+	cap64 := uint64(len(r.slots))
+	lo := uint64(0)
+	if n > cap64 {
+		lo = n - cap64
+	}
+	out := make([]TraceEntry, 0, n-lo)
+	for seq := lo; seq < n; seq++ {
+		slot := r.slots[seq%cap64].Load()
+		if slot == nil || slot.seq != seq {
+			continue // overwritten (or not yet stored) during the read
+		}
+		root := slot.tr.SnapshotTree()
+		out = append(out, TraceEntry{
+			Seq:        slot.seq,
+			Route:      slot.route,
+			TraceID:    slot.tr.ID(),
+			DurationNS: root.DurationNS,
+			Root:       root,
+		})
+	}
+	return out
+}

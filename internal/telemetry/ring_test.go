@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestSamplerRates(t *testing.T) {
+	cases := []struct {
+		rate float64
+		n    int
+		want int
+	}{
+		{0, 1000, 0},
+		{-1, 1000, 0},
+		{1, 1000, 1000},
+		{2, 1000, 1000},
+		{0.5, 1000, 500},
+		{0.1, 1000, 100},
+		{0.01, 1000, 10},
+	}
+	for _, c := range cases {
+		s := NewSampler(c.rate)
+		got := 0
+		for i := 0; i < c.n; i++ {
+			if s.Sample() {
+				got++
+			}
+		}
+		if got != c.want {
+			t.Errorf("rate %v over %d requests: sampled %d, want %d", c.rate, c.n, got, c.want)
+		}
+	}
+	var nilSampler *Sampler
+	if nilSampler.Sample() {
+		t.Error("nil sampler sampled")
+	}
+}
+
+func TestSamplerSpreads(t *testing.T) {
+	// At rate 0.25 the samples should land every ~4 requests, not bunch up.
+	s := NewSampler(0.25)
+	last, maxGap := 0, 0
+	for i := 1; i <= 400; i++ {
+		if s.Sample() {
+			if gap := i - last; gap > maxGap {
+				maxGap = gap
+			}
+			last = i
+		}
+	}
+	if maxGap > 5 {
+		t.Errorf("rate 0.25: max gap between samples = %d, want <= 5", maxGap)
+	}
+}
+
+func TestTraceRingEvictionOrder(t *testing.T) {
+	r := NewTraceRing(4)
+	for i := 0; i < 10; i++ {
+		tr := NewTrace(fmt.Sprintf("req-%d", i))
+		tr.SetID(fmt.Sprintf("id-%d", i))
+		tr.Finish()
+		r.Push("query", tr)
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot length = %d, want 4", len(got))
+	}
+	for i, e := range got {
+		wantSeq := uint64(6 + i)
+		if e.Seq != wantSeq {
+			t.Errorf("entry %d: seq = %d, want %d (oldest first)", i, e.Seq, wantSeq)
+		}
+		if want := fmt.Sprintf("req-%d", 6+i); e.Root.Name != want {
+			t.Errorf("entry %d: root span = %q, want %q", i, e.Root.Name, want)
+		}
+		if want := fmt.Sprintf("id-%d", 6+i); e.TraceID != want {
+			t.Errorf("entry %d: trace id = %q, want %q", i, e.TraceID, want)
+		}
+		if e.Route != "query" {
+			t.Errorf("entry %d: route = %q, want query", i, e.Route)
+		}
+	}
+	if r.Len() != 4 || r.Capacity() != 4 {
+		t.Errorf("Len/Capacity = %d/%d, want 4/4", r.Len(), r.Capacity())
+	}
+}
+
+func TestTraceRingPartialFill(t *testing.T) {
+	r := NewTraceRing(8)
+	for i := 0; i < 3; i++ {
+		r.Push("ingest", NewTrace(fmt.Sprintf("t%d", i)))
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("snapshot length = %d, want 3", len(got))
+	}
+	for i, e := range got {
+		if e.Seq != uint64(i) {
+			t.Errorf("entry %d: seq = %d", i, e.Seq)
+		}
+	}
+}
+
+func TestTraceRingLateSpansVisible(t *testing.T) {
+	// A span added after the trace was pushed (the ingest apply pattern)
+	// must appear in a later snapshot: rendering happens at read time.
+	r := NewTraceRing(2)
+	tr := NewTrace("ingest")
+	r.Push("ingest", tr)
+	before := r.Snapshot()
+	if len(before) != 1 || len(before[0].Root.Children) != 0 {
+		t.Fatalf("unexpected pre-state: %+v", before)
+	}
+	tr.Root().Child("apply").End()
+	tr.Finish()
+	after := r.Snapshot()
+	if len(after) != 1 || len(after[0].Root.Children) != 1 || after[0].Root.Children[0].Name != "apply" {
+		t.Fatalf("late apply span not visible in snapshot: %+v", after)
+	}
+}
+
+func TestTraceRingNilSafe(t *testing.T) {
+	var r *TraceRing
+	r.Push("x", NewTrace("t"))
+	if r.Snapshot() != nil || r.Len() != 0 || r.Capacity() != 0 {
+		t.Error("nil ring not inert")
+	}
+	live := NewTraceRing(2)
+	live.Push("x", nil) // unsampled request: nil trace must no-op
+	if live.Len() != 0 {
+		t.Error("nil trace was retained")
+	}
+}
+
+func TestTraceRingConcurrent(t *testing.T) {
+	r := NewTraceRing(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				tr := NewTrace(fmt.Sprintf("g%d-%d", g, i))
+				tr.Root().Child("work").End()
+				tr.Finish()
+				r.Push("query", tr)
+				if i%17 == 0 {
+					r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	got := r.Snapshot()
+	if len(got) != 16 {
+		t.Fatalf("snapshot length = %d, want 16", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Errorf("snapshot seqs not contiguous ascending: %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("trace id %q: length %d, want 16", id, len(id))
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace id %q", id)
+		}
+		seen[id] = true
+	}
+	var nilTrace *Trace
+	nilTrace.SetID("x")
+	if nilTrace.ID() != "" {
+		t.Error("nil trace returned an ID")
+	}
+}

@@ -1,6 +1,9 @@
 package telemetry
 
 import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -18,7 +21,43 @@ import (
 // hands out) no-ops, so tracing costs one branch when disabled.
 type Trace struct {
 	mu   sync.Mutex
+	id   string
 	root *Span
+}
+
+// NewTraceID returns a fresh random 16-hex-character trace identifier for
+// request-scoped traces. IDs are observability-only — they never feed back
+// into computation — so their randomness cannot perturb any determinism
+// contract.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; fall back to a
+		// still-unique-enough clock reading rather than taking down a
+		// request path for an ID.
+		binary.BigEndian.PutUint64(b[:], uint64(time.Now().UnixNano()))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// SetID attaches a trace identifier (see NewTraceID). No-op on nil.
+func (t *Trace) SetID(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
+}
+
+// ID returns the trace identifier ("" when unset or on nil).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
 }
 
 // Span is one named, timed node of a Trace. Exported fields are read-only
@@ -162,19 +201,20 @@ func (s *Span) durationLocked() time.Duration {
 	return s.end.Sub(s.start)
 }
 
-// spanJSON is the -trace-out serialization of one span: times are offsets
-// from the trace start so dumps from different runs diff cleanly.
-type spanJSON struct {
-	Name       string     `json:"name"`
-	StartUsec  int64      `json:"start_us"`
-	DurationNS int64      `json:"duration_ns"`
-	Duration   string     `json:"duration"`
-	Attrs      []Attr     `json:"attrs,omitempty"`
-	Children   []spanJSON `json:"children,omitempty"`
+// SpanSnapshot is the serialized form of one span — the -trace-out format
+// and the /admin/traces payload. Times are offsets from the trace start so
+// dumps from different runs diff cleanly.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	StartUsec  int64          `json:"start_us"`
+	DurationNS int64          `json:"duration_ns"`
+	Duration   string         `json:"duration"`
+	Attrs      []Attr         `json:"attrs,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
 }
 
-func (s *Span) toJSON(origin time.Time) spanJSON {
-	out := spanJSON{
+func (s *Span) toJSON(origin time.Time) SpanSnapshot {
+	out := SpanSnapshot{
 		Name:       s.name,
 		StartUsec:  s.start.Sub(origin).Microseconds(),
 		DurationNS: s.durationLocked().Nanoseconds(),
@@ -187,15 +227,34 @@ func (s *Span) toJSON(origin time.Time) spanJSON {
 	return out
 }
 
+// SnapshotTree serializes the whole span tree under the trace lock. Spans
+// still running report their duration up to now; spans added later (e.g. an
+// ingest apply that lands after the ack) appear in later snapshots — the
+// trace ring renders at read time for exactly this reason.
+func (t *Trace) SnapshotTree() SpanSnapshot {
+	if t == nil {
+		return SpanSnapshot{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.root.toJSON(t.root.start)
+}
+
+// Start returns the root span's start time (zero on nil).
+func (t *Trace) Start() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.root.start
+}
+
 // WriteJSON dumps the whole span tree as indented JSON (the -trace-out
 // format). Call Finish first to close running spans.
 func (t *Trace) WriteJSON(w io.Writer) error {
 	if t == nil {
 		return nil
 	}
-	t.mu.Lock()
-	tree := t.root.toJSON(t.root.start)
-	t.mu.Unlock()
+	tree := t.SnapshotTree()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(tree)

@@ -46,10 +46,20 @@ import (
 	"repro/internal/query/supg"
 	"repro/internal/shard"
 	"repro/internal/snapshot"
-	"repro/internal/vecmath"
 	"repro/internal/telemetry"
+	"repro/internal/telemetry/ledger"
 	"repro/internal/triplet"
+	"repro/internal/vecmath"
 )
+
+// Version identifies this release of the repository — the value
+// tasti_build_info exposes so every scrape names the running binary.
+const Version = "0.8.0"
+
+// SnapshotFormatVersion is the framed snapshot container's current format
+// version (the write-side version; older versions back to
+// snapshot.MinVersion still load).
+const SnapshotFormatVersion = snapshot.Version
 
 // Data model.
 type (
@@ -457,6 +467,55 @@ var DefLatencyBuckets = telemetry.DefLatencyBuckets
 
 // NewTrace starts a span tree rooted at a span named name.
 func NewTrace(name string) *Trace { return telemetry.NewTrace(name) }
+
+// Request-scoped observability: per-request trace retention, deterministic
+// sampling, a Prometheus text-format parser for scrapers, and the per-tenant
+// cost ledger behind cmd/tastiserve's /admin/traces and /admin/ledger. All
+// of it is record-only — nothing here feeds back into query execution, so
+// sampled and unsampled requests produce bitwise-identical results.
+type (
+	// SpanSnapshot is the serialized form of one span (the /admin/traces and
+	// -trace-out schema).
+	SpanSnapshot = telemetry.SpanSnapshot
+	// TraceSampler deterministically admits a fixed fraction of requests for
+	// trace retention.
+	TraceSampler = telemetry.Sampler
+	// TraceRing is a bounded lock-free ring of retained request traces.
+	TraceRing = telemetry.TraceRing
+	// TraceEntry is one retained trace, rendered at read time.
+	TraceEntry = telemetry.TraceEntry
+	// PromFamily is one parsed metric family of a /metrics exposition.
+	PromFamily = telemetry.PromFamily
+	// PromSample is one parsed sample line of a /metrics exposition.
+	PromSample = telemetry.PromSample
+	// CostLedger attributes query cost per request and per tenant with a
+	// conservation invariant (per-tenant sums equal the global books).
+	CostLedger = ledger.Ledger
+	// LedgerEntry is the cost record for one finished request.
+	LedgerEntry = ledger.Entry
+	// LedgerTotals is the rolled-up spend for one tenant or the process.
+	LedgerTotals = ledger.Totals
+	// LedgerSnapshot is the /admin/ledger payload.
+	LedgerSnapshot = ledger.Snapshot
+	// WALDiskStats is the WAL's on-disk footprint (the WAL-lag gauges).
+	WALDiskStats = ingest.DiskStats
+)
+
+var (
+	// NewTraceID returns a fresh random 16-hex-char trace identifier.
+	NewTraceID = telemetry.NewTraceID
+	// NewTraceSampler returns a sampler admitting roughly rate of requests.
+	NewTraceSampler = telemetry.NewSampler
+	// NewTraceRing returns a ring retaining the last capacity traces.
+	NewTraceRing = telemetry.NewTraceRing
+	// NewCostLedger returns a ledger retaining the last n request entries.
+	NewCostLedger = ledger.New
+	// ParsePrometheus parses a text-format 0.0.4 exposition the way a
+	// scraper would (used by cmd/tastistat and the /metrics tests).
+	ParsePrometheus = telemetry.ParsePrometheus
+	// PromFamilyNames returns the sorted family names of a parsed scrape.
+	PromFamilyNames = telemetry.FamilyNames
+)
 
 // SetPoolTelemetry points the shared worker pool's utilization metrics at
 // reg (nil disables them). The pool is process-wide, so this is too.
