@@ -103,17 +103,23 @@ func (sc *reqScope) setCost(records, shards int64) {
 type meteringLabeler struct {
 	inner tasti.Labeler
 	ix    *tasti.ShardedIndex
+	st    *tasti.LabelStore
 	sc    *reqScope
 }
 
 // meter wraps lab for one request. Called with the index semaphore held
-// (Annotated reads shard state), like every query-path index access.
-func meter(lab tasti.Labeler, ix *tasti.ShardedIndex, sc *reqScope) tasti.Labeler {
-	return &meteringLabeler{inner: lab, ix: ix, sc: sc}
+// (Annotated reads shard state), like every query-path index access. st,
+// when non-nil, extends hit detection to the cross-query label store, so a
+// label served from an earlier query's spend books as a hit too.
+func meter(lab tasti.Labeler, ix *tasti.ShardedIndex, st *tasti.LabelStore, sc *reqScope) tasti.Labeler {
+	return &meteringLabeler{inner: lab, ix: ix, st: st, sc: sc}
 }
 
 func (m *meteringLabeler) Label(id int) (tasti.Annotation, error) {
 	hit := m.ix.Annotated(id)
+	if !hit && m.st != nil {
+		_, hit = m.st.Get(id)
+	}
 	ann, err := m.inner.Label(id)
 	if err != nil {
 		return nil, err
@@ -139,6 +145,36 @@ func costKind(route string) (string, bool) {
 		return "ingest", true
 	}
 	return "", false
+}
+
+// labelStoreStatus is the /admin/status "label_store" section: the store's
+// residency and dirtiness, the budget caps, and each admitted tenant's spend
+// and remaining headroom (remaining omitted when per-tenant caps are off).
+func (s *server) labelStoreStatus() map[string]interface{} {
+	body := map[string]interface{}{
+		"entries":       s.labels.Len(),
+		"dirty":         s.labels.Dirty(),
+		"global_budget": s.budget.GlobalCap(),
+		"tenant_budget": s.budget.PerTenantCap(),
+	}
+	if s.budget.GlobalCap() > 0 {
+		_, globalLeft := s.budget.Remaining("")
+		body["global_remaining"] = globalLeft
+	}
+	spent := s.budget.Spent()
+	if len(spent) > 0 {
+		tenants := make(map[string]interface{}, len(spent))
+		for tenant, used := range spent {
+			t := map[string]interface{}{"spent": used}
+			if s.budget.PerTenantCap() > 0 {
+				left, _ := s.budget.Remaining(tenant)
+				t["remaining"] = left
+			}
+			tenants[tenant] = t
+		}
+		body["tenants"] = tenants
+	}
+	return body
 }
 
 // handleTraces is GET /admin/traces: the retained sampled traces, oldest
@@ -337,6 +373,7 @@ func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		"traces_retained":   s.traces.Len(),
 		"trace_ring_cap":    s.traces.Capacity(),
 		"ledger":            s.ledger.Global(),
+		"label_store":       s.labelStoreStatus(),
 	}
 	if !s.ready.Load() {
 		body["status"] = "building"

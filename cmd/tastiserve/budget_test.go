@@ -1,0 +1,289 @@
+package main
+
+// Cost-control plane tests: the cross-query label store amortizing oracle
+// spend across requests, the 429 mapping for exhausted budgets and store
+// saturation, graceful mid-query degradation, and a mixed-tenant chaos storm
+// holding the ledger and budget conservation invariants. All TestBudget* so
+// CI's dedicated `-race -run Budget` step covers them.
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/tasti"
+)
+
+// TestBudget429Mapping drives queryError directly with the two backpressure
+// errors and requires 429 + Retry-After + the tenant's budget position —
+// never a 500, and the budget headers absent for unlimited scopes.
+func TestBudget429Mapping(t *testing.T) {
+	s := newServerShell(serverOptions{dataset: "night-street", labelBudget: 10, tenantBudget: 4})
+	for _, err := range []error{
+		fmt.Errorf("admission: %w", tasti.ErrBudgetExhausted),
+		fmt.Errorf("store: %w", tasti.ErrLabelStoreSaturated),
+	} {
+		rec := httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodPost, "/query/aggregate", nil)
+		req.Header.Set("X-Tasti-Tenant", "acme")
+		s.queryError(rec, req, err)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("%v mapped to %d, want 429", err, rec.Code)
+		}
+		if rec.Header().Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+		if got := rec.Header().Get("X-Tasti-Budget-Remaining"); got != "4" {
+			t.Errorf("tenant budget header = %q, want 4", got)
+		}
+		if got := rec.Header().Get("X-Tasti-Budget-Global-Remaining"); got != "10" {
+			t.Errorf("global budget header = %q, want 10", got)
+		}
+	}
+
+	// Unlimited scopes publish no headers: absence, not a sentinel.
+	s = newServerShell(serverOptions{dataset: "night-street"})
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/query/limit", nil)
+	s.queryError(rec, req, fmt.Errorf("admission: %w", tasti.ErrBudgetExhausted))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("X-Tasti-Budget-Remaining") != "" ||
+		rec.Header().Get("X-Tasti-Budget-Global-Remaining") != "" {
+		t.Error("unlimited budget published remaining headers")
+	}
+
+	// Non-budget errors keep their original mapping.
+	rec = httptest.NewRecorder()
+	s.queryError(rec, httptest.NewRequest(http.MethodPost, "/query/limit", nil), errors.New("boom"))
+	if rec.Code != http.StatusInternalServerError {
+		t.Fatalf("generic error mapped to %d, want 500", rec.Code)
+	}
+}
+
+// TestBudgetStoreAmortizesRepeatQueries runs the same aggregate query twice
+// and requires the second run to spend zero new oracle calls — every sample
+// answered by the store — while returning a bitwise-identical estimate.
+func TestBudgetStoreAmortizesRepeatQueries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	srv, err := newServer(serverOptions{
+		dataset: "night-street", size: 1000, train: 150, reps: 120, seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	run := func() map[string]interface{} {
+		resp, err := http.Post(ts.URL+"/query/aggregate", "application/json",
+			strings.NewReader(`{"class":"car","err":0.1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := decodeBody(t, resp)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %v", resp.StatusCode, body)
+		}
+		return body
+	}
+	first := run()
+	misses := srv.reg.Counter("tasti_labelstore_misses_total").Value()
+	hitsBefore := srv.reg.Counter("tasti_labelstore_hits_total").Value()
+	second := run()
+	if d := srv.reg.Counter("tasti_labelstore_misses_total").Value() - misses; d != 0 {
+		t.Errorf("repeat query issued %d fresh oracle calls, want 0", d)
+	}
+	if srv.reg.Counter("tasti_labelstore_hits_total").Value() <= hitsBefore {
+		t.Error("repeat query recorded no store hits")
+	}
+	if first["estimate"] != second["estimate"] || first["half_width"] != second["half_width"] {
+		t.Errorf("store changed the answer: %v vs %v", first, second)
+	}
+	if first["degraded"] != false || second["degraded"] != false {
+		t.Errorf("unlimited budget flagged degradation: %v / %v", first["degraded"], second["degraded"])
+	}
+}
+
+// TestBudgetExhaustionDegradesServedQuery serves with a small global budget
+// and requires mid-query exhaustion to surface as a 200 partial answer
+// flagged degraded (or, if not even a minimal sample fit, a 429) — never a
+// 500 — with the degradation counted in /metrics.
+func TestBudgetExhaustionDegradesServedQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	srv, err := newServer(serverOptions{
+		dataset: "night-street", size: 1000, train: 150, reps: 120, seed: 1,
+		labelBudget: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/query/aggregate", "application/json",
+		strings.NewReader(`{"class":"car","err":0.001}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := decodeBody(t, resp)
+	switch resp.StatusCode {
+	case http.StatusOK:
+		if body["degraded"] != true {
+			t.Fatalf("exhausted budget served an undegraded answer: %v", body)
+		}
+		if srv.reg.Counter(`tasti_query_degraded_total{type="aggregate"}`).Value() == 0 {
+			t.Error("degradation not counted")
+		}
+	case http.StatusTooManyRequests:
+		if resp.Header.Get("Retry-After") == "" {
+			t.Error("429 without Retry-After")
+		}
+	default:
+		t.Fatalf("status %d: %v", resp.StatusCode, body)
+	}
+	if srv.reg.Counter(`tasti_budget_exhausted_total{scope="global"}`).Value() == 0 {
+		t.Error("exhaustion not counted")
+	}
+}
+
+// TestChaosBudgetMixedTenantStorm hammers one server with concurrent
+// mixed-tenant, mixed-type queries against tight per-tenant budgets, then
+// audits the books: every response is 200 or 429 (backpressure is never an
+// error), the cost ledger conserves (per-tenant sums equal the global
+// totals, and its labels reconcile with the query processors' own counter),
+// budget spend never exceeds any cap, reservations minus refunds equal held
+// spend, and the store survives a flush/reload round trip — no annotation
+// half-written under the storm.
+func TestChaosBudgetMixedTenantStorm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	srv, err := newServer(serverOptions{
+		dataset: "night-street", size: 1000, train: 150, reps: 120, seed: 1,
+		tenantBudget: 60, labelBudget: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	bodies := []string{
+		`{"class":"car","err":0.05}`,
+		`{"class":"car","count":1,"budget":120,"recall":0.9}`,
+		`{"class":"car","count":4,"k":3}`,
+	}
+	routes := []string{"/query/aggregate", "/query/select", "/query/limit"}
+	tenants := []string{"alpha", "beta", "gamma"}
+
+	const workers = 9
+	const perWorker = 4
+	var wg sync.WaitGroup
+	statuses := make([][]int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r := (w + i) % len(routes)
+				req, err := http.NewRequest(http.MethodPost, ts.URL+routes[r], strings.NewReader(bodies[r]))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				req.Header.Set("X-Tasti-Tenant", tenants[w%len(tenants)])
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				resp.Body.Close()
+				statuses[w] = append(statuses[w], resp.StatusCode)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	for w, codes := range statuses {
+		for _, code := range codes {
+			if code != http.StatusOK && code != http.StatusTooManyRequests {
+				t.Fatalf("worker %d got status %d; backpressure must be 200-degraded or 429", w, code)
+			}
+		}
+	}
+
+	// Ledger conservation under concurrency, including reconciliation with
+	// the query processors' own label counter.
+	resp, err := http.Get(ts.URL + "/admin/ledger")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap tasti.LedgerSnapshot
+	func() {
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	if snap.Conservation != "ok" {
+		t.Fatalf("ledger conservation: %s", snap.Conservation)
+	}
+	rejected := false
+	for _, e := range snap.Recent {
+		if e.Status == http.StatusTooManyRequests {
+			rejected = true
+			if e.Hits > 0 && e.Labels == 0 {
+				t.Errorf("429 entry books hits without labels: %+v", e)
+			}
+		}
+	}
+
+	// Budget books: spend within caps, and reservations minus refunds equal
+	// the spend still held.
+	spent := srv.budget.Spent()
+	var total int64
+	for tenant, n := range spent {
+		if n > 60 {
+			t.Errorf("tenant %q spent %d > cap 60", tenant, n)
+		}
+		total += n
+	}
+	if total > 150 {
+		t.Errorf("global spend %d > cap 150", total)
+	}
+	reserved := srv.reg.Counter("tasti_budget_reservations_total").Value()
+	refunded := srv.reg.Counter("tasti_budget_refunds_total").Value()
+	if reserved-refunded != total {
+		t.Errorf("reservations(%d) - refunds(%d) != held spend %d", reserved, refunded, total)
+	}
+	if !rejected && srv.reg.Counter(`tasti_budget_exhausted_total{scope="tenant"}`).Value() == 0 &&
+		srv.reg.Counter(`tasti_budget_exhausted_total{scope="global"}`).Value() == 0 {
+		t.Log("storm finished under budget; exhaustion path untested this run")
+	}
+
+	// The store survived the storm coherent: a snapshot round trip preserves
+	// every annotation.
+	var buf bytes.Buffer
+	if err := srv.labels.Save(&buf); err != nil {
+		t.Fatalf("store unsaveable after storm: %v", err)
+	}
+	reloaded, err := tasti.LoadLabelStore(bytes.NewReader(buf.Bytes()), tasti.LabelStoreOptions{})
+	if err != nil {
+		t.Fatalf("store snapshot corrupt after storm: %v", err)
+	}
+	if reloaded.Len() != srv.labels.Len() {
+		t.Errorf("round trip lost annotations: %d != %d", reloaded.Len(), srv.labels.Len())
+	}
+}

@@ -46,6 +46,16 @@
 // would fork the record-ID sequence the WAL continues from). See
 // docs/RELIABILITY.md for the durability contract and runbook.
 //
+// -label-store, -label-budget, and -tenant-budget are the cost-control
+// plane: a cross-query label store consulted before any target-labeler call
+// (hits and coalesced concurrent requests spend nothing), persisted as its
+// own snapshot container, plus global and per-tenant oracle-call budgets.
+// A budget exhausted mid-query degrades the answer (partial estimate with a
+// widened confidence interval, or the verified prefix of a limit scan)
+// instead of failing it; a request that cannot even start answers 429 with
+// Retry-After and X-Tasti-Budget-* headers. See docs/RELIABILITY.md "Label
+// budgets and degraded answers".
+//
 // -pprof-addr serves net/http/pprof on a second listener (keep it off
 // public interfaces); -log-format selects text or JSON structured logs.
 // SIGINT/SIGTERM drain in-flight queries before exiting. See
@@ -98,6 +108,12 @@ func main() {
 		refreshBudget   = flag.Int("refresh-budget", 0, "worst-covered appended records re-cracked per refresh (<= 0 uses the default)")
 		refreshAuto     = flag.Bool("refresh-auto", false, "start a background refresh automatically when drift trips")
 
+		labelStorePath = flag.String("label-store", "", "cross-query label-store snapshot file: loaded at startup if present, flushed on -label-flush and at drain (empty keeps labels in memory only)")
+		labelBudget    = flag.Int64("label-budget", 0, "global serve-path oracle-call budget across all tenants; exhaustion degrades queries and answers 429 (<= 0 = unlimited)")
+		tenantBudget   = flag.Int64("tenant-budget", 0, "per-tenant serve-path oracle-call budget, keyed by X-Tasti-Tenant (<= 0 = unlimited)")
+		labelFlush     = flag.Duration("label-flush", 30*time.Second, "background label-store flush period (0 disables the loop; the drain path still flushes)")
+		labelInflight  = flag.Int("label-inflight", 0, "distinct records with an oracle call in flight before the label store answers 429 (<= 0 uses 1024)")
+
 		traceSample    = flag.Float64("trace-sample", 0.01, "fraction of /query and /ingest requests whose full span tree is retained for GET /admin/traces (0 disables, 1 traces everything; never changes results)")
 		traceRing      = flag.Int("trace-ring", 256, "sampled traces retained before the oldest is overwritten (<= 0 uses 256)")
 		healthInterval = flag.Duration("health-interval", 15*time.Second, "index-health collector period feeding the shard-skew, radius, and WAL-lag gauges (0 disables the loop; GET /admin/status still collects on demand)")
@@ -146,6 +162,12 @@ func main() {
 		refreshBudget:       *refreshBudget,
 		refreshAuto:         *refreshAuto,
 
+		labelStorePath: *labelStorePath,
+		labelBudget:    *labelBudget,
+		tenantBudget:   *tenantBudget,
+		labelFlush:     *labelFlush,
+		labelInflight:  *labelInflight,
+
 		traceSample:    *traceSample,
 		traceRing:      *traceRing,
 		healthInterval: *healthInterval,
@@ -163,6 +185,7 @@ func main() {
 	logger.Info("building index in the background", "dataset", *dsName, "records", *size)
 	srv.buildAsync()
 	srv.startHealthLoop()
+	srv.startLabelFlushLoop()
 
 	// SIGHUP hot-reloads the snapshot, the conventional re-read-your-config
 	// signal. Failures are contained: the serving index stays.
@@ -222,5 +245,8 @@ func main() {
 	// With the listener stopped no new submissions can arrive; drain what the
 	// ingest queue already acked into the index, then seal the WAL.
 	srv.closeIngest()
+	// Persist labels bought since the last periodic flush — the next boot
+	// starts with every annotation this process paid for.
+	srv.flushLabels()
 	logger.Info("bye")
 }

@@ -93,6 +93,25 @@ type serverOptions struct {
 	// /admin/refresh works either way.
 	refreshAuto bool
 
+	// labelStorePath is the durable home of the cross-query label store:
+	// loaded at startup when the file exists, flushed on the labelFlush
+	// ticker and at drain. Empty keeps the store in memory only — labels
+	// still amortize across queries within the process lifetime.
+	labelStorePath string
+	// labelBudget caps total serve-path oracle calls across all tenants
+	// (<= 0 = unlimited). Exhaustion degrades queries instead of failing
+	// them; requests that cannot even start answer 429.
+	labelBudget int64
+	// tenantBudget caps serve-path oracle calls per tenant, keyed by
+	// X-Tasti-Tenant (<= 0 = unlimited).
+	tenantBudget int64
+	// labelFlush is the background store-flush period (0 disables the loop;
+	// the drain path still flushes).
+	labelFlush time.Duration
+	// labelInflight bounds concurrent distinct-record oracle calls through
+	// the store before it answers saturation (<= 0 uses the store default).
+	labelInflight int
+
 	// traceSample is the fraction of /query/* and /ingest requests whose
 	// full span tree is retained for GET /admin/traces (0 disables, >= 1
 	// traces every request). Sampling is deterministic — every 1/rate-th
@@ -226,6 +245,15 @@ type server struct {
 	traces  *tasti.TraceRing
 	ledger  *tasti.CostLedger
 	health  atomic.Pointer[healthSnapshot]
+
+	// Cross-query cost control: labels is the shared record→annotation
+	// store every query handler binds its sampling labeler through (hits
+	// and coalesced calls spend nothing); budget admits each real oracle
+	// call against the global and per-tenant caps. Unlike the index, both
+	// are internally synchronized — they outlive index swaps and are shared
+	// across requests without the semaphore.
+	labels *tasti.LabelStore
+	budget *tasti.BudgetManager
 }
 
 // newServerShell returns a server that is alive (serves /healthz and
@@ -283,6 +311,23 @@ func newServerShell(opts serverOptions) *server {
 	reg.Help("tasti_shard_record_skew", "Max-over-mean per-shard record count; 1.0 is perfectly balanced, ingest grows it between refreshes.")
 	reg.Help("tasti_shard_rep_skew", "Max-over-mean per-shard representative count; 1.0 is perfectly balanced.")
 	reg.Help("tasti_index_radius", "Nearest-representative distance quantiles across all records, by quantile; rising radii mean propagated scores extrapolate further.")
+	reg.Help("tasti_labelstore_hits_total", "Label requests answered from the cross-query store or the index — zero oracle spend.")
+	reg.Help("tasti_labelstore_misses_total", "Label requests that led an oracle call (singleflight leaders).")
+	reg.Help("tasti_labelstore_coalesced_total", "Label requests that joined an in-flight oracle call for the same record instead of issuing their own.")
+	reg.Help("tasti_labelstore_saturated_total", "Label requests rejected because the store's in-flight table was full (HTTP 429).")
+	reg.Help("tasti_labelstore_entries", "Annotations held by the cross-query label store.")
+	reg.Help("tasti_labelstore_flush_total", "Label-store snapshot flushes, by outcome.")
+	reg.Help("tasti_budget_reservations_total", "Oracle-call reservations admitted by the budget manager.")
+	reg.Help("tasti_budget_refunds_total", "Reservations refunded because the admitted oracle call failed.")
+	reg.Help("tasti_budget_exhausted_total", "Label admissions rejected by an exhausted budget, by scope (global or tenant).")
+	reg.Help("tasti_budget_remaining", "Oracle calls still admissible, by scope; absent when that scope is unlimited.")
+	reg.Help("tasti_query_degraded_total", "Queries that returned a partial (Degraded) answer after mid-query budget exhaustion, by type.")
+	labels := tasti.NewLabelStore(tasti.LabelStoreOptions{MaxInflight: opts.labelInflight, Telemetry: reg})
+	budget := tasti.NewBudgetManager(tasti.BudgetConfig{
+		Global:    opts.labelBudget,
+		PerTenant: opts.tenantBudget,
+		Telemetry: reg,
+	})
 	return &server{
 		sem:      make(chan struct{}, 1),
 		opts:     opts,
@@ -295,6 +340,8 @@ func newServerShell(opts serverOptions) *server {
 		sampler:  tasti.NewTraceSampler(opts.traceSample),
 		traces:   tasti.NewTraceRing(opts.traceRingCap()),
 		ledger:   tasti.NewCostLedger(0),
+		labels:   labels,
+		budget:   budget,
 	}
 }
 
@@ -424,6 +471,25 @@ func (s *server) buildIndex() error {
 		}
 	}
 	index.SetTelemetry(s.reg)
+	// Seed the cross-query label store from its snapshot: annotations bought
+	// by yesterday's queries are free today. Corruption is contained by the
+	// typed snapshot errors — the store starts empty and refills. Index-owned
+	// annotations need no seeding: the store's lookup path reads them on
+	// demand and promotes hits.
+	if opts.labelStorePath != "" {
+		if _, err := os.Stat(opts.labelStorePath); err == nil {
+			prev, lerr := tasti.LoadLabelStoreFile(opts.labelStorePath, tasti.LabelStoreOptions{})
+			if lerr != nil {
+				s.log.Warn("label store unusable; starting empty",
+					"path", opts.labelStorePath, "err", lerr.Error())
+			} else {
+				s.labels.Warm(prev.Annotations())
+				s.labels.MarkClean()
+				s.log.Info("label store loaded",
+					"path", opts.labelStorePath, "labels", s.labels.Len())
+			}
+		}
+	}
 	// Replay the WAL into the index and start the ingest pipeline before the
 	// server flips ready: POST /ingest answers 503 for the whole replay.
 	if opts.walDir != "" {
@@ -726,8 +792,64 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// cracks and rolling reloads between scrapes still read correctly.
 		s.index.Load().PublishMetrics()
 	}
+	s.publishBudgetMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w) //nolint:errcheck // best-effort response write
+}
+
+// publishBudgetMetrics refreshes the budget-remaining gauges at scrape time:
+// the global pool under scope="global", and each tenant that has spent labels
+// under scope="tenant". Unlimited scopes publish nothing — absence, not a
+// sentinel value. Tenant names come from the budget's own spend books, so the
+// series set is bounded by tenants actually admitted, not by attacker-minted
+// header values on free routes.
+func (s *server) publishBudgetMetrics() {
+	if s.budget.GlobalCap() > 0 {
+		_, globalLeft := s.budget.Remaining("")
+		s.reg.Gauge(`tasti_budget_remaining{scope="global"}`).Set(float64(globalLeft))
+	}
+	if s.budget.PerTenantCap() > 0 {
+		for tenant := range s.budget.Spent() {
+			left, _ := s.budget.Remaining(tenant)
+			s.reg.Gauge(fmt.Sprintf(`tasti_budget_remaining{scope="tenant",tenant=%q}`, tenant)).Set(float64(left))
+		}
+	}
+}
+
+// flushLabels persists the cross-query label store to its snapshot path,
+// skipping the write when nothing changed since the last flush. Safe to call
+// concurrently with serving: the store serializes Save internally and the
+// write is atomic (temp + fsync + rename), so a kill -9 mid-flush leaves the
+// previous snapshot intact.
+func (s *server) flushLabels() {
+	if s.opts.labelStorePath == "" || s.labels.Dirty() == 0 {
+		return
+	}
+	if err := s.labels.Flush(s.opts.labelStorePath); err != nil {
+		s.reg.Counter(`tasti_labelstore_flush_total{outcome="error"}`).Inc()
+		s.log.Warn("label-store flush failed; annotations stay in memory",
+			"path", s.opts.labelStorePath, "err", err.Error())
+		return
+	}
+	s.reg.Counter(`tasti_labelstore_flush_total{outcome="ok"}`).Inc()
+	s.log.Info("label store flushed",
+		"path", s.opts.labelStorePath, "labels", s.labels.Len())
+}
+
+// startLabelFlushLoop launches the periodic store flusher when a path and a
+// positive -label-flush period are configured. The drain path flushes once
+// more either way, so the loop only bounds how much a crash can lose.
+func (s *server) startLabelFlushLoop() {
+	if s.opts.labelStorePath == "" || s.opts.labelFlush <= 0 {
+		return
+	}
+	go func() {
+		t := time.NewTicker(s.opts.labelFlush)
+		defer t.Stop()
+		for range t.C {
+			s.flushLabels()
+		}
+	}()
 }
 
 // statusRecorder captures the response status code for metrics and logs.
@@ -1008,18 +1130,51 @@ func (s *server) spec(req queryRequest) (tasti.ScoreFunc, func(tasti.Annotation)
 	}
 }
 
+// queryLabeler assembles one request's sampling labeler, innermost first: the
+// serve chain (retry/breaker/deadline), the cross-query label store with
+// budget admission keyed by X-Tasti-Tenant and a free-lookup into the index's
+// own annotations, context binding so a disconnected client cancels in-flight
+// calls, and the per-request meter feeding the cost ledger. Called with the
+// index semaphore held, like every query-path index access.
+func (s *server) queryLabeler(ctx context.Context, r *http.Request, ix *tasti.ShardedIndex, sc *reqScope) tasti.Labeler {
+	bound := s.labels.Bind(s.target, s.budget, r.Header.Get("X-Tasti-Tenant"), ix.AnnotationOf)
+	return meter(tasti.LabelerWithContext(ctx, bound), ix, s.labels, sc)
+}
+
 // queryError maps a failed query to a response: cancellations and breaker
-// rejections are the caller's problem or a temporary outage (503), anything
-// else is a server error (500).
-func (s *server) queryError(w http.ResponseWriter, ctx context.Context, err error) {
+// rejections are the caller's problem or a temporary outage (503); an
+// exhausted label budget or a saturated label store is backpressure (429 with
+// Retry-After and the tenant's budget position — reached only when the query
+// could not even produce a partial answer, since mid-query exhaustion
+// degrades instead); anything else is a server error (500).
+func (s *server) queryError(w http.ResponseWriter, r *http.Request, err error) {
 	switch {
-	case ctx.Err() != nil:
+	case r.Context().Err() != nil:
 		httpError(w, http.StatusServiceUnavailable, "query canceled or timed out")
+	case errors.Is(err, tasti.ErrBudgetExhausted), errors.Is(err, tasti.ErrLabelStoreSaturated):
+		s.rejectOverBudget(w, r, err)
 	case errors.Is(err, tasti.ErrBreakerOpen):
 		httpError(w, http.StatusServiceUnavailable, "labeler circuit open: "+err.Error())
 	default:
 		httpError(w, http.StatusInternalServerError, err.Error())
 	}
+}
+
+// rejectOverBudget answers 429: Retry-After (saturation clears as in-flight
+// calls drain; exhaustion clears when caps are raised or reset, so the value
+// is advisory) plus the requesting tenant's remaining budget in
+// X-Tasti-Budget-Remaining and the global pool in
+// X-Tasti-Budget-Global-Remaining, each omitted when that scope is unlimited.
+func (s *server) rejectOverBudget(w http.ResponseWriter, r *http.Request, err error) {
+	tenantLeft, globalLeft := s.budget.Remaining(r.Header.Get("X-Tasti-Tenant"))
+	w.Header().Set("Retry-After", "30")
+	if tenantLeft != tasti.BudgetUnlimited {
+		w.Header().Set("X-Tasti-Budget-Remaining", strconv.FormatInt(tenantLeft, 10))
+	}
+	if globalLeft != tasti.BudgetUnlimited {
+		w.Header().Set("X-Tasti-Budget-Global-Remaining", strconv.FormatInt(globalLeft, 10))
+	}
+	httpError(w, http.StatusTooManyRequests, "label budget exhausted or label store saturated: "+err.Error())
 }
 
 func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
@@ -1044,14 +1199,11 @@ func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	scores, err := ix.PropagateSpan(score, psp)
 	psp.End()
 	if err != nil {
-		s.queryError(w, ctx, err)
+		s.queryError(w, r, err)
 		return
 	}
 	sc.setCost(int64(len(scores)), int64(ix.NumShards()))
-	// Bind the sampling labeler to the request context — a disconnected
-	// client cancels the labeling loop instead of burning budget — and
-	// meter it so the ledger entry carries this request's oracle spend.
-	lab := meter(tasti.LabelerWithContext(ctx, s.target), ix, sc)
+	lab := s.queryLabeler(ctx, r, ix, sc)
 	esp := sc.child("estimate")
 	res, err := tasti.EstimateAggregate(tasti.AggregateOptions{
 		ErrTarget: req.Err, Delta: 0.05, MinSamples: 100, Seed: s.seed + 1,
@@ -1060,13 +1212,14 @@ func (s *server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 	esp.SetAttr("label_calls", res.LabelerCalls)
 	esp.End()
 	if err != nil {
-		s.queryError(w, ctx, err)
+		s.queryError(w, r, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]interface{}{
 		"estimate":    res.Estimate,
 		"half_width":  res.HalfWidth,
 		"label_calls": res.LabelerCalls,
+		"degraded":    res.Degraded,
 	})
 }
 
@@ -1092,7 +1245,7 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	scores, err := ix.PropagateSpan(tasti.MatchScore(pred), psp)
 	psp.End()
 	if err != nil {
-		s.queryError(w, ctx, err)
+		s.queryError(w, r, err)
 		return
 	}
 	sc.setCost(int64(len(scores)), int64(ix.NumShards()))
@@ -1100,11 +1253,11 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	res, err := tasti.SelectWithRecall(tasti.SelectOptions{
 		Budget: req.Budget, Target: req.Recall, Delta: 0.05, Seed: s.seed + 2,
 		Telemetry: s.reg, Parallelism: s.opts.parallelism,
-	}, s.ds.Len(), scores, pred, meter(tasti.LabelerWithContext(ctx, s.target), ix, sc))
+	}, s.ds.Len(), scores, pred, s.queryLabeler(ctx, r, ix, sc))
 	ssp.SetAttr("label_calls", res.OracleCalls)
 	ssp.End()
 	if err != nil {
-		s.queryError(w, ctx, err)
+		s.queryError(w, r, err)
 		return
 	}
 	sample := res.Returned
@@ -1116,6 +1269,7 @@ func (s *server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		"threshold":   res.Threshold,
 		"label_calls": res.OracleCalls,
 		"sample_ids":  sample,
+		"degraded":    res.Degraded,
 	})
 }
 
@@ -1141,7 +1295,7 @@ func (s *server) handleLimit(w http.ResponseWriter, r *http.Request) {
 	scores, dists, err := ix.PropagateNearestSpan(score, psp)
 	psp.End()
 	if err != nil {
-		s.queryError(w, ctx, err)
+		s.queryError(w, r, err)
 		return
 	}
 	sc.setCost(int64(len(scores)), int64(ix.NumShards()))
@@ -1152,11 +1306,11 @@ func (s *server) handleLimit(w http.ResponseWriter, r *http.Request) {
 	osp.End()
 	scan := sc.child("scan")
 	res, err := tasti.FindLimitScan(tasti.LimitOptions{Telemetry: s.reg},
-		req.K, order, pred, meter(tasti.LabelerWithContext(ctx, s.target), ix, sc))
+		req.K, order, pred, s.queryLabeler(ctx, r, ix, sc))
 	scan.SetAttr("label_calls", res.OracleCalls)
 	scan.End()
 	if err != nil {
-		s.queryError(w, ctx, err)
+		s.queryError(w, r, err)
 		return
 	}
 	cracked := 0
@@ -1170,6 +1324,7 @@ func (s *server) handleLimit(w http.ResponseWriter, r *http.Request) {
 		"label_calls": res.OracleCalls,
 		"exhausted":   res.Exhausted,
 		"cracked":     cracked,
+		"degraded":    res.Degraded,
 	})
 }
 

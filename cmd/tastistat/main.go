@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -41,7 +42,22 @@ type statusDoc struct {
 	TraceRingCap    int                `json:"trace_ring_cap"`
 	BreakerState    string             `json:"breaker_state"`
 	Ledger          tasti.LedgerTotals `json:"ledger"`
+	LabelStore      *labelStoreDoc     `json:"label_store"`
 	Health          *healthDoc         `json:"health"`
+}
+
+type labelStoreDoc struct {
+	Entries         int                     `json:"entries"`
+	Dirty           int64                   `json:"dirty"`
+	GlobalBudget    int64                   `json:"global_budget"`
+	TenantBudget    int64                   `json:"tenant_budget"`
+	GlobalRemaining int64                   `json:"global_remaining"`
+	Tenants         map[string]tenantBudget `json:"tenants"`
+}
+
+type tenantBudget struct {
+	Spent     int64 `json:"spent"`
+	Remaining int64 `json:"remaining"`
 }
 
 type healthDoc struct {
@@ -145,6 +161,10 @@ func render(st *statusDoc, fams map[string]*tasti.PromFamily) string {
 			st.Ledger.Requests, st.Ledger.Records,
 			time.Duration(st.Ledger.WallNS).Truncate(time.Microsecond))
 	}
+	if line := labelLine(st.LabelStore, fams); line != "" {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
 	if h := st.Health; h != nil && h.WAL != nil {
 		fmt.Fprintf(&b, "ingest  acked %.0f · queue %d · wal lag %d rec / %d seg / %s",
 			sumFamily(fams, "tasti_ingest_acked_total"),
@@ -160,6 +180,48 @@ func render(st *statusDoc, fams map[string]*tasti.PromFamily) string {
 	if st.TraceSampleRate > 0 {
 		fmt.Fprintf(&b, "traces  %d/%d retained · sampling %.1f%%\n",
 			st.TracesRetained, st.TraceRingCap, st.TraceSampleRate*100)
+	}
+	return b.String()
+}
+
+// labelLine renders the cost-control line: label-store residency and hit
+// rate, coalesced oracle calls, and the remaining budget per scope. Empty
+// when the store is idle and no budget is configured — a server without a
+// cost-control plane doesn't earn a line of zeros.
+func labelLine(ls *labelStoreDoc, fams map[string]*tasti.PromFamily) string {
+	if ls == nil {
+		return ""
+	}
+	hits := sumFamily(fams, "tasti_labelstore_hits_total")
+	misses := sumFamily(fams, "tasti_labelstore_misses_total")
+	if ls.Entries == 0 && hits+misses == 0 && ls.GlobalBudget <= 0 && ls.TenantBudget <= 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "labels  %d stored", ls.Entries)
+	if ls.Dirty > 0 {
+		fmt.Fprintf(&b, " (%d dirty)", ls.Dirty)
+	}
+	if hits+misses > 0 {
+		fmt.Fprintf(&b, " · hit rate %.1f%% (%.0f/%.0f)", 100*hits/(hits+misses), hits, hits+misses)
+	}
+	if c := sumFamily(fams, "tasti_labelstore_coalesced_total"); c > 0 {
+		fmt.Fprintf(&b, " · coalesced %.0f", c)
+	}
+	if ls.GlobalBudget > 0 {
+		fmt.Fprintf(&b, " · budget %d/%d left", ls.GlobalRemaining, ls.GlobalBudget)
+	}
+	if ls.TenantBudget > 0 && len(ls.Tenants) > 0 {
+		names := make([]string, 0, len(ls.Tenants))
+		for name := range ls.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s %d/%d", name, ls.Tenants[name].Remaining, ls.TenantBudget))
+		}
+		fmt.Fprintf(&b, " · tenants %s", strings.Join(parts, " "))
 	}
 	return b.String()
 }

@@ -28,6 +28,17 @@ const fakeStatus = `{
     "hits": 37,
     "wall_ns": 2500000
   },
+  "label_store": {
+    "entries": 680,
+    "dirty": 14,
+    "global_budget": 1000,
+    "tenant_budget": 200,
+    "global_remaining": 588,
+    "tenants": {
+      "acme": {"spent": 180, "remaining": 20},
+      "beta": {"spent": 200, "remaining": 0}
+    }
+  },
   "health": {
     "collected_at": "2026-08-08T12:00:00Z",
     "records": 916,
@@ -54,6 +65,12 @@ tasti_http_errors_total{route="/query/limit"} 2
 tasti_http_in_flight 1
 # TYPE tasti_ingest_acked_total counter
 tasti_ingest_acked_total 16
+# TYPE tasti_labelstore_hits_total counter
+tasti_labelstore_hits_total 1530
+# TYPE tasti_labelstore_misses_total counter
+tasti_labelstore_misses_total 412
+# TYPE tasti_labelstore_coalesced_total counter
+tasti_labelstore_coalesced_total 24
 `
 
 func statServer(t *testing.T, status, metrics string) *httptest.Server {
@@ -82,16 +99,17 @@ func TestSnapshotReadyView(t *testing.T) {
 		t.Fatalf("snapshot: %v", err)
 	}
 	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
-	if len(lines) != 6 {
-		t.Fatalf("want 6 lines, got %d:\n%s", len(lines), out)
+	if len(lines) != 7 {
+		t.Fatalf("want 7 lines, got %d:\n%s", len(lines), out)
 	}
 	wantIn := map[int][]string{
 		0: {"night-street", "ready", "v0.8.0 go1.22.0", "kernel avx2", "up 2m8s"},
 		1: {"916 records", "150 reps", "2 shard(s)", "skew rec 1.01 rep 1.04", "0.031/0.084/0.141"},
 		2: {"agg 5 sel 3 lim 1", "labels 412 (hits 37)", "5xx 2", "in-flight 1", "breaker closed"},
 		3: {"ledger  9 requests", "5400 records touched", "wall 2.5ms"},
-		4: {"acked 16", "queue 3", "wal lag 16 rec / 1 seg / 2.0KiB", "drift 1.62x of 0.03", "TRIGGERED"},
-		5: {"traces  12/256 retained", "sampling 25.0%"},
+		4: {"labels  680 stored (14 dirty)", "hit rate 78.8% (1530/1942)", "coalesced 24", "budget 588/1000 left", "tenants acme 20/200 beta 0/200"},
+		5: {"acked 16", "queue 3", "wal lag 16 rec / 1 seg / 2.0KiB", "drift 1.62x of 0.03", "TRIGGERED"},
+		6: {"traces  12/256 retained", "sampling 25.0%"},
 	}
 	for i, wants := range wantIn {
 		for _, want := range wants {

@@ -132,7 +132,7 @@ func TestReport(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 23 {
+	if len(ids) != 24 {
 		t.Fatalf("got %d experiments", len(ids))
 	}
 	desc := Describe()

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"reflect"
+	"sync"
+
+	"repro/internal/labeler"
+	"repro/internal/labeler/store"
+	"repro/internal/query/aggregation"
+	"repro/internal/query/limitq"
+	"repro/internal/query/supg"
+	"repro/internal/telemetry"
+)
+
+// MultiQueryClients is the concurrent client count of the multiquery
+// experiment — the N of "N concurrent queries re-buy the same annotation up
+// to N times".
+const MultiQueryClients = 8
+
+// multiWorkload is one client's mixed workload: one aggregation, one SUPG
+// selection, one limit query, all with fixed seeds so every client replays
+// the identical query stream. Results are compared with reflect.DeepEqual to
+// prove the store is semantics-preserving.
+type multiWorkload struct {
+	Agg aggregation.Result
+	Sel supg.Result
+	Lim limitq.Result
+}
+
+// RunMultiQuery is the cost-amortization experiment (not in the paper): N
+// concurrent clients replay the same mixed workload (aggregation, SUPG
+// selection, limit) against one corpus, with and without the cross-query
+// label store. Without the store every client re-buys every annotation, so
+// fleet spend is ~N x one client's. With a shared store the first buyer pays
+// and everyone else hits (or coalesces onto an in-flight call), so fleet
+// spend collapses toward 1x — the experiment fails if it is not under 2x.
+// Answers are required to be bitwise identical store-on vs store-off: the
+// store only changes who pays, never what a query returns.
+func RunMultiQuery(sc Scale, w io.Writer) (*Report, error) {
+	rep := &Report{ID: "multiquery", Title: "concurrent mixed queries: oracle spend with and without the shared label store, night-street"}
+	s, err := SettingByKey("night-street")
+	if err != nil {
+		return nil, err
+	}
+	env, err := NewEnv(s, sc)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := env.BuildIndex(TastiT)
+	if err != nil {
+		return nil, err
+	}
+
+	// Proxy scores are computed once and shared read-only by every client,
+	// exactly as a serving index shares them across requests.
+	aggScores, err := ix.Propagate(s.AggScore)
+	if err != nil {
+		return nil, err
+	}
+	selScores, err := ix.Propagate(BoolScore(s.SelPred))
+	if err != nil {
+		return nil, err
+	}
+	rankScore := BoolScore(s.LimitPred)
+	if s.CountBasedLimit {
+		rankScore = s.AggScore
+	}
+	limScores, err := ix.Propagate(rankScore)
+	if err != nil {
+		return nil, err
+	}
+
+	runWorkload := func(lab labeler.Labeler) (multiWorkload, error) {
+		var out multiWorkload
+		var err error // shadows the builder's; workloads run concurrently
+		aggOpts := aggregation.DefaultOptions(sc.Seed + 2000)
+		aggOpts.ErrTarget = sc.AggErrTarget(s)
+		out.Agg, err = aggregation.Estimate(aggOpts, env.DS.Len(), aggScores, s.AggScore, lab)
+		if err != nil {
+			return out, fmt.Errorf("aggregation: %w", err)
+		}
+		out.Sel, err = supg.RecallTarget(supg.DefaultOptions(sc.SUPGBudget(s), sc.Seed+2001), env.DS.Len(), selScores, s.SelPred, lab)
+		if err != nil {
+			return out, fmt.Errorf("supg: %w", err)
+		}
+		out.Lim, err = limitq.Run(s.LimitK, limScores, nil, s.LimitPred, lab)
+		if err != nil {
+			return out, fmt.Errorf("limit: %w", err)
+		}
+		return out, nil
+	}
+
+	// Baseline: one client, no store — the solo cost of the workload.
+	solo := labeler.NewCounting(env.Oracle)
+	base, err := runWorkload(solo)
+	if err != nil {
+		return nil, err
+	}
+	soloCalls := solo.Calls()
+	rep.Add(s.Key, "1 client, no store", "target calls", float64(soloCalls), "baseline")
+
+	// fleet runs MultiQueryClients concurrent copies of the workload through
+	// mkLabeler and checks every client's answers match the baseline bit for
+	// bit.
+	fleet := func(mkLabeler func(client int) labeler.Labeler) error {
+		var wg sync.WaitGroup
+		errs := make([]error, MultiQueryClients)
+		for c := 0; c < MultiQueryClients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				got, err := runWorkload(mkLabeler(c))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				if !reflect.DeepEqual(got, base) {
+					errs[c] = fmt.Errorf("client %d diverged from the no-store baseline", c)
+				}
+			}(c)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Fleet without a store: every client meters its own oracle; total spend
+	// is N x solo because nothing is shared.
+	counters := make([]*labeler.Counting, MultiQueryClients)
+	for c := range counters {
+		counters[c] = labeler.NewCounting(env.Oracle)
+	}
+	if err := fleet(func(c int) labeler.Labeler { return counters[c] }); err != nil {
+		return nil, fmt.Errorf("multiquery fleet without store: %w", err)
+	}
+	var nostoreCalls int64
+	for _, c := range counters {
+		nostoreCalls += c.Calls()
+	}
+	rep.Add(s.Key, fmt.Sprintf("%d clients, no store", MultiQueryClients), "target calls",
+		float64(nostoreCalls), fmt.Sprintf("%.2fx solo", float64(nostoreCalls)/float64(soloCalls)))
+
+	// Fleet sharing one store: one metered oracle behind the store, so its
+	// count is exactly the fresh annotations the whole fleet bought.
+	reg := telemetry.NewRegistry()
+	st := store.New(store.Options{Telemetry: reg})
+	shared := labeler.NewCounting(env.Oracle)
+	if err := fleet(func(c int) labeler.Labeler {
+		return st.Bind(shared, nil, fmt.Sprintf("client-%d", c), nil)
+	}); err != nil {
+		return nil, fmt.Errorf("multiquery fleet with store: %w", err)
+	}
+	storeCalls := shared.Calls()
+	ratio := float64(storeCalls) / float64(soloCalls)
+	rep.Add(s.Key, fmt.Sprintf("%d clients, shared store", MultiQueryClients), "target calls",
+		float64(storeCalls), fmt.Sprintf("%.2fx solo", ratio))
+	rep.Add(s.Key, fmt.Sprintf("%d clients, shared store", MultiQueryClients), "store hits",
+		float64(reg.Counter("tasti_labelstore_hits_total").Value()), "")
+	rep.Add(s.Key, fmt.Sprintf("%d clients, shared store", MultiQueryClients), "coalesced calls",
+		float64(reg.Counter("tasti_labelstore_coalesced_total").Value()), "waiters joined onto an in-flight oracle call")
+	rep.Add(s.Key, fmt.Sprintf("%d clients, shared store", MultiQueryClients), "answers identical",
+		1, "bitwise vs no-store baseline (checked per client)")
+
+	// The amortization claim is the experiment's reason to exist; hold it.
+	if ratio >= 2 {
+		return nil, fmt.Errorf("multiquery: shared store spent %.2fx solo (want < 2x): %d calls vs %d solo",
+			ratio, storeCalls, soloCalls)
+	}
+
+	if w != nil {
+		rep.Print(w)
+	}
+	return rep, nil
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"testing"
+)
+
+// TestBudgetMultiQueryAmortizes runs the multiquery experiment at tiny scale
+// and holds its claims: the runner itself errors unless the shared-store
+// fleet spends < 2x solo and every client's answers are bitwise identical to
+// the no-store baseline, so this test pins the amortization contract under
+// -race (CI's dedicated Budget step) with real concurrent clients.
+func TestBudgetMultiQueryAmortizes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	rep, err := RunMultiQuery(TinyScale(), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	value := func(method, metric string) float64 {
+		t.Helper()
+		for _, row := range rep.Rows {
+			if row.Method == method && row.Metric == metric {
+				return row.Value
+			}
+		}
+		t.Fatalf("no row for method %q metric %q in %+v", method, metric, rep.Rows)
+		return 0
+	}
+	fleetNoStore := fmt.Sprintf("%d clients, no store", MultiQueryClients)
+	fleetStore := fmt.Sprintf("%d clients, shared store", MultiQueryClients)
+
+	solo := value("1 client, no store", "target calls")
+	nostore := value(fleetNoStore, "target calls")
+	withStore := value(fleetStore, "target calls")
+	if solo <= 0 {
+		t.Fatalf("solo workload spent no labels")
+	}
+	// Deterministic seeds: every no-store client replays the identical
+	// workload, so the fleet pays exactly N x solo.
+	if nostore != float64(MultiQueryClients)*solo {
+		t.Errorf("no-store fleet spent %.0f, want exactly %d x %.0f", nostore, MultiQueryClients, solo)
+	}
+	if withStore >= 2*solo {
+		t.Errorf("shared-store fleet spent %.0f >= 2x solo %.0f", withStore, solo)
+	}
+	if hits := value(fleetStore, "store hits"); hits <= 0 {
+		t.Errorf("store hits = %.0f, want > 0", hits)
+	}
+	if value(fleetStore, "answers identical") != 1 {
+		t.Error("equivalence row missing or false")
+	}
+}

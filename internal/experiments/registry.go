@@ -38,6 +38,7 @@ var registry = []struct {
 	{"extra-groupby", "extension (not in paper): grouped aggregation via vote propagation", RunExtraGroupBy},
 	{"faults", "robustness (not in paper): construction cost inflation under labeler faults", RunFaults},
 	{"ingest", "robustness (not in paper): streaming append throughput and ack latency under a query storm", RunIngest},
+	{"multiquery", "robustness (not in paper): concurrent mixed queries amortized by the shared label store", RunMultiQuery},
 }
 
 // IDs returns the experiment identifiers in the paper's order.

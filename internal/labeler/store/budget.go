@@ -1,0 +1,121 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/labeler"
+	"repro/internal/telemetry"
+)
+
+// Unlimited is the Remaining value reported for a dimension with no cap.
+const Unlimited int64 = -1
+
+// BudgetConfig parameterizes a Budget. A cap <= 0 means unlimited on that
+// dimension.
+type BudgetConfig struct {
+	// Global caps oracle calls across every tenant.
+	Global int64
+	// PerTenant caps oracle calls per tenant key (the empty tenant is a key
+	// like any other, so anonymous traffic shares one allowance).
+	PerTenant int64
+	// Telemetry, when non-nil, counts reservations, refunds, and exhaustion
+	// rejections by scope. Record-only.
+	Telemetry *telemetry.Registry
+}
+
+// Budget is the global budget manager: per-tenant admission over a shared
+// global allowance. A reservation is debited when an oracle call is
+// admitted and refunded if the call fails, so only successful (and
+// still-running) calls hold budget. All methods are safe for concurrent
+// use.
+type Budget struct {
+	mu        sync.Mutex
+	cfg       BudgetConfig
+	global    int64            // spent against cfg.Global
+	perTenant map[string]int64 // spent against cfg.PerTenant, by tenant
+}
+
+// NewBudget returns a budget manager over cfg.
+func NewBudget(cfg BudgetConfig) *Budget {
+	return &Budget{cfg: cfg, perTenant: make(map[string]int64)}
+}
+
+// Reserve admits one oracle call for tenant, debiting the global and
+// per-tenant allowances. It fails with an error wrapping
+// labeler.ErrBudgetExhausted — naming the exhausted scope — without
+// debiting anything when either allowance is spent.
+func (b *Budget) Reserve(tenant string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.cfg.Global > 0 && b.global >= b.cfg.Global {
+		b.cfg.Telemetry.Counter(`tasti_budget_exhausted_total{scope="global"}`).Inc()
+		return fmt.Errorf("label budget: global allowance of %d spent: %w", b.cfg.Global, labeler.ErrBudgetExhausted)
+	}
+	if b.cfg.PerTenant > 0 && b.perTenant[tenant] >= b.cfg.PerTenant {
+		b.cfg.Telemetry.Counter(`tasti_budget_exhausted_total{scope="tenant"}`).Inc()
+		return fmt.Errorf("label budget: tenant %q allowance of %d spent: %w", tenant, b.cfg.PerTenant, labeler.ErrBudgetExhausted)
+	}
+	b.global++
+	b.perTenant[tenant]++
+	b.cfg.Telemetry.Counter("tasti_budget_reservations_total").Inc()
+	return nil
+}
+
+// Refund returns one previously reserved call to tenant's allowances —
+// the failed-oracle-call path, so a flaky labeler tier cannot burn budget
+// without delivering annotations.
+func (b *Budget) Refund(tenant string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.global > 0 {
+		b.global--
+	}
+	if b.perTenant[tenant] > 0 {
+		b.perTenant[tenant]--
+	}
+	b.cfg.Telemetry.Counter("tasti_budget_refunds_total").Inc()
+}
+
+// Remaining reports the calls tenant may still reserve and the global
+// allowance left, Unlimited (-1) for uncapped dimensions. The effective
+// admission headroom is the minimum of the two.
+func (b *Budget) Remaining(tenant string) (tenantLeft, globalLeft int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	tenantLeft, globalLeft = Unlimited, Unlimited
+	if b.cfg.Global > 0 {
+		globalLeft = max64(0, b.cfg.Global-b.global)
+	}
+	if b.cfg.PerTenant > 0 {
+		tenantLeft = max64(0, b.cfg.PerTenant-b.perTenant[tenant])
+	}
+	return tenantLeft, globalLeft
+}
+
+// Spent reports the reservations currently held per tenant, for the
+// operator surfaces (/admin/status, tastistat). Tenants are only listed
+// once they have reserved at least once.
+func (b *Budget) Spent() map[string]int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make(map[string]int64, len(b.perTenant))
+	for t, n := range b.perTenant {
+		out[t] = n
+	}
+	return out
+}
+
+// PerTenantCap returns the configured per-tenant allowance (<= 0 means
+// unlimited).
+func (b *Budget) PerTenantCap() int64 { return b.cfg.PerTenant }
+
+// GlobalCap returns the configured global allowance (<= 0 means unlimited).
+func (b *Budget) GlobalCap() int64 { return b.cfg.Global }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,182 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/labeler"
+	"repro/internal/telemetry"
+)
+
+func TestBudgetPerTenantAdmission(t *testing.T) {
+	b := NewBudget(BudgetConfig{PerTenant: 2})
+	for i := 0; i < 2; i++ {
+		if err := b.Reserve("alice"); err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+	}
+	err := b.Reserve("alice")
+	if !errors.Is(err, labeler.ErrBudgetExhausted) {
+		t.Fatalf("exhausted tenant: err = %v, want ErrBudgetExhausted", err)
+	}
+	// A runaway tenant must not drain anyone else's allowance.
+	if err := b.Reserve("bob"); err != nil {
+		t.Fatalf("other tenant blocked by alice's exhaustion: %v", err)
+	}
+	tl, gl := b.Remaining("alice")
+	if tl != 0 || gl != Unlimited {
+		t.Fatalf("alice remaining = (%d,%d), want (0,Unlimited)", tl, gl)
+	}
+	if tl, _ := b.Remaining("bob"); tl != 1 {
+		t.Fatalf("bob remaining = %d, want 1", tl)
+	}
+}
+
+func TestBudgetGlobalExhaustion(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b := NewBudget(BudgetConfig{Global: 3, Telemetry: reg})
+	for i := 0; i < 3; i++ {
+		if err := b.Reserve(fmt.Sprintf("tenant-%d", i)); err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+	}
+	if err := b.Reserve("late"); !errors.Is(err, labeler.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if got := reg.Counter(`tasti_budget_exhausted_total{scope="global"}`).Value(); got != 1 {
+		t.Fatalf("global exhaustion counter = %d, want 1", got)
+	}
+	if got := reg.Counter("tasti_budget_reservations_total").Value(); got != 3 {
+		t.Fatalf("reservations counter = %d, want 3", got)
+	}
+}
+
+// TestBudgetRefundOnOracleFailure drives a failing oracle through a bound
+// store labeler and requires the reservation back: a failed call burns no
+// budget.
+func TestBudgetRefundOnOracleFailure(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	b := NewBudget(BudgetConfig{Global: 1, Telemetry: reg})
+	s := New(Options{})
+	boom := fmt.Errorf("flaky: %w", labeler.ErrTransient)
+	failing := &blockingLabeler{release: make(chan struct{}), fail: boom}
+	close(failing.release)
+	lab := s.Bind(failing, b, "carol", nil)
+
+	if _, err := lab.Label(1); !errors.Is(err, labeler.ErrTransient) {
+		t.Fatalf("err = %v, want the oracle's error", err)
+	}
+	if _, gl := b.Remaining("carol"); gl != 1 {
+		t.Fatalf("global remaining after refund = %d, want 1", gl)
+	}
+	if got := reg.Counter("tasti_budget_refunds_total").Value(); got != 1 {
+		t.Fatalf("refunds counter = %d, want 1", got)
+	}
+	// The refunded reservation admits the retry, which now succeeds.
+	ok := &oracleN{n: 5}
+	if _, err := s.Bind(ok, b, "carol", nil).Label(1); err != nil {
+		t.Fatalf("retry after refund: %v", err)
+	}
+	if _, gl := b.Remaining("carol"); gl != 0 {
+		t.Fatalf("global remaining after spend = %d, want 0", gl)
+	}
+}
+
+// TestBudgetCoalescedWaitersShareOneReservation races many queries toward
+// one record under a budget of exactly one call: coalescing must let all of
+// them succeed on the single reservation.
+func TestBudgetCoalescedWaitersShareOneReservation(t *testing.T) {
+	b := NewBudget(BudgetConfig{Global: 1})
+	s := New(Options{})
+	inner := &blockingLabeler{release: make(chan struct{})}
+	lab := s.Bind(inner, b, "dave", nil)
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = lab.Label(0)
+		}(i)
+	}
+	for inner.Calls() == 0 {
+	}
+	close(inner.release)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v (coalesced waiters must share the one reservation)", i, err)
+		}
+	}
+	if inner.Calls() != 1 {
+		t.Fatalf("oracle called %d times, want 1", inner.Calls())
+	}
+	if _, gl := b.Remaining("dave"); gl != 0 {
+		t.Fatalf("global remaining = %d, want 0", gl)
+	}
+}
+
+// TestBudgetConcurrentConservation hammers Reserve/Refund from many
+// goroutines under -race and requires the ledgered spend to balance: spends
+// minus refunds equals what Remaining reports gone, and the cap is never
+// oversubscribed.
+func TestBudgetConcurrentConservation(t *testing.T) {
+	const cap64 = 64
+	b := NewBudget(BudgetConfig{Global: cap64, PerTenant: 40})
+	var admitted, rejected, refunded int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("t%d", w%3)
+			for i := 0; i < 20; i++ {
+				err := b.Reserve(tenant)
+				mu.Lock()
+				if err != nil {
+					rejected++
+				} else {
+					admitted++
+					if i%4 == 3 { // every fourth call "fails" and refunds
+						refunded++
+						mu.Unlock()
+						b.Refund(tenant)
+						continue
+					}
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	_, gl := b.Remaining("")
+	spent := cap64 - gl
+	if spent != admitted-refunded {
+		t.Fatalf("conservation broken: admitted %d - refunded %d != spent %d", admitted, refunded, spent)
+	}
+	if spent > cap64 {
+		t.Fatalf("cap oversubscribed: %d > %d", spent, cap64)
+	}
+	if admitted+rejected != 8*20 {
+		t.Fatalf("admitted %d + rejected %d != attempts", admitted, rejected)
+	}
+}
+
+// TestBudgetUnlimitedByDefault keeps the zero config fully open.
+func TestBudgetUnlimitedByDefault(t *testing.T) {
+	b := NewBudget(BudgetConfig{})
+	for i := 0; i < 10_000; i++ {
+		if err := b.Reserve("anyone"); err != nil {
+			t.Fatalf("reserve %d: %v", i, err)
+		}
+	}
+	tl, gl := b.Remaining("anyone")
+	if tl != Unlimited || gl != Unlimited {
+		t.Fatalf("remaining = (%d,%d), want unlimited", tl, gl)
+	}
+}

@@ -1,0 +1,43 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzLoadLabelStore feeds arbitrary bytes to the label-store loader and
+// requires termination with a store or an error — no panic, no hang, no
+// unbounded allocation (the snapshot layer caps declared frame lengths
+// before allocating). An accepted store must be internally consistent: its
+// entry count must match the meta frame it was decoded against, which Load
+// enforces, so here acceptance only needs to produce a usable store.
+func FuzzLoadLabelStore(f *testing.F) {
+	var valid bytes.Buffer
+	if err := sampleStore().Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	var empty bytes.Buffer
+	if err := New(Options{}).Save(&empty); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(empty.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())/2])
+	f.Add([]byte{})
+	f.Add([]byte("TASTISNP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Load(bytes.NewReader(data), Options{})
+		if err != nil {
+			return
+		}
+		// Accepted stores must behave: readable, clean, and re-saveable.
+		if s.Dirty() != 0 {
+			t.Fatal("freshly loaded store reports dirty entries")
+		}
+		var out bytes.Buffer
+		if err := s.Save(&out); err != nil {
+			t.Fatalf("accepted store failed to re-save: %v", err)
+		}
+	})
+}

@@ -1,0 +1,239 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/snapshot"
+)
+
+// sampleStore returns a store holding one annotation of every schema the
+// repository knows, so the round trip exercises the full gob registry.
+func sampleStore() *Store {
+	s := New(Options{})
+	s.Put(3, dataset.VideoAnnotation{Boxes: []dataset.Box{
+		{Class: "car", X: 0.2, Y: 0.4, W: 0.1, H: 0.05},
+		{Class: "bus", X: 0.7, Y: 0.1, W: 0.2, H: 0.12},
+	}})
+	s.Put(11, dataset.TextAnnotation{Operator: "COUNT", NumPredicates: 2})
+	s.Put(42, dataset.SpeechAnnotation{Gender: "male", AgeYears: 34})
+	return s
+}
+
+func TestLabelStoreSnapshotRoundTrip(t *testing.T) {
+	src := sampleStore()
+	var buf bytes.Buffer
+	if err := src.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Annotations(), src.Annotations()) {
+		t.Fatalf("round trip changed annotations:\n got %v\nwant %v", got.Annotations(), src.Annotations())
+	}
+	// A loaded store starts clean: everything in it is already durable.
+	if got.Dirty() != 0 {
+		t.Fatalf("loaded store dirty = %d, want 0", got.Dirty())
+	}
+}
+
+// loadTyped requires Load to fail with a typed snapshot error on damaged
+// bytes — never a panic, untyped error, or silent acceptance.
+func loadTyped(t *testing.T, data []byte, what string) {
+	t.Helper()
+	_, err := Load(bytes.NewReader(data), Options{})
+	if err == nil {
+		t.Fatalf("%s: damaged store loaded successfully", what)
+	}
+	for _, typed := range []error{
+		snapshot.ErrBadMagic, snapshot.ErrKind, snapshot.ErrVersion,
+		snapshot.ErrChecksum, snapshot.ErrTruncated, snapshot.ErrFrameTooLarge,
+	} {
+		if errors.Is(err, typed) {
+			return
+		}
+	}
+	t.Fatalf("%s: untyped error %v", what, err)
+}
+
+// TestCorruptLabelStoreTruncationMatrix truncates a saved store at every
+// byte offset — the file is small enough to afford the full matrix — and
+// requires a typed error each time.
+func TestCorruptLabelStoreTruncationMatrix(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleStore().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for cut := 0; cut < len(data); cut++ {
+		loadTyped(t, data[:cut], "truncation")
+	}
+	if _, err := Load(bytes.NewReader(data), Options{}); err != nil {
+		t.Fatalf("intact store: %v", err)
+	}
+}
+
+// TestCorruptLabelStoreBitFlipSweep flips every bit of a saved store and
+// requires a typed error each time — an annotation can never be silently
+// altered on disk.
+func TestCorruptLabelStoreBitFlipSweep(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleStore().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	mut := append([]byte(nil), data...)
+	for i := range mut {
+		for bit := 0; bit < 8; bit++ {
+			mut[i] ^= 1 << bit
+			loadTyped(t, mut, "bit flip")
+			mut[i] ^= 1 << bit
+		}
+	}
+}
+
+// TestLabelStoreWrongKindRejected loads an artifact of another kind through
+// the label-store reader and requires the typed kind error — a label store
+// and an index can never be confused for each other.
+func TestLabelStoreWrongKindRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := snapshot.EncodeGob(&buf, "tasti-index", storeMeta{Count: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()), Options{}); !errors.Is(err, snapshot.ErrKind) {
+		t.Fatalf("err = %v, want ErrKind", err)
+	}
+}
+
+// TestLabelStoreSkipsUnknownTrailingFrames appends a frame this reader does
+// not know and requires the load to succeed — the forward-compatibility
+// contract shared with the index container.
+func TestLabelStoreSkipsUnknownTrailingFrames(t *testing.T) {
+	src := sampleStore()
+	var buf bytes.Buffer
+	sw, err := snapshot.NewWriter(&buf, Kind)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Encode(metaFrame, storeMeta{Count: src.Len()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Encode(labelsFrame, src.Annotations()); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Frame("future-extension", []byte("from a newer build")); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(bytes.NewReader(buf.Bytes()), Options{})
+	if err != nil {
+		t.Fatalf("unknown trailing frame broke the load: %v", err)
+	}
+	if !reflect.DeepEqual(got.Annotations(), src.Annotations()) {
+		t.Fatalf("annotations changed across the extended container")
+	}
+}
+
+func TestLabelStoreFlushAndLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "labels.snap")
+	s := sampleStore()
+	if err := s.Flush(path); err != nil {
+		t.Fatal(err)
+	}
+	if s.Dirty() != 0 {
+		t.Fatalf("dirty after flush = %d, want 0", s.Dirty())
+	}
+	got, err := LoadFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Annotations(), s.Annotations()) {
+		t.Fatalf("flushed file did not round-trip")
+	}
+	// Labels stored after the flush re-dirty the store.
+	s.Put(99, dataset.TextAnnotation{Operator: "AVG"})
+	if s.Dirty() != 1 {
+		t.Fatalf("dirty after post-flush put = %d, want 1", s.Dirty())
+	}
+}
+
+// TestChaosLabelStoreFlushKillLosesNoAckedLabels simulates kill -9 during a
+// store flush: a flush that dies mid-write (temp file written, never
+// renamed; or a torn temp left behind) must leave the previously acked
+// flush fully intact and loadable.
+func TestChaosLabelStoreFlushKillLosesNoAckedLabels(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "labels.snap")
+
+	// Flush v1 — these labels are acked once Flush returns.
+	s := sampleStore()
+	acked := s.Annotations()
+	if err := s.Flush(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second flush grows the store but "dies" before the atomic rename:
+	// emulated by writing the new container to a temp path in the same
+	// directory and abandoning it, plus a torn copy for good measure.
+	s.Put(100, dataset.SpeechAnnotation{Gender: "female", AgeYears: 52})
+	var v2 bytes.Buffer
+	if err := s.Save(&v2); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "labels.snap.tmp"), v2.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "labels.snap.tmp2"), v2.Bytes()[:v2.Len()/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// The acked file is untouched: every label from the completed flush
+	// loads; the interrupted flush's extra label is simply not there yet.
+	got, err := LoadFile(path, Options{})
+	if err != nil {
+		t.Fatalf("acked flush unreadable after interrupted successor: %v", err)
+	}
+	if !reflect.DeepEqual(got.Annotations(), acked) {
+		t.Fatalf("acked labels changed:\n got %v\nwant %v", got.Annotations(), acked)
+	}
+
+	// And a flush that fails mid-write through the atomic writer itself
+	// must leave the acked file serving.
+	wrote := false
+	err = failingFlush(path, func() error {
+		wrote = true
+		return errors.New("simulated power loss")
+	})
+	if err == nil || !wrote {
+		t.Fatalf("simulated failure did not propagate (err=%v wrote=%v)", err, wrote)
+	}
+	got, err = LoadFile(path, Options{})
+	if err != nil {
+		t.Fatalf("acked flush unreadable after failed write: %v", err)
+	}
+	if !reflect.DeepEqual(got.Annotations(), acked) {
+		t.Fatalf("acked labels changed after failed write")
+	}
+}
+
+// failingFlush drives the same atomic writer Flush uses, but fails after
+// partially writing — the closest userspace stand-in for dying mid-write.
+func failingFlush(path string, fail func() error) error {
+	return snapshot.WriteFile(path, func(w io.Writer) error {
+		if _, err := w.Write([]byte("partial garbage")); err != nil {
+			return err
+		}
+		return fail()
+	})
+}

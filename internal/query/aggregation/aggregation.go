@@ -59,6 +59,11 @@ type Result struct {
 	// ControlVariateCoeff is the fitted control-variate coefficient (0 when
 	// running without a proxy).
 	ControlVariateCoeff float64
+	// Degraded marks an estimate cut short by label-budget exhaustion: the
+	// sampler stopped before the error target was met, so HalfWidth is wider
+	// than requested — a partial answer with honest (widened) confidence,
+	// not a failure. The estimate is still unbiased over the samples drawn.
+	Degraded bool
 }
 
 // Estimate runs the EBS sampler over a dataset of n records. proxy supplies
@@ -121,8 +126,21 @@ func Estimate(opts Options, n int, proxy []float64, score ScoreFunc, lab labeler
 		return nil
 	}
 
+	// A budget exhausted mid-query is a graceful outcome, not a failure:
+	// the samples already bought still support an unbiased estimate, just
+	// with a wider confidence radius than requested. The result is flagged
+	// Degraded so callers can tell a met error target from a truncated one.
+	// Exhaustion before two samples leaves nothing to estimate from and
+	// surfaces as the error itself. Every other labeler failure — and
+	// exhaustion is never hit when the budget is ample — leaves the sampling
+	// path bit-for-bit identical to the undegraded code.
+	degraded := false
 	for len(fs) < minSamples {
 		if err := sample(); err != nil {
+			if errors.Is(err, labeler.ErrBudgetExhausted) && len(fs) >= 2 {
+				degraded = true
+				break
+			}
 			return Result{}, err
 		}
 	}
@@ -145,18 +163,26 @@ func Estimate(opts Options, n int, proxy []float64, score ScoreFunc, lab labeler
 			w.Add(y)
 		}
 		half := stats.EmpiricalBernsteinRadius(w.StdDev(), w.Range(), w.N(), opts.Delta)
-		if half <= opts.ErrTarget || len(fs) >= maxSamples {
+		if degraded || half <= opts.ErrTarget || len(fs) >= maxSamples {
 			res = Result{
 				Estimate:            w.Mean(),
 				LabelerCalls:        calls,
 				HalfWidth:           half,
 				ControlVariateCoeff: c,
+				Degraded:            degraded,
 			}
 			break
 		}
 		if err := sample(); err != nil {
+			if errors.Is(err, labeler.ErrBudgetExhausted) && len(fs) >= 2 {
+				degraded = true
+				continue
+			}
 			return Result{}, err
 		}
+	}
+	if res.Degraded {
+		opts.Telemetry.Counter(`tasti_query_degraded_total{type="aggregate"}`).Inc()
 	}
 	return res, nil
 }

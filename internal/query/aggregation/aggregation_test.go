@@ -1,6 +1,7 @@
 package aggregation
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -150,11 +151,55 @@ func TestPercentError(t *testing.T) {
 	}
 }
 
-func TestEstimatePropagatesLabelerError(t *testing.T) {
+// TestBudgetExhaustionDegradesEstimate exhausts the label budget mid-query
+// and requires a graceful partial answer: the samples bought support an
+// estimate flagged Degraded with a widened (honest) confidence radius.
+func TestBudgetExhaustionDegradesEstimate(t *testing.T) {
 	ds, _, _ := testEnv(t, 200)
 	lab := labeler.NewBudgeted(labeler.NewOracle(ds, "o", labeler.MaskRCNNCost), 5)
 	opts := Options{ErrTarget: 1e-6, Delta: 0.05, MinSamples: 100, Seed: 5}
-	if _, err := Estimate(opts, ds.Len(), nil, carCount, lab); err == nil {
-		t.Error("budget exhaustion should surface as an error")
+	res, err := Estimate(opts, ds.Len(), nil, carCount, lab)
+	if err != nil {
+		t.Fatalf("exhaustion mid-query should degrade, not fail: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("truncated estimate not flagged Degraded")
+	}
+	if res.LabelerCalls != 5 {
+		t.Errorf("calls = %d, want the full budget of 5", res.LabelerCalls)
+	}
+	if res.HalfWidth <= opts.ErrTarget {
+		t.Errorf("degraded half-width %v not wider than the target %v", res.HalfWidth, opts.ErrTarget)
+	}
+}
+
+// TestBudgetExhaustionBeforeAnySamplesFails keeps a budget of zero a hard
+// error: with nothing labeled there is no partial estimate to return.
+func TestBudgetExhaustionBeforeAnySamplesFails(t *testing.T) {
+	ds, _, _ := testEnv(t, 100)
+	lab := labeler.NewBudgeted(labeler.NewOracle(ds, "o", labeler.MaskRCNNCost), 0)
+	opts := Options{ErrTarget: 0.05, Delta: 0.05, MinSamples: 10, Seed: 5}
+	if _, err := Estimate(opts, ds.Len(), nil, carCount, lab); !errors.Is(err, labeler.ErrBudgetExhausted) {
+		t.Errorf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestBudgetAmpleIsBitwiseIdentical runs the same query with and without a
+// (never-exhausted) budget wrapper and requires bit-identical results — the
+// graceful-exhaustion machinery must cost nothing when budget is ample.
+func TestBudgetAmpleIsBitwiseIdentical(t *testing.T) {
+	ds, lab, truth := testEnv(t, 300)
+	opts := Options{ErrTarget: 0.1, Delta: 0.05, MinSamples: 50, Seed: 9}
+	plain, err := Estimate(opts, ds.Len(), truth, carCount, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := Estimate(opts, ds.Len(), truth, carCount,
+		labeler.NewBudgeted(labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost), 1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != budgeted {
+		t.Errorf("ample budget changed bits:\n got %+v\nwant %+v", budgeted, plain)
 	}
 }

@@ -41,6 +41,11 @@ type Result struct {
 	// Labeled maps every examined record to its annotation, so callers can
 	// crack the index with the labels the query paid for.
 	Labeled map[int]dataset.Annotation
+	// Degraded marks a scan cut short by label-budget exhaustion: Found is
+	// the verified prefix — every record labeled before the budget ran out,
+	// in scan order — rather than the full K matches. The prefix is exact
+	// as far as it goes; nothing past the last labeled record was judged.
+	Degraded bool
 }
 
 // Run scans records in descending proxy-score order — ties broken by
@@ -132,6 +137,15 @@ func RunScan(opts Options, limit int, order []int, pred Predicate, lab labeler.L
 	for _, id := range order {
 		ann, err := lab.Label(id)
 		if err != nil {
+			// Budget exhaustion mid-scan is graceful: the matches verified so
+			// far are returned as the (exact) prefix, flagged Degraded. The
+			// very first call failing leaves nothing verified, so the error
+			// surfaces instead. Any other failure fails the query as before.
+			if errors.Is(err, labeler.ErrBudgetExhausted) && res.OracleCalls > 0 {
+				res.Degraded = true
+				opts.Telemetry.Counter(`tasti_query_degraded_total{type="limit"}`).Inc()
+				return res, nil
+			}
 			return Result{}, fmt.Errorf("limitq: labeling record %d: %w", id, err)
 		}
 		res.OracleCalls++

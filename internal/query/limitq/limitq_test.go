@@ -1,6 +1,8 @@
 package limitq
 
 import (
+	"errors"
+	"reflect"
 	"testing"
 
 	"repro/internal/dataset"
@@ -143,11 +145,69 @@ func TestRunValidation(t *testing.T) {
 	}
 }
 
-func TestRunPropagatesLabelerError(t *testing.T) {
+// TestBudgetExhaustionReturnsVerifiedPrefix exhausts the label budget
+// mid-scan and requires the graceful contract: the records verified before
+// the budget ran out come back as an exact prefix flagged Degraded.
+func TestBudgetExhaustionReturnsVerifiedPrefix(t *testing.T) {
 	ds, _, pred := limitEnv(t, 100)
 	budgeted := labeler.NewBudgeted(labeler.NewOracle(ds, "o", labeler.MaskRCNNCost), 2)
 	scores := make([]float64, ds.Len())
-	if _, err := Run(50, scores, nil, pred, budgeted); err == nil {
-		t.Error("budget exhaustion should surface")
+	res, err := Run(50, scores, nil, pred, budgeted)
+	if err != nil {
+		t.Fatalf("exhaustion mid-scan should degrade, not fail: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("truncated scan not flagged Degraded")
+	}
+	if res.OracleCalls != 2 {
+		t.Errorf("calls = %d, want the full budget of 2", res.OracleCalls)
+	}
+	// With all-zero scores the scan order is ascending ID, so the verified
+	// prefix is exactly records 0 and 1.
+	want := 0
+	for id := 0; id < 2; id++ {
+		ann, ok := res.Labeled[id]
+		if !ok {
+			t.Fatalf("record %d missing from the verified prefix", id)
+		}
+		if pred(ann) {
+			want++
+		}
+	}
+	if len(res.Found) != want {
+		t.Errorf("found %d matches in the prefix, want %d", len(res.Found), want)
+	}
+}
+
+// TestBudgetExhaustionBeforeAnyLabelFails keeps a zero budget a hard error:
+// nothing was verified, so there is no prefix to return.
+func TestBudgetExhaustionBeforeAnyLabelFails(t *testing.T) {
+	ds, _, pred := limitEnv(t, 50)
+	budgeted := labeler.NewBudgeted(labeler.NewOracle(ds, "o", labeler.MaskRCNNCost), 0)
+	scores := make([]float64, ds.Len())
+	if _, err := Run(5, scores, nil, pred, budgeted); !errors.Is(err, labeler.ErrBudgetExhausted) {
+		t.Errorf("err = %v, want ErrBudgetExhausted", err)
+	}
+}
+
+// TestBudgetAmpleIsBitwiseIdentical runs the same scan with and without a
+// never-exhausted budget wrapper and requires identical results.
+func TestBudgetAmpleIsBitwiseIdentical(t *testing.T) {
+	ds, lab, pred := limitEnv(t, 500)
+	scores := make([]float64, ds.Len())
+	for i, ann := range ds.Truth {
+		scores[i] = float64(ann.(dataset.VideoAnnotation).Count("car"))
+	}
+	plain, err := Run(5, scores, nil, pred, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := Run(5, scores, nil, pred,
+		labeler.NewBudgeted(labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost), 1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, budgeted) {
+		t.Errorf("ample budget changed the result:\n got %+v\nwant %+v", budgeted, plain)
 	}
 }

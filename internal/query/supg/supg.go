@@ -59,6 +59,11 @@ type Result struct {
 	OracleCalls int64
 	// Threshold is the proxy-score cutoff the algorithm settled on.
 	Threshold float64
+	// Degraded marks a query whose labeler budget was exhausted mid-draw:
+	// the guarantee machinery ran over the partial sample, whose larger
+	// standard errors push the threshold conservatively — a smaller, safer
+	// returned set rather than a failed query.
+	Degraded bool
 }
 
 func (o Options) validate(n int, proxy []float64) error {
@@ -153,7 +158,10 @@ func RecallTarget(opts Options, n int, proxy []float64, pred Predicate, lab labe
 	}
 
 	returned := assemble(opts, n, proxy, threshold, s)
-	return Result{Returned: returned, OracleCalls: int64(len(s.ids)), Threshold: threshold}, nil
+	if s.degraded {
+		opts.Telemetry.Counter(`tasti_query_degraded_total{type="select"}`).Inc()
+	}
+	return Result{Returned: returned, OracleCalls: int64(len(s.ids)), Threshold: threshold, Degraded: s.degraded}, nil
 }
 
 // PrecisionTarget runs the precision-target SUPG variant: the returned set
@@ -213,7 +221,10 @@ func PrecisionTarget(opts Options, n int, proxy []float64, pred Predicate, lab l
 	}
 
 	returned := assemble(opts, n, proxy, threshold, s)
-	return Result{Returned: returned, OracleCalls: int64(len(s.ids)), Threshold: threshold}, nil
+	if s.degraded {
+		opts.Telemetry.Counter(`tasti_query_degraded_total{type="select"}`).Inc()
+	}
+	return Result{Returned: returned, OracleCalls: int64(len(s.ids)), Threshold: threshold, Degraded: s.degraded}, nil
 }
 
 // sample is the labeled importance sample shared by both targets.
@@ -221,10 +232,17 @@ type sample struct {
 	ids     []int
 	labels  []bool
 	weights []float64 // importance weights 1/(B*q_i)
+	// degraded marks a draw cut short by label-budget exhaustion; the
+	// weights were computed against the calls actually made, so the
+	// estimators below stay consistent over the partial sample.
+	degraded bool
 }
 
 // drawSample draws Budget records i.i.d. with probability proportional to
-// sqrt(proxy) (the SUPG sampling design) and labels them.
+// sqrt(proxy) (the SUPG sampling design) and labels them. A label budget
+// exhausted mid-draw truncates the sample instead of failing the query —
+// the importance weights are normalized by the draws actually made, so the
+// downstream guarantee machinery runs unchanged, just with wider error bars.
 func drawSample(opts Options, n int, proxy []float64, pred Predicate, lab labeler.Labeler) (*sample, error) {
 	weights := make([]float64, n)
 	total := 0.0
@@ -250,19 +268,32 @@ func drawSample(opts Options, n int, proxy []float64, pred Predicate, lab labele
 		labels:  make([]bool, 0, budget),
 		weights: make([]float64, 0, budget),
 	}
+	qs := make([]float64, 0, budget)
 	opts.Telemetry.Counter(`tasti_query_runs_total{type="select"}`).Inc()
 	mCalls := opts.Telemetry.Counter(`tasti_query_label_calls_total{type="select"}`)
 	for len(s.ids) < budget {
 		id := xrand.Categorical(r, weights)
 		ann, err := lab.Label(id)
 		if err != nil {
+			if errors.Is(err, labeler.ErrBudgetExhausted) && len(s.ids) > 0 {
+				s.degraded = true
+				break
+			}
 			return nil, fmt.Errorf("supg: labeling record %d: %w", id, err)
 		}
 		mCalls.Inc()
-		q := weights[id] / total
 		s.ids = append(s.ids, id)
 		s.labels = append(s.labels, pred(ann))
-		s.weights = append(s.weights, 1/(float64(budget)*q))
+		qs = append(qs, weights[id]/total)
+	}
+	// Importance weights 1/(B*q_i), with B the draws actually made: equal to
+	// the configured budget on the undegraded path (bitwise identical to
+	// weighting inside the loop), and the truncated count when exhaustion
+	// cut the draw short — keeping each estimator's weighted sums consistent
+	// with the sample they run over.
+	actual := len(s.ids)
+	for _, q := range qs {
+		s.weights = append(s.weights, 1/(float64(actual)*q))
 	}
 	// Truncated importance sampling: a single low-probability draw can
 	// otherwise carry an enormous weight, exploding both the estimates and

@@ -2,6 +2,7 @@ package supg
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/dataset"
@@ -213,4 +214,67 @@ func TestNormalQuantilePanics(t *testing.T) {
 		}
 	}()
 	normalQuantile(0)
+}
+
+// TestBudgetExhaustionDegradesSelection exhausts the label budget partway
+// through the SUPG sample and requires a graceful partial answer: the draws
+// already bought are reweighted over the actual draw count and the result is
+// flagged Degraded instead of failing.
+func TestBudgetExhaustionDegradesSelection(t *testing.T) {
+	ds, _, pred, truth := selectionEnv(t, 2000)
+	scores := goodProxy(truth, 0.15, 4)
+	budgeted := labeler.NewBudgeted(labeler.NewOracle(ds, "o", labeler.MaskRCNNCost), 40)
+	opts := Options{Budget: 150, Target: 0.9, Delta: 0.05, Seed: 4}
+	res, err := RecallTarget(opts, ds.Len(), scores, pred, budgeted)
+	if err != nil {
+		t.Fatalf("exhaustion mid-sample should degrade, not fail: %v", err)
+	}
+	if !res.Degraded {
+		t.Error("truncated sample not flagged Degraded")
+	}
+	if res.OracleCalls != 40 {
+		t.Errorf("calls = %d, want the full budget of 40", res.OracleCalls)
+	}
+	if len(res.Returned) == 0 {
+		t.Error("degraded selection returned an empty set")
+	}
+	for _, id := range res.Returned {
+		if id < 0 || id >= ds.Len() {
+			t.Fatalf("returned ID %d out of range", id)
+		}
+	}
+}
+
+// TestBudgetExhaustionBeforeAnyDrawFails keeps a zero budget a hard error:
+// with no draws there is no sample to estimate a threshold from.
+func TestBudgetExhaustionBeforeAnyDrawFails(t *testing.T) {
+	ds, _, pred, truth := selectionEnv(t, 500)
+	scores := goodProxy(truth, 0.15, 4)
+	budgeted := labeler.NewBudgeted(labeler.NewOracle(ds, "o", labeler.MaskRCNNCost), 0)
+	opts := Options{Budget: 50, Target: 0.9, Delta: 0.05, Seed: 4}
+	if _, err := RecallTarget(opts, ds.Len(), scores, pred, budgeted); err == nil {
+		t.Error("zero-budget selection should fail outright")
+	}
+}
+
+// TestBudgetAmpleIsBitwiseIdentical runs the same selection with and without
+// a never-exhausted budget wrapper and requires bit-identical results — the
+// post-loop reweighting must reproduce the original weights exactly when the
+// sample completes.
+func TestBudgetAmpleIsBitwiseIdentical(t *testing.T) {
+	ds, lab, pred, truth := selectionEnv(t, 2000)
+	scores := goodProxy(truth, 0.15, 6)
+	opts := Options{Budget: 120, Target: 0.9, Delta: 0.05, Seed: 6}
+	plain, err := RecallTarget(opts, ds.Len(), scores, pred, lab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := RecallTarget(opts, ds.Len(), scores, pred,
+		labeler.NewBudgeted(labeler.NewOracle(ds, "oracle", labeler.MaskRCNNCost), 1<<30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, budgeted) {
+		t.Errorf("ample budget changed the result:\n got %+v\nwant %+v", budgeted, plain)
+	}
 }

@@ -520,6 +520,18 @@ func (x *Index) Annotated(id int) bool {
 	return ok
 }
 
+// AnnotationOf returns record id's cached annotation, if it is a
+// representative (cracked, or annotated at build). Callers hold the usual
+// read serialization. The label store consults this before spending budget:
+// an annotation the index already owns is free.
+func (x *Index) AnnotationOf(id int) (dataset.Annotation, bool) {
+	if id < 0 || id >= x.total {
+		return nil, false
+	}
+	ann, ok := x.owner(id).Annotations[id]
+	return ann, ok
+}
+
 // owner returns the live shard whose range contains id.
 func (x *Index) owner(id int) *Shard {
 	s := sort.Search(len(x.shards), func(s int) bool { return x.shards[s].Load().Hi > id })

@@ -38,6 +38,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/ingest"
 	"repro/internal/labeler"
+	"repro/internal/labeler/store"
 	"repro/internal/parallel"
 	"repro/internal/query/aggregation"
 	"repro/internal/query/limitq"
@@ -54,7 +55,7 @@ import (
 
 // Version identifies this release of the repository — the value
 // tasti_build_info exposes so every scrape names the running binary.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // SnapshotFormatVersion is the framed snapshot container's current format
 // version (the write-side version; older versions back to
@@ -527,6 +528,49 @@ func SetPoolTelemetry(reg *MetricsRegistry) { parallel.SetTelemetry(reg) }
 func SelectByThreshold(n int, proxy []float64, validationSize int, pred func(Annotation) bool, lab Labeler, seed int64) (ThresholdResult, error) {
 	return selection.Threshold(n, proxy, validationSize, pred, lab, seed)
 }
+
+// Cross-query label amortization: a concurrency-safe record→annotation store
+// shared by every query processor, with singleflight coalescing (concurrent
+// requests for the same record issue exactly one oracle call) and a global
+// budget manager with per-tenant admission. Exhaustion mid-query is a
+// graceful outcome — aggregation and selection return partial estimates
+// flagged Degraded, limit queries return the verified prefix — and the store
+// persists as its own snapshot container so labels bought today are free
+// tomorrow. See docs/RELIABILITY.md "Label budgets and degraded answers".
+type (
+	// LabelStore is the cross-query record→annotation store.
+	LabelStore = store.Store
+	// LabelStoreOptions configures NewLabelStore and LoadLabelStore.
+	LabelStoreOptions = store.Options
+	// BudgetManager admits oracle spend against global and per-tenant caps,
+	// debiting at call time and refunding failed calls.
+	BudgetManager = store.Budget
+	// BudgetConfig parameterizes a BudgetManager; zero or negative caps are
+	// unlimited.
+	BudgetConfig = store.BudgetConfig
+)
+
+var (
+	// NewLabelStore returns an empty label store.
+	NewLabelStore = store.New
+	// LoadLabelStore deserializes a store saved with LabelStore.Save,
+	// verifying frame and whole-file checksums.
+	LoadLabelStore = store.Load
+	// LoadLabelStoreFile is LoadLabelStore over a snapshot file on disk.
+	LoadLabelStoreFile = store.LoadFile
+	// NewBudgetManager returns a budget manager over cfg.
+	NewBudgetManager = store.NewBudget
+	// ErrLabelStoreSaturated marks a label request rejected because the
+	// store's in-flight table is full — backpressure, not failure (HTTP 429).
+	ErrLabelStoreSaturated = store.ErrSaturated
+)
+
+// LabelStoreKind is the framed-container artifact type of label-store
+// snapshots.
+const LabelStoreKind = store.Kind
+
+// BudgetUnlimited disables a budget cap when assigned to BudgetConfig.
+const BudgetUnlimited = store.Unlimited
 
 // Grouped aggregation.
 type (
