@@ -9,7 +9,7 @@
 // Usage:
 //
 //	tastibench -bench-json current.json
-//	benchgate -baseline BENCH_5.json -current current.json
+//	benchgate -baseline BENCH_10.json -current current.json
 package main
 
 import (

@@ -241,8 +241,22 @@ type healthSnapshot struct {
 	RadiusP50  float64      `json:"radius_p50"`
 	RadiusP90  float64      `json:"radius_p90"`
 	RadiusP99  float64      `json:"radius_p99"`
+	Memory     memoryHealth `json:"memory"`
 	Drift      *driftHealth `json:"drift,omitempty"`
 	WAL        *walHealth   `json:"wal,omitempty"`
+}
+
+// memoryHealth reports the resident scan-plane memory: the float64 embedding
+// matrix, the uint8 quantized code plane (zero without -quantize), how much
+// smaller the plane the candidate scans stream is, and the live rerank rate —
+// the fraction of code-plane candidates whose pruning bound could not exclude
+// them, so they were recomputed exactly against the float rows.
+type memoryHealth struct {
+	Quantized        bool    `json:"quantized"`
+	FloatBytes       int64   `json:"embedding_float_bytes"`
+	QuantBytes       int64   `json:"embedding_quant_bytes"`
+	CompressionRatio float64 `json:"compression_ratio,omitempty"`
+	RerankRate       float64 `json:"quant_rerank_rate,omitempty"`
 }
 
 type driftHealth struct {
@@ -285,7 +299,17 @@ func (s *server) collectHealth(ctx context.Context) (*healthSnapshot, error) {
 		RadiusP90:  qs[1],
 		RadiusP99:  qs[2],
 	}
+	mem := ix.MemoryStats()
+	h.Memory = memoryHealth{
+		Quantized:        mem.Quantized(),
+		FloatBytes:       mem.FloatBytes,
+		QuantBytes:       mem.QuantBytes,
+		CompressionRatio: mem.CompressionRatio(),
+	}
 	s.release()
+	if cands := s.reg.Counter("tasti_quant_candidates_total").Value(); cands > 0 {
+		h.Memory.RerankRate = float64(s.reg.Counter("tasti_quant_rerank_total").Value()) / float64(cands)
+	}
 
 	if s.drift != nil {
 		h.Drift = &driftHealth{
@@ -312,6 +336,8 @@ func (s *server) collectHealth(ctx context.Context) (*healthSnapshot, error) {
 
 	s.reg.Gauge("tasti_shard_record_skew").Set(h.RecordSkew)
 	s.reg.Gauge("tasti_shard_rep_skew").Set(h.RepSkew)
+	s.reg.Gauge(`tasti_scan_plane_bytes{plane="float"}`).Set(float64(h.Memory.FloatBytes))
+	s.reg.Gauge(`tasti_scan_plane_bytes{plane="quant"}`).Set(float64(h.Memory.QuantBytes))
 	s.reg.Gauge(`tasti_index_radius{quantile="p50"}`).Set(h.RadiusP50)
 	s.reg.Gauge(`tasti_index_radius{quantile="p90"}`).Set(h.RadiusP90)
 	s.reg.Gauge(`tasti_index_radius{quantile="p99"}`).Set(h.RadiusP99)

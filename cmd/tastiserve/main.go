@@ -88,6 +88,7 @@ func main() {
 		addr   = flag.String("addr", ":8080", "listen address")
 		par    = flag.Int("parallelism", 0, "worker count for index construction, propagation, and cracking (<= 0 uses all CPUs)")
 		shards = flag.Int("shards", 1, "scatter-gather shard count; results are bitwise identical at every value (<= 1 serves one shard)")
+		quantize = flag.Bool("quantize", false, "build the int8 quantized scan plane: 8x smaller candidate scans with exact rerank, bitwise-identical results")
 
 		queryTimeout  = flag.Duration("query-timeout", 60*time.Second, "per-request budget for /query/ endpoints (0 disables)")
 		labelTimeout  = flag.Duration("label-timeout", 0, "per-call target-labeler deadline (0 disables)")
@@ -144,6 +145,7 @@ func main() {
 		seed:          *seed,
 		parallelism:   *par,
 		shards:        *shards,
+		quantize:      *quantize,
 		queryTimeout:  *queryTimeout,
 		labelTimeout:  *labelTimeout,
 		allowDegraded: *allowDegraded,

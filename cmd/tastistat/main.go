@@ -69,8 +69,17 @@ type healthDoc struct {
 	RadiusP50  float64    `json:"radius_p50"`
 	RadiusP90  float64    `json:"radius_p90"`
 	RadiusP99  float64    `json:"radius_p99"`
+	Memory     *memoryDoc `json:"memory"`
 	Drift      *driftDoc  `json:"drift"`
 	WAL        *walLagDoc `json:"wal"`
+}
+
+type memoryDoc struct {
+	Quantized        bool    `json:"quantized"`
+	FloatBytes       int64   `json:"embedding_float_bytes"`
+	QuantBytes       int64   `json:"embedding_quant_bytes"`
+	CompressionRatio float64 `json:"compression_ratio"`
+	RerankRate       float64 `json:"quant_rerank_rate"`
 }
 
 type driftDoc struct {
@@ -148,6 +157,16 @@ func render(st *statusDoc, fams map[string]*tasti.PromFamily) string {
 	if h := st.Health; h != nil {
 		fmt.Fprintf(&b, "index   %d records · %d reps · %d shard(s) · skew rec %.2f rep %.2f · radius p50/p90/p99 %.3g/%.3g/%.3g\n",
 			h.Records, h.Reps, h.Shards, h.RecordSkew, h.RepSkew, h.RadiusP50, h.RadiusP90, h.RadiusP99)
+		if m := h.Memory; m != nil {
+			fmt.Fprintf(&b, "memory  embeddings %s float", sizeOf(m.FloatBytes))
+			if m.Quantized {
+				fmt.Fprintf(&b, " + %s quant codes (%.1fx smaller scans) · rerank rate %.1f%%",
+					sizeOf(m.QuantBytes), m.CompressionRatio, m.RerankRate*100)
+			} else {
+				b.WriteString(" · no quantized plane (-quantize builds one)")
+			}
+			b.WriteByte('\n')
+		}
 	}
 	if st.Status == "ready" {
 		runs := seriesByLabel(fams, "tasti_query_runs_total", "type")

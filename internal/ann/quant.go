@@ -1,0 +1,73 @@
+package ann
+
+import (
+	"math"
+
+	"repro/internal/cluster"
+	"repro/internal/vecmath"
+)
+
+// Quantized pruning for the IVF. Two sites scan the code plane first:
+//
+//   - the Lloyd assignment sweep (assignNearestQuant below), where the
+//     nearest centroid is picked over |c|²−2v·c comparison keys, and
+//   - query-time probing (Searcher.Search), where both the cell TopK and
+//     the candidate TopK admit by exact squared distance.
+//
+// Probing reuses the cluster-layer argument unchanged: TopK.Threshold
+// rejects strictly greater offers, so a code-distance lower bound strictly
+// above it proves the exact offer would lose. The assignment sweep needs one
+// extra ingredient: its keys drop the per-vector |v|² term and are computed
+// in floating point, so comparing a true-distance bound against a computed
+// key must absorb the key's rounding. quantKeyMargin below scales a
+// deterministic slack to the magnitudes involved — about 1e-9 relative,
+// which is several orders above the ~dim·2⁻⁵² relative rounding of a
+// norm/dot evaluation and several below the quantization slack doing the
+// actual pruning — so a skipped centroid provably could not have won the
+// argmin, and assignment stays bitwise identical to the unpruned sweep.
+const quantKeyMargin = 1e-9
+
+// assignNearestQuant returns the nearest-centroid index for vector v,
+// identical to the exact decomposed argmin (strict improvement, first index
+// wins). vcodes is v's code row, vnorm its exact squared norm, maxCentNorm
+// the max entry of centNorms, and vErr the decode-error bound covering v's
+// codes. cds is caller scratch with one entry per centroid.
+func assignNearestQuant(v []float64, vcodes []uint8, vnorm, vErr, maxCentNorm float64,
+	centroids vecmath.Matrix, centNorms []float64, centQ vecmath.QuantMatrix,
+	cds []int64, stats *cluster.QuantScanStats) int {
+	vecmath.CodeDistBatch(vcodes, centQ, cds)
+	stats.Candidates += int64(len(cds))
+	margin := quantKeyMargin * (vnorm + maxCentNorm + 1)
+	best, bestD := 0, math.Inf(1)
+	for c, cd := range cds {
+		// d²(v,c) >= lb², so the centroid's key is at least
+		// lb² − |v|² − (key rounding); at or past the current best key the
+		// strict-improvement update cannot fire.
+		if lb := centQ.LowerBound(cd, vErr); lb*lb-vnorm-margin >= bestD {
+			continue
+		}
+		stats.Reranked++
+		// Dot is bitwise identical to the DotBatch entry the unpruned sweep
+		// reads, so the surviving keys are the same bits.
+		if d := centNorms[c] - 2*vecmath.Dot(v, centroids.Row(c)); d < bestD {
+			best, bestD = c, d
+		}
+	}
+	return best
+}
+
+// quantizeCells codes the centroids and every cell's member block under the
+// shared params, building the probing planes Searcher streams.
+func quantizeCells(centroids vecmath.Matrix, cellVecs []vecmath.Matrix, params vecmath.QuantParams) (vecmath.QuantMatrix, []vecmath.QuantMatrix, error) {
+	centQ, err := vecmath.QuantizeMatrix(centroids, params)
+	if err != nil {
+		return vecmath.QuantMatrix{}, nil, err
+	}
+	cellQ := make([]vecmath.QuantMatrix, len(cellVecs))
+	for c, vecs := range cellVecs {
+		if cellQ[c], err = vecmath.QuantizeMatrix(vecs, params); err != nil {
+			return vecmath.QuantMatrix{}, nil, err
+		}
+	}
+	return centQ, cellQ, nil
+}

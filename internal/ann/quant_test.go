@@ -1,0 +1,172 @@
+package ann
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/vecmath"
+)
+
+// TestIVFQuantBitwise: with Quantize on, construction (cell structure) and
+// probing must be bitwise identical to the exact IVF at every parallelism
+// level — the plane only prunes work the exact path provably discards.
+func TestIVFQuantBitwise(t *testing.T) {
+	vecs := testVectors(600, 12, 4)
+	base := DefaultConfig(600, 9)
+	exact, err := Build(base, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 4} {
+		cfg := base
+		cfg.Quantize = true
+		cfg.Parallelism = p
+		quant, err := Build(cfg, vecs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if quant.NumCells() != exact.NumCells() {
+			t.Fatalf("p=%d: %d cells vs %d", p, quant.NumCells(), exact.NumCells())
+		}
+		for c := range exact.lists {
+			if len(quant.lists[c]) != len(exact.lists[c]) {
+				t.Fatalf("p=%d cell %d: %d members vs %d", p, c, len(quant.lists[c]), len(exact.lists[c]))
+			}
+			for j := range exact.lists[c] {
+				if quant.lists[c][j] != exact.lists[c][j] {
+					t.Fatalf("p=%d cell %d member %d: %d vs %d", p, c, j, quant.lists[c][j], exact.lists[c][j])
+				}
+			}
+		}
+		for c := 0; c < exact.centroids.Rows(); c++ {
+			qr, er := quant.centroids.Row(c), exact.centroids.Row(c)
+			for d := range er {
+				if qr[d] != er[d] {
+					t.Fatalf("p=%d centroid %d dim %d: %v vs %v (bitwise mismatch)", p, c, d, qr[d], er[d])
+				}
+			}
+		}
+		queries := testVectors(40, 12, 77)
+		var qs, es Searcher
+		for qi := 0; qi < queries.Rows(); qi++ {
+			q := queries.Row(qi)
+			got := qs.Search(quant, q, 5, 3)
+			want := es.Search(exact, q, 5, 3)
+			if len(got) != len(want) {
+				t.Fatalf("p=%d query %d: %d results vs %d", p, qi, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("p=%d query %d result %d: %+v vs %+v (bitwise mismatch)", p, qi, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestBuildTableApproxQuantBitwise: the approximate table is bitwise
+// identical with the plane on or off.
+func TestBuildTableApproxQuantBitwise(t *testing.T) {
+	embs := testVectors(500, 10, 21)
+	reps := make([]int, 60)
+	for i := range reps {
+		reps[i] = i * 8
+	}
+	base := DefaultConfig(len(reps), 3)
+	want, err := BuildTableApprox(embs, reps, 3, 2, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := base
+	cfg.Quantize = true
+	got, err := BuildTableApprox(embs, reps, 3, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Neighbors {
+		w, g := want.Neighbors[i], got.Neighbors[i]
+		if len(w) != len(g) {
+			t.Fatalf("record %d: %d vs %d neighbors", i, len(g), len(w))
+		}
+		for j := range w {
+			if w[j] != g[j] {
+				t.Fatalf("record %d neighbor %d: %+v vs %+v (bitwise mismatch)", i, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+// TestSearcherQuantZeroAlloc: a warm quantized Search stays allocation-free
+// like the exact path.
+func TestSearcherQuantZeroAlloc(t *testing.T) {
+	vecs := testVectors(400, 8, 13)
+	cfg := DefaultConfig(400, 5)
+	cfg.Quantize = true
+	ix, err := Build(cfg, vecs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Searcher
+	q := vecs.Row(7)
+	s.Search(ix, q, 4, 3) // warm the scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		s.Search(ix, q, 4, 3)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm quantized Search allocates %v times per call", allocs)
+	}
+}
+
+// TestAssignNearestQuantMargin drives the pruned argmin against the exact
+// decomposed argmin over adversarially tight clusters, where key rounding
+// is most likely to bite.
+func TestAssignNearestQuantMargin(t *testing.T) {
+	vecs := testVectors(300, 6, 31)
+	// Centroids very close together: many near-tie keys.
+	cents := vecmath.NewMatrix(20, 6)
+	for c := 0; c < 20; c++ {
+		base := vecs.Row(c * 3)
+		row := cents.Row(c)
+		for d := range row {
+			row[d] = base[d] * (1 + float64(c)*1e-7)
+		}
+	}
+	params := vecmath.TrainQuantParams(vecs)
+	vq, err := vecmath.QuantizeMatrix(vecs, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centQ, err := vecmath.QuantizeMatrix(cents, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	centNorms := vecmath.NormsSquared(cents, make([]float64, 20))
+	maxCN := 0.0
+	for _, cn := range centNorms {
+		if cn > maxCN {
+			maxCN = cn
+		}
+	}
+	vnorms := vecmath.NormsSquared(vecs, make([]float64, vecs.Rows()))
+	dots := make([]float64, 20)
+	cds := make([]int64, 20)
+	var stats cluster.QuantScanStats
+	for i := 0; i < vecs.Rows(); i++ {
+		v := vecs.Row(i)
+		vecmath.DotBatch(v, cents, dots)
+		wantBest, bestD := 0, centNorms[0]-2*dots[0]
+		for c := 1; c < 20; c++ {
+			if d := centNorms[c] - 2*dots[c]; d < bestD {
+				wantBest, bestD = c, d
+			}
+		}
+		got := assignNearestQuant(v, vq.Row(i), vnorms[i], vq.MaxErr(), maxCN,
+			cents, centNorms, centQ, cds, &stats)
+		if got != wantBest {
+			t.Fatalf("vector %d: pruned argmin %d, exact %d", i, got, wantBest)
+		}
+	}
+	if stats.Candidates != int64(vecs.Rows())*20 {
+		t.Fatalf("candidates %d, want %d", stats.Candidates, vecs.Rows()*20)
+	}
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/vecmath"
+)
+
+func quantTestMatrix(t *testing.T, r *rand.Rand, rows, dim int) (vecmath.Matrix, vecmath.QuantMatrix) {
+	t.Helper()
+	data := make([]float64, rows*dim)
+	for i := range data {
+		data[i] = -2 + r.Float64()*4
+	}
+	m, err := vecmath.MatrixFromFlat(data, rows, dim)
+	if err != nil {
+		t.Fatalf("MatrixFromFlat: %v", err)
+	}
+	q, err := vecmath.QuantizeMatrix(m, vecmath.TrainQuantParams(m))
+	if err != nil {
+		t.Fatalf("QuantizeMatrix: %v", err)
+	}
+	return m, q
+}
+
+func sameTable(t *testing.T, got, want *Table) {
+	t.Helper()
+	if got.K != want.K {
+		t.Fatalf("K: %d vs %d", got.K, want.K)
+	}
+	if len(got.Reps) != len(want.Reps) {
+		t.Fatalf("reps: %d vs %d", len(got.Reps), len(want.Reps))
+	}
+	for i := range got.Reps {
+		if got.Reps[i] != want.Reps[i] {
+			t.Fatalf("rep %d: %d vs %d", i, got.Reps[i], want.Reps[i])
+		}
+	}
+	if len(got.Neighbors) != len(want.Neighbors) {
+		t.Fatalf("records: %d vs %d", len(got.Neighbors), len(want.Neighbors))
+	}
+	for i := range got.Neighbors {
+		g, w := got.Neighbors[i], want.Neighbors[i]
+		if len(g) != len(w) {
+			t.Fatalf("record %d: %d vs %d neighbors", i, len(g), len(w))
+		}
+		for j := range g {
+			if g[j] != w[j] {
+				t.Fatalf("record %d neighbor %d: %+v vs %+v (bitwise mismatch)", i, j, g[j], w[j])
+			}
+		}
+	}
+}
+
+// TestBuildTableQuantBitwise: the quantized table build must be bitwise
+// identical to the exact build at every worker count, and must actually
+// prune exact work.
+func TestBuildTableQuantBitwise(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	m, q := quantTestMatrix(t, r, 400, 16)
+	reps := RandomReps(rand.New(rand.NewSource(7)), 400, 40)
+	want := BuildTablePar(m, reps, 3, 1)
+	for _, p := range []int{1, 2, 4} {
+		got, stats := BuildTableQuantPar(m, q, reps, 3, p)
+		sameTable(t, got, want)
+		if stats.Candidates == 0 || stats.Reranked > stats.Candidates {
+			t.Fatalf("p=%d: implausible stats %+v", p, stats)
+		}
+		if stats.Reranked == stats.Candidates {
+			t.Logf("p=%d: plane pruned nothing (%+v) — correct but toothless", p, stats)
+		}
+	}
+}
+
+// TestFPFMixedQuantBitwise: quantized FPF selection must pick the exact
+// same representatives from the same rand stream at every worker count.
+func TestFPFMixedQuantBitwise(t *testing.T) {
+	m, q := quantTestMatrix(t, rand.New(rand.NewSource(3)), 300, 12)
+	want := FPFMixedPar(rand.New(rand.NewSource(5)), m, 30, 0.1, 1)
+	for _, p := range []int{1, 2, 4} {
+		got, stats := FPFMixedParQuant(rand.New(rand.NewSource(5)), m, q, 30, 0.1, p)
+		if len(got) != len(want) {
+			t.Fatalf("p=%d: %d reps vs %d", p, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("p=%d: rep %d is %d, want %d", p, i, got[i], want[i])
+			}
+		}
+		if stats.Candidates == 0 {
+			t.Fatalf("p=%d: no candidates counted", p)
+		}
+	}
+}
+
+// TestAddRepresentativeQuantBitwise: cracking through the plane must leave
+// the table bitwise identical to exact cracking.
+func TestAddRepresentativeQuantBitwise(t *testing.T) {
+	m, q := quantTestMatrix(t, rand.New(rand.NewSource(11)), 250, 8)
+	reps := RandomReps(rand.New(rand.NewSource(2)), 250, 20)
+	cracks := []int{5, 99, 200, 7, 123}
+	for _, p := range []int{1, 4} {
+		exact := BuildTablePar(m, reps, 3, 1)
+		quant := BuildTablePar(m, reps, 3, 1)
+		for _, rep := range cracks {
+			exact.AddRepresentativeEmb(m, rep, m.Row(rep), p)
+			stats := quant.AddRepresentativeEmbQuant(m, q, rep, m.Row(rep), p)
+			if stats.Candidates != 250 {
+				t.Fatalf("p=%d rep %d: candidates %d, want 250", p, rep, stats.Candidates)
+			}
+		}
+		sameTable(t, quant, exact)
+		// Re-adding an existing representative stays a no-op.
+		if stats := quant.AddRepresentativeEmbQuant(m, q, cracks[0], m.Row(cracks[0]), p); stats.Candidates != 0 {
+			t.Fatalf("p=%d: re-add scanned %d candidates", p, stats.Candidates)
+		}
+	}
+}
+
+// TestQuantScannerMatchesScanner: the per-record min-k scan used by appends
+// must agree with the exact Scanner, and a warm scan must not allocate.
+func TestQuantScannerMatchesScanner(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	m, q := quantTestMatrix(t, r, 120, 10)
+	reps := RandomReps(rand.New(rand.NewSource(9)), 120, 25)
+	repMat := vecmath.GatherRows(m, reps)
+	repQ := gatherQuantRows(q, reps)
+	var sc Scanner
+	var qc QuantScanner
+	for i := 0; i < 50; i++ {
+		query := make([]float64, 10)
+		for d := range query {
+			query[d] = -3 + r.Float64()*6
+		}
+		exact := sc.ScanInto(nil, query, repMat, reps, 4)
+		quant := qc.ScanInto(nil, query, repMat, repQ, reps, 4)
+		if len(exact) != len(quant) {
+			t.Fatalf("query %d: %d vs %d neighbors", i, len(exact), len(quant))
+		}
+		for j := range exact {
+			if exact[j] != quant[j] {
+				t.Fatalf("query %d neighbor %d: %+v vs %+v", i, j, quant[j], exact[j])
+			}
+		}
+	}
+	query := make([]float64, 10)
+	dst := make([]Neighbor, 0, 4)
+	allocs := testing.AllocsPerRun(20, func() {
+		dst = qc.ScanInto(dst[:0], query, repMat, repQ, reps, 4)
+	})
+	if allocs > 0 {
+		t.Fatalf("warm QuantScanner.ScanInto allocates %v times per scan", allocs)
+	}
+}
+
+// TestDistCacheFitsPlane pins the quantization-aware cache gate: the float
+// decision is unchanged, and with the plane enabled the cache must also not
+// out-cost the bytes quantization saved.
+func TestDistCacheFitsPlane(t *testing.T) {
+	if !DistCacheFitsPlane(1000, 100, 128, false) {
+		t.Fatal("float plane: small cache rejected")
+	}
+	if DistCacheFitsPlane(1<<20, 1<<20, 128, false) {
+		t.Fatal("float plane: oversized cache accepted")
+	}
+	// 8k <= 7*dim boundary: k=112, dim=128 -> 896 == 896 fits; k=113 doesn't.
+	if !DistCacheFitsPlane(1000, 112, 128, true) {
+		t.Fatal("quant plane: cache within savings rejected")
+	}
+	if DistCacheFitsPlane(1000, 113, 128, true) {
+		t.Fatal("quant plane: cache beyond savings accepted")
+	}
+	// The 256 MiB ceiling still applies with the plane enabled.
+	if DistCacheFitsPlane(1<<22, 1<<10, 1<<20, true) {
+		t.Fatal("quant plane: 256 MiB ceiling ignored")
+	}
+}

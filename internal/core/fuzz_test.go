@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"math"
 	"sync"
 	"testing"
 
@@ -111,6 +112,92 @@ func FuzzLoadIndexFlat(f *testing.F) {
 		// The only accepted shape is one consistent with the neighbor table.
 		if got.Embeddings.Rows() != len(ix.Table.Neighbors) || rows*dim != dataLen {
 			t.Fatalf("accepted inconsistent shape %dx%d over %d entries", rows, dim, dataLen)
+		}
+	})
+}
+
+// FuzzLoadIndexQuant targets the quantized-plane frame: it re-frames a valid
+// snapshot with a fuzz-controlled quantEmbeddings payload (arbitrary shape,
+// param-array lengths, code-array length, and decode-error bound) and
+// requires Load to return a validated index or a typed error — never a panic
+// or a plane inconsistent with the embeddings it must mirror.
+func FuzzLoadIndexQuant(f *testing.F) {
+	ix, err := fuzzSeedIndexValue()
+	if err != nil {
+		f.Fatal(err)
+	}
+	rows, dim := ix.Embeddings.Rows(), ix.Embeddings.Dim()
+	maxInt := int(^uint(0) >> 1)
+	f.Add(rows, dim, dim, dim, rows*dim, 0.01)
+	f.Add(rows, dim, dim-1, dim, rows*dim, 0.01)  // short scale array
+	f.Add(rows, dim, dim, dim+1, rows*dim, 0.01)  // long offset array
+	f.Add(rows, dim, dim, dim, rows*dim-1, 0.01)  // truncated codes
+	f.Add(rows+1, dim, dim, dim, rows*dim, 0.01)  // row-count mismatch vs embeddings
+	f.Add(-1, dim, dim, dim, 0, 0.01)             // negative shape
+	f.Add(maxInt/2+1, 4, 4, 4, 16, 0.01)          // rows*dim overflow
+	f.Add(rows, dim, dim, dim, rows*dim, -1.0)        // negative error bound
+	f.Add(rows, dim, dim, dim, rows*dim, math.Inf(1)) // non-finite error bound
+
+	f.Fuzz(func(t *testing.T, qrows, qdim, scaleLen, offsetLen, codesLen int, maxErr float64) {
+		if scaleLen < 0 || scaleLen > 1<<12 || offsetLen < 0 || offsetLen > 1<<12 ||
+			codesLen < 0 || codesLen > 1<<16 {
+			return // cap array allocations so the fuzzer can't OOM the host
+		}
+		scale := make([]float64, scaleLen)
+		for i := range scale {
+			scale[i] = 0.5
+		}
+		var buf bytes.Buffer
+		sw, err := snapshot.NewWriter(&buf, indexKind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sections := []struct {
+			name string
+			v    any
+		}{
+			{"meta", indexMeta{K: ix.Table.K, Reps: ix.Table.Reps}},
+			{"neighbors", ix.Table.Neighbors},
+			{"annotations", ix.Annotations},
+			{embeddingsFlatFrame, flatEmbeddings{
+				Rows: ix.Embeddings.Rows(),
+				Dim:  ix.Embeddings.Dim(),
+				Data: ix.Embeddings.Data(),
+			}},
+			{"stats", ix.Stats},
+			{embeddingsQuantFrame, quantEmbeddings{
+				Rows:   qrows,
+				Dim:    qdim,
+				Scale:  scale,
+				Offset: make([]float64, offsetLen),
+				MaxErr: maxErr,
+				Codes:  make([]uint8, codesLen),
+			}},
+		}
+		for _, s := range sections {
+			if err := sw.Encode(s.name, s.v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := sw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			return
+		}
+		// Anything accepted must be a plane that exactly mirrors the
+		// embedding matrix, with internally consistent parts.
+		if !got.Quant.Enabled() {
+			t.Fatal("accepted a quant frame but returned a disabled plane")
+		}
+		if got.Quant.Rows() != got.Embeddings.Rows() || got.Quant.Dim() != got.Embeddings.Dim() {
+			t.Fatalf("accepted a %dx%d plane over %dx%d embeddings",
+				got.Quant.Rows(), got.Quant.Dim(), got.Embeddings.Rows(), got.Embeddings.Dim())
+		}
+		if qrows*qdim != codesLen || scaleLen != qdim || offsetLen != qdim {
+			t.Fatalf("accepted inconsistent quant parts: %dx%d, %d/%d params, %d codes",
+				qrows, qdim, scaleLen, offsetLen, codesLen)
 		}
 	})
 }

@@ -75,6 +75,15 @@ type Config struct {
 	// ANNProbe is the number of IVF cells probed per record when
 	// ApproxTable is set (default 4).
 	ANNProbe int
+	// Quantize trains a uint8 code plane over the final embeddings and
+	// scans it — instead of the float64 rows — in every candidate-generation
+	// sweep (FPF selection, table build, cracking, appends, IVF probing),
+	// reranking bound survivors through the exact kernels. The built index,
+	// cracked tables, and all query answers are bitwise identical with the
+	// plane on or off; the plane trades ~1/8 the scan bandwidth and resident
+	// scan memory for a small rerank overhead. Persisted as the v3
+	// embeddings.quant snapshot frame.
+	Quantize bool
 	// Parallelism bounds the worker count for construction and propagation
 	// (<= 0 uses all CPUs). Results are bitwise identical at every value;
 	// the knob only trades wall-clock time for CPU.
@@ -169,6 +178,11 @@ type BuildStats struct {
 	RepSelectWall, RepLabelWall, TableWall time.Duration
 	// TripletSteps is the number of optimizer steps taken (0 for TASTI-PT).
 	TripletSteps int
+	// QuantCandidates and QuantReranked account the quantized plane's
+	// pruning during construction (zero when Config.Quantize is off):
+	// code-plane rows examined, and the subset that survived the bound and
+	// was reranked through the exact kernels.
+	QuantCandidates, QuantReranked int64
 
 	// Reliability accounting (zero for a fault-free, un-resumed build):
 
@@ -215,6 +229,13 @@ type Index struct {
 	// (record = row), needed for cracking and appends. It flows by reference
 	// through build, query, snapshot, and serve layers.
 	Embeddings vecmath.Matrix
+	// Quant is the uint8 code plane of Embeddings (zero value when
+	// Config.Quantize was off): same rows, 1 byte per element, plus the
+	// trained scale/offset and decode-error bound. Scans stream it for
+	// candidate generation and rerank through Embeddings — see
+	// internal/cluster/quant.go. It follows Embeddings through snapshot,
+	// shard views, cloning, and appends.
+	Quant vecmath.QuantMatrix
 	// Table is the min-k distance table over the representatives.
 	Table *cluster.Table
 	// Annotations caches the target-labeler output for every representative
@@ -392,6 +413,22 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	sp.End()
 	stats.EmbedWall += time.Since(embedStart)
 
+	// Quantized plane: trained over the final embeddings, then streamed by
+	// every candidate-generation sweep below in place of the float64 rows.
+	// Pure pruning — every admission decision reranks through the exact
+	// kernels — so everything downstream is bitwise identical either way.
+	var quant vecmath.QuantMatrix
+	var quantStats cluster.QuantScanStats
+	if cfg.Quantize {
+		sp = cfg.TraceSpan.Child("embed/quantize")
+		var err error
+		quant, err = vecmath.QuantizeMatrix(embeddings, vecmath.TrainQuantParams(embeddings))
+		if err != nil {
+			return nil, fmt.Errorf("core: quantizing embeddings: %w", err)
+		}
+		sp.End()
+	}
+
 	// Phase 4: representative selection and annotation, then the distance
 	// table.
 	clusterStart := time.Now()
@@ -401,12 +438,18 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	// The FPF sweep computes every representative-to-record distance the
 	// exact table build would recompute. When the matrix fits the retention
 	// budget, keep it and build the table from it directly; the gate depends
-	// only on the record and representative counts, and both table paths are
-	// bitwise identical, so this is purely a bandwidth optimization.
+	// only on the configured sizes (with Quantize on, it additionally
+	// requires the retained cache not to out-cost the bytes the plane
+	// saves), and both table paths are bitwise identical, so this is purely
+	// a bandwidth optimization.
 	var repDists vecmath.Matrix
 	if cfg.FPFCluster {
-		if !cfg.ApproxTable && cluster.DistCacheFits(ds.Len(), cfg.NumReps) {
+		if !cfg.ApproxTable && cluster.DistCacheFitsPlane(ds.Len(), cfg.NumReps, cfg.EmbedDim, cfg.Quantize) {
 			reps, repDists = cluster.FPFMixedParDists(repRand, embeddings, cfg.NumReps, cfg.RandomRepFraction, cfg.Parallelism)
+		} else if cfg.Quantize {
+			var st cluster.QuantScanStats
+			reps, st = cluster.FPFMixedParQuant(repRand, embeddings, quant, cfg.NumReps, cfg.RandomRepFraction, cfg.Parallelism)
+			quantStats.Add(st)
 		} else {
 			reps = cluster.FPFMixedPar(repRand, embeddings, cfg.NumReps, cfg.RandomRepFraction, cfg.Parallelism)
 		}
@@ -521,6 +564,7 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 		annCfg := ann.DefaultConfig(len(liveReps), cfg.Seed)
 		annCfg.Parallelism = cfg.Parallelism
 		annCfg.Telemetry = cfg.Telemetry
+		annCfg.Quantize = cfg.Quantize
 		approx, err := ann.BuildTableApprox(embeddings, liveReps, tableK, nprobe, annCfg)
 		if err != nil {
 			return nil, fmt.Errorf("core: approximate distance table: %w", err)
@@ -532,6 +576,11 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 		// rows, so the cached path only fires when every rep survived.
 		table = cluster.BuildTableFromDists(repDists, liveReps, tableK, cfg.Parallelism)
 		sp.SetAttr("mode", "exact-cached")
+	} else if cfg.Quantize {
+		var st cluster.QuantScanStats
+		table, st = cluster.BuildTableQuantPar(embeddings, quant, liveReps, tableK, cfg.Parallelism)
+		quantStats.Add(st)
+		sp.SetAttr("mode", "exact-quant")
 	} else {
 		table = cluster.BuildTablePar(embeddings, liveReps, tableK, cfg.Parallelism)
 		sp.SetAttr("mode", "exact")
@@ -539,12 +588,15 @@ func BuildResumable(cfg Config, ds *dataset.Dataset, lab labeler.Labeler, ckpt *
 	sp.End()
 	stats.TableWall = time.Since(tableStart)
 	stats.ClusterWall = time.Since(clusterStart)
+	stats.QuantCandidates = quantStats.Candidates
+	stats.QuantReranked = quantStats.Reranked
 	finishStats()
 	publishBuildMetrics(cfg.Telemetry, stats)
 
 	return &Index{
 		Embedder:    embedder,
 		Embeddings:  embeddings,
+		Quant:       quant,
 		Table:       table,
 		Annotations: annotations,
 		Stats:       stats,
@@ -603,6 +655,11 @@ func (ix *Index) Crack(id int, ann dataset.Annotation) {
 		return
 	}
 	ix.Annotations[id] = ann
+	if ix.Quant.Enabled() {
+		st := ix.Table.AddRepresentativeEmbQuant(ix.Embeddings, ix.Quant, id, ix.Embeddings.Row(id), ix.cfg.Parallelism)
+		PublishQuantStats(ix.cfg.Telemetry, st)
+		return
+	}
 	ix.Table.AddRepresentativePar(ix.Embeddings, id, ix.cfg.Parallelism)
 }
 

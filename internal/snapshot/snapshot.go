@@ -64,7 +64,13 @@ var Magic = [8]byte{'T', 'A', 'S', 'T', 'I', 'S', 'N', 'P'}
 //	     row-major frame named "embeddings.flat" (rows, dim, backing
 //	     array). v1 files remain readable; readers pick the decoder by
 //	     frame name.
-const Version uint32 = 2
+//	v3 — quantized scan plane: index snapshots may carry an optional
+//	     trailing frame named "embeddings.quant" (per-dimension scale and
+//	     offset, decode-error bound, uint8 code matrix). v1/v2 files
+//	     remain readable — the frame is simply absent; v2 readers would
+//	     skip it as an unknown trailing frame, but the version is bumped
+//	     so operators can tell which builds materialize the plane on load.
+const Version uint32 = 3
 
 // MinVersion is the oldest container-format version this build still reads.
 const MinVersion uint32 = 1
